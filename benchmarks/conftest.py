@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmark scale is deliberately modest (the canonical plans are O(n·m);
+see DESIGN.md §4): the default RST grid uses ``BENCH_ROWS_PER_SF`` rows
+per scale-factor unit so the whole suite finishes in minutes.  The
+standalone ``benchmarks/paper_tables.py`` script runs the full-size
+Figure 7 grids.
+
+Set ``REPRO_BENCH_ROWS`` to override the RST base size.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datagen import RstConfig, TpchConfig, rst_catalog, tpch_catalog
+
+BENCH_ROWS_PER_SF = int(os.environ.get("REPRO_BENCH_ROWS", "250"))
+
+
+@pytest.fixture(scope="session")
+def rst_config() -> RstConfig:
+    return RstConfig(rows_per_sf=BENCH_ROWS_PER_SF)
+
+
+@pytest.fixture(scope="session")
+def rst_catalogs(rst_config):
+    """RST catalogs per (sf1, sf2), built once per session."""
+    cache: dict[tuple, object] = {}
+
+    def get(sf1, sf2):
+        key = (sf1, sf2)
+        if key not in cache:
+            cache[key] = rst_catalog(sf1, sf2, sf2, rst_config)
+        return cache[key]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def tpch_catalogs():
+    """TPC-H catalogs per scale factor, built once per session."""
+    cache: dict[float, object] = {}
+
+    def get(scale_factor):
+        if scale_factor not in cache:
+            cache[scale_factor] = tpch_catalog(
+                TpchConfig(scale_factor=scale_factor, include_order_pipeline=False)
+            )
+        return cache[scale_factor]
+
+    return get

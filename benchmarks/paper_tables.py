@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Figure 7 tables (and the TR extensions).
+
+Prints, in the layout of Fig. 7, one table per experiment: rows are the
+evaluation strategies (S 1, S 2, S 3, Natix canonical, Natix unnested),
+columns are scale factors, cells are seconds — ``n/a`` where the run
+exceeded the budget, mirroring the paper's six-hour abort.
+
+Usage::
+
+    python benchmarks/paper_tables.py                  # everything, default scale
+    python benchmarks/paper_tables.py --fig 7a         # one figure
+    python benchmarks/paper_tables.py --quick          # small + fast
+    python benchmarks/paper_tables.py --rows-per-sf 1000 --budget 120
+
+Defaults: 1 000 rows per RST scale-factor unit (paper: 10 000) and a
+60-second per-cell budget (paper: six hours).  See DESIGN.md §4 for the
+scale-mapping argument.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.figures import (
+    FIG7_STRATEGIES,
+    RST_GRID,
+    TPCH_SF_MAP,
+    fig7a_q1,
+    fig7b_q2d,
+    fig7c_q2,
+    format_rst_grid,
+    format_tpch_row,
+)
+from repro.bench.harness import run_grid
+from repro.bench.queries import Q3, Q4
+from repro.datagen.rst import RstConfig, rst_catalog
+
+
+def progress_printer(scale_key, result):
+    display = result.display
+    print(f"    {scale_key} {result.strategy:<10} {display:>8}s", file=sys.stderr)
+
+
+def tr_grid(title, sql, grid, strategies, config, budget, progress):
+    return run_grid(
+        title,
+        lambda scale: sql,
+        lambda scale: rst_catalog(scale[0], scale[1], scale[1], config),
+        grid,
+        strategies,
+        budget,
+        progress,
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fig", choices=["7a", "7b", "7c", "tr-tree", "tr-linear", "all"],
+        default="all", help="which experiment to run",
+    )
+    parser.add_argument("--rows-per-sf", type=int, default=1000,
+                        help="RST rows per scale-factor unit (paper: 10000)")
+    parser.add_argument("--budget", type=float, default=60.0,
+                        help="per-cell wall-clock budget in seconds (n/a beyond)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small grids and data for a fast smoke run")
+    parser.add_argument("--markdown", action="store_true",
+                        help="emit markdown tables (for EXPERIMENTS.md)")
+    parser.add_argument("--no-progress", action="store_true")
+    args = parser.parse_args(argv)
+
+    rows = 200 if args.quick else args.rows_per_sf
+    budget = 10.0 if args.quick else args.budget
+    config = RstConfig(rows_per_sf=rows)
+    rst_grid = [(1, 1), (5, 5), (10, 10)] if args.quick else RST_GRID
+    tpch_sfs = list(TPCH_SF_MAP)[:3] if args.quick else list(TPCH_SF_MAP)
+    progress = None if args.no_progress else progress_printer
+
+    start = time.perf_counter()
+    wanted = args.fig
+
+    def emit_rst(grid):
+        if args.markdown:
+            from repro.bench.report import grid_to_markdown, speedup_summary
+
+            print(f"### {grid.title}\n")
+            print(grid_to_markdown(grid))
+            print(speedup_summary(grid) + "\n")
+        else:
+            print(format_rst_grid(grid))
+
+    def emit_tpch(grid):
+        if args.markdown:
+            from repro.bench.report import grid_to_markdown, speedup_summary
+
+            print(f"### {grid.title}\n")
+            print(grid_to_markdown(grid))
+            print(speedup_summary(grid) + "\n")
+        else:
+            print(format_tpch_row(grid))
+
+    if wanted in ("7a", "all"):
+        grid = fig7a_q1(rst_grid, FIG7_STRATEGIES, config, budget, progress)
+        emit_rst(grid)
+        print(f"(RST rows per SF unit: {rows}; budget {budget:.0f}s per cell)\n")
+
+    if wanted in ("7b", "all"):
+        grid = fig7b_q2d(tpch_sfs, FIG7_STRATEGIES, None, budget, progress)
+        emit_tpch(grid)
+        mapping = ", ".join(f"{k}->{v}" for k, v in TPCH_SF_MAP.items() if k in tpch_sfs)
+        print(f"(paper SF -> our SF: {mapping}; budget {budget:.0f}s per cell)\n")
+
+    if wanted in ("7c", "all"):
+        grid = fig7c_q2(rst_grid, FIG7_STRATEGIES, config, budget, progress)
+        emit_rst(grid)
+        print(f"(RST rows per SF unit: {rows}; budget {budget:.0f}s per cell)\n")
+
+    tr_strategies = ["canonical", "s2", "unnested"]
+    tr_points = [(1, 1), (2, 2)] if args.quick else [(1, 1), (2, 2), (4, 4)]
+    if wanted in ("tr-tree", "all"):
+        grid = tr_grid(
+            "TR extension - Q3 (tree query), RST",
+            Q3, tr_points, tr_strategies, config, budget, progress,
+        )
+        emit_rst(grid)
+        print()
+
+    if wanted in ("tr-linear", "all"):
+        grid = tr_grid(
+            "TR extension - Q4 (linear query), RST",
+            Q4, tr_points, tr_strategies, config, budget, progress,
+        )
+        emit_rst(grid)
+        print()
+
+    print(f"total wall time: {time.perf_counter() - start:.1f}s", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Figure 7(a): Q1 — disjunctive linking over the RST grid.
+
+Rows of the paper's table: S1/S2/S3 (commercial baselines), Natix
+canonical, Natix unnested.  The pytest benchmarks sweep the grid
+diagonal; ``paper_tables.py --fig 7a`` prints the full 9-cell table.
+
+The shape assertions at the bottom encode the paper's qualitative
+findings: the unnested plan beats canonical by orders of magnitude and
+the gap widens with scale.
+"""
+
+import pytest
+
+from benchmarks.bench_util import bench_query, timed
+from repro.bench.queries import Q1
+
+GRID = [(1, 1), (5, 5), (10, 10)]
+STRATEGIES = ["s1", "s2", "s3", "canonical", "unnested"]
+
+
+@pytest.mark.parametrize("sf", GRID, ids=lambda sf: f"sf{sf[0]}x{sf[1]}")
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_fig7a_q1(benchmark, rst_catalogs, sf, strategy):
+    catalog = rst_catalogs(*sf)
+    rounds = 3 if strategy == "unnested" else 1
+    benchmark.group = f"fig7a-q1-sf{sf[0]}x{sf[1]}"
+    bench_query(benchmark, Q1, catalog, strategy, rounds=rounds)
+
+
+class TestShape:
+    """Paper findings, asserted (skipped under --benchmark-only)."""
+
+    def test_unnested_dominates_canonical(self, rst_catalogs):
+        catalog = rst_catalogs(10, 10)
+        canonical_time, canonical = timed(Q1, catalog, "canonical")
+        unnested_time, unnested = timed(Q1, catalog, "unnested")
+        assert canonical.bag_equals(unnested)
+        assert canonical_time / unnested_time > 5
+
+    def test_s3_beats_s1_on_disjunctive_linking(self, rst_catalogs):
+        """Short-circuiting the cheap disjunct halves the work (Fig 7a:
+        S3 ≈ half of S1)."""
+        catalog = rst_catalogs(10, 10)
+        s1_time, s1 = timed(Q1, catalog, "s1")
+        s3_time, s3 = timed(Q1, catalog, "s3")
+        assert s1.bag_equals(s3)
+        assert s3_time < s1_time
+
+    def test_s2_between_canonical_and_unnested(self, rst_catalogs):
+        """Memoisation helps on RST (few distinct correlation values) but
+        does not reach the unnested plan (Fig. 7(a): S2 row)."""
+        catalog = rst_catalogs(10, 10)
+        canonical_time, _ = timed(Q1, catalog, "canonical")
+        s2_time, _ = timed(Q1, catalog, "s2")
+        unnested_time, _ = timed(Q1, catalog, "unnested")
+        assert s2_time < canonical_time
+        assert unnested_time <= s2_time * 1.5
+
+    def test_gap_widens_with_scale(self, rst_catalogs):
+        small = rst_catalogs(1, 1)
+        large = rst_catalogs(10, 10)
+        small_ratio = timed(Q1, small, "canonical")[0] / timed(Q1, small, "unnested")[0]
+        large_ratio = timed(Q1, large, "canonical")[0] / timed(Q1, large, "unnested")[0]
+        assert large_ratio > small_ratio

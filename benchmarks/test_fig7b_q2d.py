@@ -1,0 +1,50 @@
+"""Figure 7(b): Query 2d over the TPC-H scale-factor axis.
+
+The paper's SF axis {0.01 … 10} maps onto Python-feasible factors
+(DESIGN.md §4); the pytest sweep uses the first three points, the
+standalone ``paper_tables.py --fig 7b`` runs all six with an ``n/a``
+budget, mirroring the paper's aborted cells.
+"""
+
+import pytest
+
+from benchmarks.bench_util import bench_query, timed
+from repro.bench.queries import QUERY_2D
+
+#: (paper SF label, our scale factor)
+SF_POINTS = [(0.01, 0.002), (0.05, 0.005), (0.5, 0.01)]
+STRATEGIES = ["s1", "s2", "s3", "canonical", "unnested"]
+
+
+@pytest.mark.parametrize("sf", SF_POINTS, ids=lambda sf: f"papersf{sf[0]}")
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_fig7b_q2d(benchmark, tpch_catalogs, sf, strategy):
+    paper_sf, our_sf = sf
+    catalog = tpch_catalogs(our_sf)
+    rounds = 3 if strategy == "unnested" else 1
+    benchmark.group = f"fig7b-q2d-sf{paper_sf}"
+    bench_query(benchmark, QUERY_2D, catalog, strategy, rounds=rounds)
+
+
+class TestShape:
+    def test_all_strategies_agree(self, tpch_catalogs):
+        catalog = tpch_catalogs(0.005)
+        tables = {s: timed(QUERY_2D, catalog, s)[1] for s in STRATEGIES}
+        reference = tables["canonical"]
+        for strategy, table in tables.items():
+            assert reference.bag_equals(table), strategy
+
+    def test_unnested_beats_canonical_at_scale(self, tpch_catalogs):
+        catalog = tpch_catalogs(0.02)
+        canonical_time, _ = timed(QUERY_2D, catalog, "canonical")
+        unnested_time, _ = timed(QUERY_2D, catalog, "unnested")
+        assert canonical_time / unnested_time > 3
+
+    def test_s2_memo_weak_on_tpch(self, tpch_catalogs):
+        """Correlation on p_partkey is nearly all-distinct, so S2's cache
+        cannot close the gap to the unnested plan (Fig. 7(b): S2 loses by
+        an order of magnitude)."""
+        catalog = tpch_catalogs(0.02)
+        s2_time, _ = timed(QUERY_2D, catalog, "s2")
+        unnested_time, _ = timed(QUERY_2D, catalog, "unnested")
+        assert s2_time > unnested_time

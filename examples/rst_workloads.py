@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The paper's RST workloads: Q1 (disjunctive linking), Q2 (disjunctive
+correlation), Q3 (tree), Q4 (linear) — classification, plans, timings.
+
+For each query the script prints its Kim/Muralikrishna classification,
+runs canonical vs. unnested evaluation, and reports the speedup.  This
+is a miniature of the paper's §4 study; the full Figure 7 grids live in
+``benchmarks/paper_tables.py``.
+
+Run:  python examples/rst_workloads.py [rows_per_sf]
+"""
+
+import sys
+import time
+
+from repro import Database
+from repro.bench.queries import RST_QUERIES
+from repro.datagen import RstConfig, generate_rst
+
+
+def run_strategy(db, sql, strategy):
+    planned = db.plan(sql, strategy)
+    start = time.perf_counter()
+    result = planned.execute(db.catalog)
+    return time.perf_counter() - start, result
+
+
+def main():
+    rows_per_sf = int(sys.argv[1]) if len(sys.argv) > 1 else 1500
+    config = RstConfig(rows_per_sf=rows_per_sf)
+
+    db = Database()
+    for table in generate_rst(1, 1, 1, config).values():
+        db.register(table)
+    print(
+        f"RST instance: |R| = |S| = |T| = {rows_per_sf} rows "
+        f"(paper §4.1, scaled for Python)\n"
+    )
+
+    for name, sql in RST_QUERIES.items():
+        print("=" * 72)
+        print(f"{name}: {db.classify(sql).describe()}")
+        print(sql)
+
+        canonical_time, canonical = run_strategy(db, sql, "canonical")
+        unnested_time, unnested = run_strategy(db, sql, "unnested")
+        assert canonical.bag_equals(unnested), f"{name}: strategies disagree!"
+
+        speedup = canonical_time / unnested_time if unnested_time else float("inf")
+        print(f"  canonical : {canonical_time:8.4f}s   ({len(canonical)} rows)")
+        print(f"  unnested  : {unnested_time:8.4f}s")
+        print(f"  speedup   : {speedup:8.1f}x")
+        print()
+
+    print("=" * 72)
+    print("Unnested plan for Q4 (compare the paper's Fig. 6(c)):")
+    print(db.explain(RST_QUERIES["Q4"], "unnested"))
+
+
+if __name__ == "__main__":
+    main()

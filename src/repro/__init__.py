@@ -1,0 +1,210 @@
+"""repro — unnesting scalar SQL queries in the presence of disjunction.
+
+A from-scratch reproduction of Brantner, May & Moerkotte (ICDE 2007):
+a relational query processor whose algebra includes bypass operators,
+plus the paper's unnesting equivalences for nested queries whose linking
+or correlation predicates occur disjunctively.
+
+Quickstart::
+
+    from repro import Database
+
+    db = Database()
+    db.create_table("r", ["A1", "A2", "A3", "A4"], [(1, 1, 0, 2000), ...])
+    db.create_table("s", ["B1", "B2", "B3", "B4"], [(9, 1, 0, 0), ...])
+
+    sql = '''SELECT DISTINCT * FROM r
+             WHERE A1 = (SELECT COUNT(DISTINCT *) FROM s WHERE A2 = B2)
+                OR A4 > 1500'''
+    print(db.explain(sql, strategy="unnested"))   # the bypass DAG
+    result = db.execute(sql)                       # cost-based strategy
+    print(result.pretty())
+
+The layers underneath are importable on their own: ``repro.sql`` (parser,
+canonical translation, classification), ``repro.algebra`` (logical
+operators incl. σ±/⋈±, aggregates with fI/fO decomposition),
+``repro.rewrite`` (Equivalences 1–5), ``repro.optimizer`` (cost model,
+join ordering, strategies), ``repro.engine`` (the DAG executor),
+``repro.datagen`` (RST & TPC-H-like generators), ``repro.bench`` (the
+Figure-7 harness).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.algebra.explain import explain as explain_plan
+from repro.engine import EvalOptions
+from repro.errors import ReproError
+from repro.optimizer import plan_query, execute_sql, PlannedQuery, Strategy
+from repro.optimizer.planner import STRATEGIES
+from repro.rewrite import UnnestOptions
+from repro.sql.classify import QueryClass
+from repro.storage import Catalog, Column, ColumnType, Schema, Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "Catalog",
+    "Column",
+    "ColumnType",
+    "Schema",
+    "Table",
+    "EvalOptions",
+    "UnnestOptions",
+    "PlannedQuery",
+    "Strategy",
+    "STRATEGIES",
+    "ReproError",
+    "__version__",
+]
+
+
+class Database:
+    """A small façade over catalog + planner + engine.
+
+    All strategy names accepted by :meth:`execute` / :meth:`explain`:
+    ``auto`` (default, cost-based), ``canonical``, ``unnested``, and the
+    commercial-baseline emulations ``s1``, ``s2``, ``s3``.
+    """
+
+    def __init__(self):
+        self.catalog = Catalog()
+        self._views: dict[str, object] = {}
+
+    # -- schema management ---------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[str | Column],
+        rows: Iterable[tuple] = (),
+    ) -> Table:
+        """Create and register a table; returns it for further loading."""
+        table = Table(Schema(columns), rows, name=name)
+        self.catalog.register(table)
+        return table
+
+    def register(self, table: Table, name: str | None = None) -> None:
+        """Register an existing :class:`Table` (e.g. from a generator)."""
+        self.catalog.register(table, name)
+
+    def analyze(self, name: str | None = None) -> None:
+        """Refresh optimizer statistics after bulk loads."""
+        self.catalog.analyze(name)
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    # -- views ------------------------------------------------------------------
+
+    def create_view(self, name: str, sql: str) -> None:
+        """Register a named query; FROM-list references inline it.
+
+        The definition is validated eagerly (parsed and translated once);
+        cyclic definitions are rejected at query time.
+        """
+        from repro.errors import CatalogError
+        from repro.sql import parse as parse_sql
+        from repro.sql import translate as translate_sql
+
+        key = name.lower()
+        if key in self.catalog or key in self._views:
+            raise CatalogError(f"name {name!r} is already in use")
+        statement = parse_sql(sql)
+        trial = dict(self._views)
+        trial[key] = statement
+        translate_sql(statement, self.catalog, trial)  # validate eagerly
+        self._views[key] = statement
+
+    def drop_view(self, name: str) -> None:
+        from repro.errors import CatalogError
+
+        key = name.lower()
+        if key not in self._views:
+            raise CatalogError(f"unknown view {name!r}")
+        del self._views[key]
+
+    def view_names(self) -> list[str]:
+        return sorted(self._views)
+
+    # -- querying -----------------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        strategy: str = "auto",
+        options: EvalOptions | None = None,
+        unnest_options: UnnestOptions | None = None,
+    ) -> Table:
+        """Run ``sql`` and return the result table.
+
+        DML statements (INSERT/DELETE/UPDATE) are executed too; they
+        return a one-row ``rows_affected`` table.
+        """
+        stripped = sql.lstrip().lower()
+        if stripped.startswith(("insert", "delete", "update")):
+            from repro.dml import execute_dml
+            from repro.sql.parser import parse_any
+
+            statement = parse_any(sql)
+            return execute_dml(statement, self.catalog, self._views).as_table()
+        return execute_sql(
+            sql, self.catalog, strategy, options, unnest_options,
+            views=self._views,
+        )
+
+    def plan(
+        self,
+        sql: str,
+        strategy: str = "auto",
+        unnest_options: UnnestOptions | None = None,
+    ) -> PlannedQuery:
+        """Plan without executing (repeated benchmark runs reuse this)."""
+        return plan_query(sql, self.catalog, strategy, unnest_options, views=self._views)
+
+    def explain(
+        self,
+        sql: str,
+        strategy: str = "auto",
+        unnest_options: UnnestOptions | None = None,
+    ) -> str:
+        """Render the chosen plan as an ASCII DAG."""
+        planned = self.plan(sql, strategy, unnest_options)
+        header = (
+            f"-- strategy: {planned.strategy.name}"
+            f" (chose {planned.chosen_alternative},"
+            f" est. cost {planned.estimated_cost:.0f})\n"
+            f"-- query class: {planned.classification.describe()}\n"
+        )
+        return header + explain_plan(planned.logical)
+
+    def classify(self, sql: str) -> QueryClass:
+        """Kim/Muralikrishna classification of a query."""
+        return self.plan(sql, strategy="canonical").classification
+
+    def explain_analyze(
+        self,
+        sql: str,
+        strategy: str = "auto",
+        options: EvalOptions | None = None,
+        unnest_options: UnnestOptions | None = None,
+    ) -> str:
+        """Execute and render the physical plan with actual row counts."""
+        from dataclasses import replace as dc_replace
+
+        from repro.engine.executor import explain_analyze as run_analyze
+
+        planned = self.plan(sql, strategy, unnest_options)
+        base = options or EvalOptions()
+        merged = dc_replace(
+            base,
+            subquery_memo=base.subquery_memo or planned.strategy.subquery_memo,
+        )
+        header = (
+            f"-- strategy: {planned.strategy.name}"
+            f" (chose {planned.chosen_alternative})\n"
+        )
+        report, _ = run_analyze(planned.logical, self.catalog, merged)
+        return header + report

@@ -1,0 +1,22 @@
+"""The relational algebra extended with bypass operators.
+
+This package defines the *logical* algebra of the paper (§2.3):
+
+* scalar expressions (:mod:`repro.algebra.expr`) — including nested
+  algebraic expressions in selection subscripts, the distinguishing
+  feature of the canonical translation of nested SQL;
+* aggregate functions and their decomposition (:mod:`repro.algebra.aggregates`)
+  — ``f = fO ∘ (fI, fI)`` per §3.3;
+* logical operators (:mod:`repro.algebra.ops`) — the core algebra plus the
+  five extended operators (Γ unary/binary, leftouterjoin with defaults,
+  ν numbering, χ map) and the two bypass operators (σ±, ⋈±) whose
+  positive/negative streams turn plans into DAGs;
+* plan rendering (:mod:`repro.algebra.explain`).
+"""
+
+from repro.algebra import expr
+from repro.algebra import ops
+from repro.algebra.aggregates import AggSpec, get_aggregate
+from repro.algebra.explain import explain
+
+__all__ = ["expr", "ops", "AggSpec", "get_aggregate", "explain"]

@@ -1,0 +1,140 @@
+"""Structural plan validation.
+
+``validate_plan`` walks a logical plan DAG and checks the invariants the
+rest of the system relies on.  The rewriter's tests run every generated
+plan through it, and ``Database.explain`` validates in debug mode —
+catching malformed rewrites at plan-build time instead of as confusing
+runtime errors.
+
+Checked invariants:
+
+* every subscript expression references only attributes available from
+  the operator's inputs or from an enclosing block (collected down the
+  nesting chain);
+* the plan's own free attributes are empty at the top level (a query
+  must be self-contained);
+* stream taps sit on bypass operators; both streams of a bypass operator
+  are distinct taps;
+* leftouterjoin defaults name right-side attributes;
+* union-family inputs agree in arity;
+* grouping keys, sort keys, and projections name existing columns
+  (enforced by construction — re-checked here for hand-built plans);
+* schemas contain no duplicate attribute names (ditto).
+"""
+
+from __future__ import annotations
+
+from repro.algebra import expr as E
+from repro.algebra import ops as L
+from repro.errors import SchemaError
+
+
+class PlanInvariantError(SchemaError):
+    """A structural invariant is violated; carries the offending node."""
+
+    def __init__(self, message: str, node: L.Operator):
+        super().__init__(f"{message} (at {node.label()})")
+        self.node = node
+
+
+def validate_plan(plan: L.Operator, outer_names: frozenset[str] = frozenset()) -> None:
+    """Raise :class:`PlanInvariantError` on the first violated invariant.
+
+    ``outer_names`` holds the attributes an enclosing block provides
+    (used when validating a nested plan in isolation).
+    """
+    _Validator(outer_names).visit(plan, top_level=True)
+
+
+class _Validator:
+    def __init__(self, outer_names: frozenset[str]):
+        self.outer_names = outer_names
+        self._seen: set[int] = set()
+
+    def visit(self, node: L.Operator, top_level: bool = False) -> None:
+        if top_level:
+            leaked = node.free_attrs() - self.outer_names
+            if leaked:
+                raise PlanInvariantError(
+                    f"plan has unbound free attributes {sorted(leaked)}", node
+                )
+        if id(node) in self._seen:
+            return
+        self._seen.add(id(node))
+
+        self._check_node(node)
+
+        input_names = frozenset().union(
+            *(frozenset(child.schema.names) for child in node.children())
+        ) if node.children() else frozenset()
+        available = input_names | self.outer_names
+
+        for expression in node.exprs():
+            self._check_expression(node, expression, available)
+        for spec in node.agg_specs():
+            if isinstance(spec.arg, E.Expr):
+                self._check_expression(node, spec.arg, available)
+
+        for child in node.children():
+            self.visit(child)
+
+    # -- per-node invariants ---------------------------------------------------
+
+    def _check_node(self, node: L.Operator) -> None:
+        if isinstance(node, L.StreamTap) and not isinstance(
+            node.child, (L.BypassSelect, L.BypassJoin)
+        ):
+            raise PlanInvariantError("stream tap over a non-bypass operator", node)
+
+        if isinstance(node, (L.BypassSelect, L.BypassJoin)):
+            positive = node._positive
+            negative = node._negative
+            if positive is not None and negative is not None and positive is negative:
+                raise PlanInvariantError("bypass streams must be distinct taps", node)
+
+        if isinstance(node, L.LeftOuterJoin):
+            right_names = set(node.right.schema.names)
+            for name in node.defaults:
+                if name not in right_names:
+                    raise PlanInvariantError(
+                        f"outer-join default {name!r} is not a right-side attribute",
+                        node,
+                    )
+
+        if isinstance(node, (L.UnionAll, L.Union, L.Intersect, L.Difference)):
+            if len(node.left.schema) != len(node.right.schema):
+                raise PlanInvariantError("union-family arity mismatch", node)
+
+        if isinstance(node, L.Project):
+            child_names = set(node.child.schema.names)
+            for name in node.names:
+                if name not in child_names:
+                    raise PlanInvariantError(
+                        f"projection names unknown column {name!r}", node
+                    )
+
+        if isinstance(node, L.GroupBy):
+            child_names = set(node.child.schema.names)
+            for key in node.keys:
+                if key not in child_names:
+                    raise PlanInvariantError(
+                        f"grouping key {key!r} is not an input column", node
+                    )
+
+        names = node.schema.names
+        if len(set(names)) != len(names):
+            raise PlanInvariantError("duplicate attribute in schema", node)
+
+    # -- expressions (recursing into nested plans) --------------------------------
+
+    def _check_expression(
+        self, node: L.Operator, expression: E.Expr, available: frozenset[str]
+    ) -> None:
+        unknown = expression.free_attrs() - available
+        if unknown:
+            raise PlanInvariantError(
+                f"subscript references unknown attributes {sorted(unknown)}", node
+            )
+        for part in expression.walk():
+            if isinstance(part, E.SubqueryExpr):
+                validate_plan(part.plan, outer_names=available)

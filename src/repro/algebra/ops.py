@@ -1,0 +1,798 @@
+"""Logical operators: the core algebra plus the paper's extensions.
+
+Core operators (§2.3): selection, projection, renaming, cross product /
+join, union / intersection / difference, disjoint union.
+
+Extended operators (Fig. 1): unary grouping ``Γ``, binary grouping ``Γ``
+(two inputs), leftouterjoin with a default function ``g:f(∅)`` (fixing
+the *count bug*), numbering ``ν``, and map ``χ``.
+
+Bypass operators (Kemper et al. [17]): :class:`BypassSelect` and
+:class:`BypassJoin` split their input into a *positive* and a *negative*
+stream.  Streams are consumed through :class:`StreamTap` nodes, so plans
+containing bypass operators are DAGs — both taps share the single bypass
+node, which the executor evaluates exactly once.
+
+Operators are immutable after construction and compare by identity (DAG
+sharing is significant).  Attribute identity is name-based; the SQL binder
+guarantees global uniqueness of names, which is what lets ``free_attrs``
+— the correlation attributes of a nested plan — be a simple set
+difference.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.algebra.aggregates import AggSpec
+from repro.algebra.expr import Expr, SubqueryExpr
+from repro.errors import SchemaError
+from repro.storage.schema import Column, Schema
+
+
+class Operator:
+    """Base class for logical operators."""
+
+    __slots__ = ("schema", "_free_cache")
+
+    schema: Schema
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._free_cache: frozenset[str] | None = None
+
+    # -- tree structure ------------------------------------------------------
+
+    def children(self) -> tuple["Operator", ...]:
+        return ()
+
+    def replace_children(self, children: Sequence["Operator"]) -> "Operator":
+        if children:
+            raise ValueError(f"{type(self).__name__} takes no children")
+        return self
+
+    def exprs(self) -> tuple[Expr, ...]:
+        """Scalar expressions in this operator's subscript."""
+        return ()
+
+    def agg_specs(self) -> tuple[AggSpec, ...]:
+        """Aggregate specifications in this operator's subscript."""
+        return ()
+
+    def iter_dag(self) -> Iterator["Operator"]:
+        """All nodes of the plan DAG, each visited once (pre-order)."""
+        seen: set[int] = set()
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            yield node
+            stack.extend(reversed(node.children()))
+
+    def subquery_plans(self) -> Iterator["Operator"]:
+        """Plans embedded in subquery expressions of this node's subscript."""
+        for expression in self.exprs():
+            for node in expression.walk():
+                if isinstance(node, SubqueryExpr):
+                    yield node.plan
+
+    # -- free attributes -----------------------------------------------------
+
+    def _input_names(self) -> frozenset[str]:
+        names: set[str] = set()
+        for child in self.children():
+            names.update(child.schema.names)
+        return frozenset(names)
+
+    def free_attrs(self) -> frozenset[str]:
+        """Attributes referenced but not produced below — correlation.
+
+        A plan with an empty ``free_attrs`` set is self-contained; a
+        nested plan embedded in a :class:`~repro.algebra.expr.ScalarSubquery`
+        with non-empty free attributes is *correlated* on those names.
+        """
+        if self._free_cache is not None:
+            return self._free_cache
+        referenced: set[str] = set()
+        for expression in self.exprs():
+            referenced.update(expression.free_attrs())
+        for spec in self.agg_specs():
+            referenced.update(spec.free_attrs())
+        free = referenced - self._input_names()
+        for child in self.children():
+            free |= child.free_attrs()
+        result = frozenset(free)
+        self._free_cache = result
+        return result
+
+    # -- transformation -------------------------------------------------------
+
+    def rename_free_attrs(self, mapping: dict[str, str]) -> "Operator":
+        """Rewrite free attribute references according to ``mapping``.
+
+        Binder-issued qualifiers make attribute names globally unique, so
+        the mapping can be applied to subscripts without capture checks.
+        Nodes that reference none of the mapped names are shared, not
+        copied, and DAG sharing (bypass streams) is preserved via a memo.
+        """
+        return self._rename_free_attrs(mapping, {})
+
+    def _rename_free_attrs(self, mapping: dict[str, str], memo: dict[int, "Operator"]) -> "Operator":
+        cached = memo.get(id(self))
+        if cached is not None:
+            return cached
+        relevant = self.free_attrs() & set(mapping)
+        if not relevant:
+            memo[id(self)] = self
+            return self
+        new_children = [
+            child._rename_free_attrs(mapping, memo) for child in self.children()
+        ]
+        clone = self.replace_children(new_children)
+        clone = clone._rename_subscripts(mapping)
+        memo[id(self)] = clone
+        return clone
+
+    def _rename_subscripts(self, mapping: dict[str, str]) -> "Operator":
+        """Hook for nodes with expressions in their subscript."""
+        return self
+
+    # -- misc -------------------------------------------------------------------
+
+    def label(self) -> str:
+        """Short human-readable label used by the explain renderer."""
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return f"<{self.label()} schema={list(self.schema.names)}>"
+
+
+# ---------------------------------------------------------------------------
+# Leaves
+# ---------------------------------------------------------------------------
+
+
+class Scan(Operator):
+    """A base-table scan.
+
+    ``table_name`` names a catalog table; ``schema`` carries the (usually
+    qualifier-prefixed) output attribute names in catalog column order.
+    """
+
+    __slots__ = ("table_name", "qualifier")
+
+    def __init__(self, table_name: str, schema: Schema, qualifier: str = ""):
+        super().__init__(schema)
+        self.table_name = table_name
+        self.qualifier = qualifier
+
+    def label(self) -> str:
+        if self.qualifier:
+            return f"Scan({self.table_name} as {self.qualifier})"
+        return f"Scan({self.table_name})"
+
+
+# ---------------------------------------------------------------------------
+# Unary operators
+# ---------------------------------------------------------------------------
+
+
+class UnaryOperator(Operator):
+    """Base for operators with a single input."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Operator, schema: Schema):
+        super().__init__(schema)
+        self.child = child
+
+    def children(self):
+        return (self.child,)
+
+
+class Select(UnaryOperator):
+    """Selection σ — keeps rows whose predicate evaluates to TRUE.
+
+    The predicate may contain nested algebraic expressions (subqueries);
+    this is exactly the shape the canonical SQL translation produces and
+    the unnesting rewriter consumes.
+    """
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, child: Operator, predicate: Expr):
+        super().__init__(child, child.schema)
+        self.predicate = predicate
+
+    def replace_children(self, children):
+        (child,) = children
+        return Select(child, self.predicate)
+
+    def exprs(self):
+        return (self.predicate,)
+
+    def _rename_subscripts(self, mapping):
+        return Select(self.child, self.predicate.rename_attrs(mapping))
+
+    def label(self):
+        return f"Select[{self.predicate.sql()}]"
+
+
+class BypassSelect(UnaryOperator):
+    """Bypass selection σ± — partitions the input into two streams.
+
+    ``positive`` receives rows whose predicate is TRUE; ``negative``
+    receives the complement (FALSE or UNKNOWN), so the two streams always
+    form a disjoint partition of the input bag.  Consume via
+    :attr:`positive` / :attr:`negative`.
+    """
+
+    __slots__ = ("predicate", "_positive", "_negative")
+
+    def __init__(self, child: Operator, predicate: Expr):
+        super().__init__(child, child.schema)
+        self.predicate = predicate
+        self._positive: StreamTap | None = None
+        self._negative: StreamTap | None = None
+
+    @property
+    def positive(self) -> "StreamTap":
+        if self._positive is None:
+            self._positive = StreamTap(self, positive=True)
+        return self._positive
+
+    @property
+    def negative(self) -> "StreamTap":
+        if self._negative is None:
+            self._negative = StreamTap(self, positive=False)
+        return self._negative
+
+    def replace_children(self, children):
+        (child,) = children
+        return BypassSelect(child, self.predicate)
+
+    def exprs(self):
+        return (self.predicate,)
+
+    def _rename_subscripts(self, mapping):
+        return BypassSelect(self.child, self.predicate.rename_attrs(mapping))
+
+    def label(self):
+        return f"BypassSelect±[{self.predicate.sql()}]"
+
+
+class StreamTap(UnaryOperator):
+    """One output stream (positive or negative) of a bypass operator."""
+
+    __slots__ = ("positive_stream",)
+
+    def __init__(self, bypass: Operator, positive: bool):
+        if not isinstance(bypass, (BypassSelect, BypassJoin)):
+            raise SchemaError("StreamTap requires a bypass operator input")
+        super().__init__(bypass, bypass.schema)
+        self.positive_stream = positive
+
+    def replace_children(self, children):
+        (bypass,) = children
+        if isinstance(bypass, (BypassSelect, BypassJoin)):
+            return bypass.positive if self.positive_stream else bypass.negative
+        raise SchemaError("StreamTap child must remain a bypass operator")
+
+    def label(self):
+        return "+stream" if self.positive_stream else "−stream"
+
+
+class Project(UnaryOperator):
+    """Bag projection Π onto a list of attribute names (no dedup)."""
+
+    __slots__ = ("names",)
+
+    def __init__(self, child: Operator, names: Sequence[str]):
+        super().__init__(child, child.schema.project(names))
+        self.names = tuple(names)
+
+    def replace_children(self, children):
+        (child,) = children
+        return Project(child, self.names)
+
+    def label(self):
+        return f"Project[{', '.join(self.names)}]"
+
+
+class Distinct(UnaryOperator):
+    """Duplicate elimination Π^D (bag → set)."""
+
+    def __init__(self, child: Operator):
+        super().__init__(child, child.schema)
+
+    def replace_children(self, children):
+        (child,) = children
+        return Distinct(child)
+
+    def label(self):
+        return "Distinct"
+
+
+class Rename(UnaryOperator):
+    """Renaming ρ — e.g. ``ρ t1'←t1`` in Equivalence 5."""
+
+    __slots__ = ("mapping",)
+
+    def __init__(self, child: Operator, mapping: dict[str, str]):
+        super().__init__(child, child.schema.rename(mapping))
+        self.mapping = dict(mapping)
+
+    def replace_children(self, children):
+        (child,) = children
+        return Rename(child, self.mapping)
+
+    def label(self):
+        pairs = ", ".join(f"{new}←{old}" for old, new in self.mapping.items())
+        return f"Rename[{pairs}]"
+
+
+class Map(UnaryOperator):
+    """Map χ — extends each tuple with one computed attribute.
+
+    ``χ g:fO(g1,g2)`` in Equivalence 4 recombines decomposed aggregate
+    partials; the front-end also uses maps for computed select items.
+    """
+
+    __slots__ = ("name", "expression")
+
+    def __init__(self, child: Operator, name: str, expression: Expr):
+        super().__init__(child, child.schema.extend(Column(name)))
+        self.name = name
+        self.expression = expression
+
+    def replace_children(self, children):
+        (child,) = children
+        return Map(child, self.name, self.expression)
+
+    def exprs(self):
+        return (self.expression,)
+
+    def _rename_subscripts(self, mapping):
+        return Map(self.child, self.name, self.expression.rename_attrs(mapping))
+
+    def label(self):
+        return f"Map[{self.name} := {self.expression.sql()}]"
+
+
+class Numbering(UnaryOperator):
+    """Numbering ν — tags each tuple with a unique sequence number.
+
+    Turns any bag into a set, which is what makes Equivalence 5 correct
+    over multisets (§3.7): the number is the grouping key that reassembles
+    aggregation results per original outer tuple.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, child: Operator, name: str):
+        super().__init__(child, child.schema.extend(Column(name)))
+        self.name = name
+
+    def replace_children(self, children):
+        (child,) = children
+        return Numbering(child, self.name)
+
+    def label(self):
+        return f"Numbering[{self.name}]"
+
+
+class GroupBy(UnaryOperator):
+    """Unary grouping Γ — group on key attributes, evaluate aggregates.
+
+    Output schema: the grouping keys followed by one column per aggregate.
+    Defined via the binary grouping operator in the paper (Fig. 1); the
+    runtime uses a hash implementation.
+    """
+
+    __slots__ = ("keys", "aggregates")
+
+    def __init__(self, child: Operator, keys: Sequence[str], aggregates: Sequence[tuple[str, AggSpec]]):
+        for key in keys:
+            child.schema.position(key)  # validate
+        schema = Schema(
+            [child.schema[key] for key in keys] + [Column(name) for name, _ in aggregates]
+        )
+        super().__init__(child, schema)
+        self.keys = tuple(keys)
+        self.aggregates = tuple(aggregates)
+
+    def replace_children(self, children):
+        (child,) = children
+        return GroupBy(child, self.keys, self.aggregates)
+
+    def agg_specs(self):
+        return tuple(spec for _, spec in self.aggregates)
+
+    def exprs(self):
+        return tuple(
+            spec.arg for _, spec in self.aggregates if isinstance(spec.arg, Expr)
+        )
+
+    def label(self):
+        aggs = ", ".join(f"{name}:{spec.sql()}" for name, spec in self.aggregates)
+        return f"GroupBy[{', '.join(self.keys)}; {aggs}]"
+
+
+class ScalarAggregate(UnaryOperator):
+    """Aggregation without grouping — always produces exactly one row.
+
+    This is the top of every translated scalar subquery (type A/JA): a
+    single row holding ``f(...)`` per aggregate, with ``f(∅)`` over an
+    empty input.
+    """
+
+    __slots__ = ("aggregates",)
+
+    def __init__(self, child: Operator, aggregates: Sequence[tuple[str, AggSpec]]):
+        schema = Schema([Column(name) for name, _ in aggregates])
+        super().__init__(child, schema)
+        self.aggregates = tuple(aggregates)
+
+    def replace_children(self, children):
+        (child,) = children
+        return ScalarAggregate(child, self.aggregates)
+
+    def agg_specs(self):
+        return tuple(spec for _, spec in self.aggregates)
+
+    def exprs(self):
+        return tuple(
+            spec.arg for _, spec in self.aggregates if isinstance(spec.arg, Expr)
+        )
+
+    def label(self):
+        aggs = ", ".join(f"{name}:{spec.sql()}" for name, spec in self.aggregates)
+        return f"ScalarAgg[{aggs}]"
+
+
+class Sort(UnaryOperator):
+    """Sort by a list of ``(attribute, ascending)`` pairs (stable)."""
+
+    __slots__ = ("keys",)
+
+    def __init__(self, child: Operator, keys: Sequence[tuple[str, bool]]):
+        for name, _ in keys:
+            child.schema.position(name)
+        super().__init__(child, child.schema)
+        self.keys = tuple(keys)
+
+    def replace_children(self, children):
+        (child,) = children
+        return Sort(child, self.keys)
+
+    def label(self):
+        parts = ", ".join(f"{n} {'ASC' if asc else 'DESC'}" for n, asc in self.keys)
+        return f"Sort[{parts}]"
+
+
+class Limit(UnaryOperator):
+    """Keep the first ``count`` rows of the input."""
+
+    __slots__ = ("count",)
+
+    def __init__(self, child: Operator, count: int):
+        super().__init__(child, child.schema)
+        self.count = count
+
+    def replace_children(self, children):
+        (child,) = children
+        return Limit(child, self.count)
+
+    def label(self):
+        return f"Limit[{self.count}]"
+
+
+# ---------------------------------------------------------------------------
+# Binary operators
+# ---------------------------------------------------------------------------
+
+
+class BinaryOperator(Operator):
+    """Base for operators with two inputs."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Operator, right: Operator, schema: Schema):
+        super().__init__(schema)
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return (self.left, self.right)
+
+
+class CrossProduct(BinaryOperator):
+    """Cartesian product ×."""
+
+    def __init__(self, left: Operator, right: Operator):
+        super().__init__(left, right, left.schema.concat(right.schema))
+
+    def replace_children(self, children):
+        left, right = children
+        return CrossProduct(left, right)
+
+    def label(self):
+        return "CrossProduct"
+
+
+class Join(BinaryOperator):
+    """Inner θ-join ⋈p."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, left: Operator, right: Operator, predicate: Expr):
+        super().__init__(left, right, left.schema.concat(right.schema))
+        self.predicate = predicate
+
+    def replace_children(self, children):
+        left, right = children
+        return Join(left, right, self.predicate)
+
+    def exprs(self):
+        return (self.predicate,)
+
+    def _rename_subscripts(self, mapping):
+        return Join(self.left, self.right, self.predicate.rename_attrs(mapping))
+
+    def label(self):
+        return f"Join[{self.predicate.sql()}]"
+
+
+class LeftOuterJoin(BinaryOperator):
+    """Leftouterjoin with default values for unmatched left tuples.
+
+    ``defaults`` maps right-side attribute names to constant values used
+    when a left tuple finds no partner; all other right attributes become
+    NULL.  Setting the aggregate column's default to ``f(∅)`` is exactly
+    the paper's ``⟕^{g:f(∅)}`` — the fix for the *count bug*.
+    """
+
+    __slots__ = ("predicate", "defaults")
+
+    def __init__(self, left: Operator, right: Operator, predicate: Expr, defaults: dict[str, object] | None = None):
+        super().__init__(left, right, left.schema.concat(right.schema))
+        self.predicate = predicate
+        self.defaults = dict(defaults or {})
+        for name in self.defaults:
+            right.schema.position(name)  # defaults apply to the right side
+
+    def replace_children(self, children):
+        left, right = children
+        return LeftOuterJoin(left, right, self.predicate, self.defaults)
+
+    def exprs(self):
+        return (self.predicate,)
+
+    def _rename_subscripts(self, mapping):
+        return LeftOuterJoin(self.left, self.right, self.predicate.rename_attrs(mapping), self.defaults)
+
+    def label(self):
+        if self.defaults:
+            pairs = ", ".join(f"{k}:{v!r}" for k, v in self.defaults.items())
+            return f"LeftOuterJoin[{self.predicate.sql()} | defaults {pairs}]"
+        return f"LeftOuterJoin[{self.predicate.sql()}]"
+
+
+class SemiJoin(BinaryOperator):
+    """Left semijoin ⋉ — left tuples with at least one partner."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, left: Operator, right: Operator, predicate: Expr):
+        super().__init__(left, right, left.schema)
+        self.predicate = predicate
+
+    def replace_children(self, children):
+        left, right = children
+        return SemiJoin(left, right, self.predicate)
+
+    def exprs(self):
+        return (self.predicate,)
+
+    def _rename_subscripts(self, mapping):
+        return SemiJoin(self.left, self.right, self.predicate.rename_attrs(mapping))
+
+    def label(self):
+        return f"SemiJoin[{self.predicate.sql()}]"
+
+
+class AntiJoin(BinaryOperator):
+    """Left antijoin ▷ — left tuples with no partner."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, left: Operator, right: Operator, predicate: Expr):
+        super().__init__(left, right, left.schema)
+        self.predicate = predicate
+
+    def replace_children(self, children):
+        left, right = children
+        return AntiJoin(left, right, self.predicate)
+
+    def exprs(self):
+        return (self.predicate,)
+
+    def _rename_subscripts(self, mapping):
+        return AntiJoin(self.left, self.right, self.predicate.rename_attrs(mapping))
+
+    def label(self):
+        return f"AntiJoin[{self.predicate.sql()}]"
+
+
+class BypassJoin(BinaryOperator):
+    """Bypass join ⋈± (two-valued logic, cf. [17]).
+
+    The positive stream holds concatenated pairs satisfying the predicate;
+    the negative stream holds the remaining pairs of the cross product.
+    Consume via :attr:`positive` / :attr:`negative`.
+    """
+
+    __slots__ = ("predicate", "_positive", "_negative")
+
+    def __init__(self, left: Operator, right: Operator, predicate: Expr):
+        super().__init__(left, right, left.schema.concat(right.schema))
+        self.predicate = predicate
+        self._positive: StreamTap | None = None
+        self._negative: StreamTap | None = None
+
+    @property
+    def positive(self) -> StreamTap:
+        if self._positive is None:
+            self._positive = StreamTap(self, positive=True)
+        return self._positive
+
+    @property
+    def negative(self) -> StreamTap:
+        if self._negative is None:
+            self._negative = StreamTap(self, positive=False)
+        return self._negative
+
+    def replace_children(self, children):
+        left, right = children
+        return BypassJoin(left, right, self.predicate)
+
+    def exprs(self):
+        return (self.predicate,)
+
+    def _rename_subscripts(self, mapping):
+        return BypassJoin(self.left, self.right, self.predicate.rename_attrs(mapping))
+
+    def label(self):
+        return f"BypassJoin±[{self.predicate.sql()}]"
+
+
+class BinaryGroupBy(BinaryOperator):
+    """Binary grouping Γ — ``left Γ g; lkey θ rkey; f right``.
+
+    For every left tuple ``x``, evaluates ``f`` over the bag of right
+    tuples ``y`` with ``x.lkey θ y.rkey`` and emits ``x ∘ [g: f(...)]``.
+    An empty match bag yields ``f(∅)`` — no count bug by construction.
+
+    ``spec.arg`` is evaluated over the *right* schema; a STAR argument
+    consumes the projection of the right tuple onto ``star_names`` (the
+    rewriter passes the original inner block's attributes so that e.g.
+    ``COUNT(DISTINCT *)`` keeps its meaning after the bypass join widened
+    the tuples).
+    """
+
+    __slots__ = ("name", "left_key", "right_key", "op", "spec", "star_names")
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        name: str,
+        left_key: str,
+        right_key: str,
+        spec: AggSpec,
+        op: str = "=",
+        star_names: Sequence[str] | None = None,
+    ):
+        left.schema.position(left_key)
+        right.schema.position(right_key)
+        super().__init__(left, right, left.schema.extend(Column(name)))
+        self.name = name
+        self.left_key = left_key
+        self.right_key = right_key
+        self.op = op
+        self.spec = spec
+        self.star_names = tuple(star_names) if star_names else None
+
+    def replace_children(self, children):
+        left, right = children
+        return BinaryGroupBy(
+            left, right, self.name, self.left_key, self.right_key,
+            self.spec, self.op, self.star_names,
+        )
+
+    def agg_specs(self):
+        return (self.spec,)
+
+    def exprs(self):
+        if isinstance(self.spec.arg, Expr):
+            return (self.spec.arg,)
+        return ()
+
+    def label(self):
+        return (
+            f"BinaryGroupBy[{self.name}; {self.left_key} {self.op} "
+            f"{self.right_key}; {self.spec.sql()}]"
+        )
+
+
+class _SetOperator(BinaryOperator):
+    """Base for union-family operators; validates arity compatibility."""
+
+    def __init__(self, left: Operator, right: Operator):
+        if len(left.schema) != len(right.schema):
+            raise SchemaError(
+                f"{type(self).__name__} inputs have different arity: "
+                f"{len(left.schema)} vs {len(right.schema)}"
+            )
+        super().__init__(left, right, left.schema)
+
+
+class UnionAll(_SetOperator):
+    """Disjoint/bag union ∪̇ — concatenates the inputs.
+
+    The final operator of every unnested bypass plan: the positive and
+    negative streams are disjoint by construction, so bag concatenation
+    preserves duplicates exactly (§3.7).
+    """
+
+    def replace_children(self, children):
+        left, right = children
+        return UnionAll(left, right)
+
+    def label(self):
+        return "UnionAll(∪̇)"
+
+
+class Union(_SetOperator):
+    """Set union with duplicate elimination (SQL UNION)."""
+
+    def replace_children(self, children):
+        left, right = children
+        return Union(left, right)
+
+    def label(self):
+        return "Union"
+
+
+class Intersect(_SetOperator):
+    """Set intersection (SQL INTERSECT)."""
+
+    def replace_children(self, children):
+        left, right = children
+        return Intersect(left, right)
+
+    def label(self):
+        return "Intersect"
+
+
+class Difference(_SetOperator):
+    """Set difference (SQL EXCEPT)."""
+
+    def replace_children(self, children):
+        left, right = children
+        return Difference(left, right)
+
+    def label(self):
+        return "Difference"
+
+
+def union_all(streams: Sequence[Operator]) -> Operator:
+    """Fold a list of streams into a left-deep chain of ∪̇ nodes."""
+    if not streams:
+        raise SchemaError("union_all requires at least one stream")
+    result = streams[0]
+    for stream in streams[1:]:
+        result = UnionAll(result, stream)
+    return result

@@ -1,0 +1,87 @@
+"""Baseline evaluation strategies emulating the commercial systems.
+
+The paper benchmarks three anonymised commercial DBMSs (S 1, S 2, S 3)
+and infers from the runtimes that all of them evaluate the nested query
+"in a nested-loop like fashion" (§4.3).  We emulate the behaviours those
+numbers imply (see DESIGN.md §4 for the full argument):
+
+* **S1** — the canonical nested-loop plan, no caching whatsoever
+  (tracks Natix-canonical in Fig. 7(a), as S 1 does);
+* **S2** — canonical with *subquery memoisation*: the inner block's
+  result is cached per distinct correlation-value combination.  On the
+  RST data (few distinct correlation values) this nearly matches the
+  unnested plan — exactly S 2's Fig. 7(a) behaviour — while on TPC-H
+  (correlation on ``p_partkey``, nearly all distinct) the cache hit rate
+  collapses, matching S 2's order-of-magnitude loss in Fig. 7(b);
+* **S3** — canonical with disjuncts reordered cheapest-first, so the
+  short-circuiting OR skips the subquery for rows that already satisfy
+  the simple predicate (S 3 sits at roughly half of canonical in
+  Fig. 7(a); for disjunctive *correlation* the trick does not apply and
+  S 3 degenerates to canonical, matching Fig. 7(c)).
+"""
+
+from __future__ import annotations
+
+from repro.algebra import expr as E
+from repro.algebra import ops as L
+from repro.rewrite.rank import Estimator, rank_of
+
+
+def reorder_disjuncts_cheap_first(plan: L.Operator, estimator: Estimator | None = None) -> L.Operator:
+    """Reorder OR operands by ascending rank, recursively (strategy S3).
+
+    The engine's OR evaluation short-circuits on TRUE, so putting the
+    cheap simple predicate first avoids the nested subquery for rows it
+    already accepts — a poor man's bypass evaluation that needs no plan
+    surgery, which is plausibly what the commercial system does.
+    """
+    estimator = estimator or Estimator()
+    memo: dict[int, L.Operator] = {}
+
+    def rewrite_plan(node: L.Operator) -> L.Operator:
+        cached = memo.get(id(node))
+        if cached is not None:
+            return cached
+        children = [rewrite_plan(child) for child in node.children()]
+        if all(new is old for new, old in zip(children, node.children())):
+            result = node
+        else:
+            result = node.replace_children(children)
+        result = _rewrite_node_exprs(result)
+        memo[id(node)] = result
+        return result
+
+    def _rewrite_node_exprs(node: L.Operator) -> L.Operator:
+        if isinstance(node, L.Select):
+            predicate = rewrite_expr(node.predicate)
+            if predicate is not node.predicate:
+                return L.Select(node.child, predicate)
+        elif isinstance(node, L.BypassSelect):
+            predicate = rewrite_expr(node.predicate)
+            if predicate is not node.predicate:
+                return L.BypassSelect(node.child, predicate)
+        elif isinstance(node, L.Join):
+            predicate = rewrite_expr(node.predicate)
+            if predicate is not node.predicate:
+                return L.Join(node.left, node.right, predicate)
+        return node
+
+    def rewrite_expr(expression: E.Expr) -> E.Expr:
+        if isinstance(expression, E.SubqueryExpr):
+            from dataclasses import replace
+
+            new_plan = rewrite_plan(expression.plan)
+            if new_plan is expression.plan:
+                return expression
+            return replace(expression, plan=new_plan)
+        kids = expression.children()
+        new_kids = [rewrite_expr(kid) for kid in kids]
+        if kids and not all(new is old for new, old in zip(new_kids, kids)):
+            expression = expression.replace_children(new_kids)
+        if isinstance(expression, E.Or):
+            ordered = tuple(sorted(expression.items, key=lambda d: rank_of(d, estimator)))
+            if ordered != expression.items:
+                expression = E.Or(ordered)
+        return expression
+
+    return rewrite_plan(plan)

@@ -1,0 +1,35 @@
+"""Benchmark harness reproducing the paper's evaluation (§4, Fig. 7).
+
+* :mod:`repro.bench.queries` — the paper's query texts (Q1–Q4, Query 2d);
+* :mod:`repro.bench.harness` — timed single runs with the six-hour-abort
+  emulation (``n/a`` cells) and grid sweeps over scale factors and
+  strategies;
+* :mod:`repro.bench.figures` — runners that print Figure 7(a)/(b)/(c)
+  -shaped tables, used both by ``benchmarks/paper_tables.py`` and the
+  pytest benchmark suite.
+"""
+
+from repro.bench.harness import BenchResult, GridResult, run_cell, run_grid, NA
+from repro.bench.figures import (
+    fig7a_q1,
+    fig7b_q2d,
+    fig7c_q2,
+    format_rst_grid,
+    format_tpch_row,
+)
+from repro.bench.report import grid_to_markdown, speedup_summary
+
+__all__ = [
+    "BenchResult",
+    "GridResult",
+    "run_cell",
+    "run_grid",
+    "NA",
+    "fig7a_q1",
+    "fig7b_q2d",
+    "fig7c_q2",
+    "format_rst_grid",
+    "format_tpch_row",
+    "grid_to_markdown",
+    "speedup_summary",
+]

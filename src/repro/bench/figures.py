@@ -1,0 +1,154 @@
+"""Figure-7 runners and table formatting.
+
+Each ``fig7*`` function sweeps the corresponding experiment grid and
+returns a :class:`~repro.bench.harness.GridResult`; ``format_*`` renders
+it in the layout of the paper's Figure 7 (systems as rows, scale factors
+as columns, seconds in the cells, ``n/a`` for aborted runs).
+
+Scale handling (DESIGN.md §4): the RST grids run SF1 × SF2 ∈ {1, 5, 10}²
+like the paper, with the rows-per-SF knob deciding absolute sizes; the
+TPC-H axis {0.01 … 10} maps to Python-feasible factors.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Sequence
+
+from repro.bench.harness import GridResult, run_grid
+from repro.bench.queries import Q1, Q2, QUERY_2D
+from repro.datagen.rst import RstConfig, rst_catalog
+from repro.datagen.tpch import TpchConfig, tpch_catalog
+
+#: Fig. 7 row order: three commercial baselines, then the two Natix plans.
+FIG7_STRATEGIES = ["s1", "s2", "s3", "canonical", "unnested"]
+
+#: The paper's RST grid: (outer SF, inner SF).
+RST_GRID = [(1, 1), (1, 5), (1, 10), (5, 1), (5, 5), (5, 10), (10, 1), (10, 5), (10, 10)]
+
+#: Paper TPC-H axis → default Python-feasible axis (same spread, ~100×
+#: smaller; see DESIGN.md §4).
+TPCH_SF_MAP = {
+    0.01: 0.002,
+    0.05: 0.005,
+    0.5: 0.01,
+    1.0: 0.02,
+    5.0: 0.05,
+    10.0: 0.1,
+}
+
+
+def fig7a_q1(
+    grid: Sequence[tuple[float, float]] = RST_GRID,
+    strategies: Sequence[str] = FIG7_STRATEGIES,
+    rst_config: RstConfig | None = None,
+    budget_seconds: float | None = 30.0,
+    progress=None,
+) -> GridResult:
+    """Figure 7(a): Q1 (disjunctive linking) over the RST grid."""
+    config = rst_config or RstConfig()
+    return run_grid(
+        "Fig. 7(a) - Q1 (disjunctive linking), RST",
+        lambda scale: Q1,
+        lambda scale: rst_catalog(scale[0], scale[1], 1, config),
+        list(grid),
+        list(strategies),
+        budget_seconds,
+        progress,
+    )
+
+
+def fig7c_q2(
+    grid: Sequence[tuple[float, float]] = RST_GRID,
+    strategies: Sequence[str] = FIG7_STRATEGIES,
+    rst_config: RstConfig | None = None,
+    budget_seconds: float | None = 30.0,
+    progress=None,
+) -> GridResult:
+    """Figure 7(c): Q2 (disjunctive correlation) over the RST grid."""
+    config = rst_config or RstConfig()
+    return run_grid(
+        "Fig. 7(c) - Q2 (disjunctive correlation), RST",
+        lambda scale: Q2,
+        lambda scale: rst_catalog(scale[0], scale[1], 1, config),
+        list(grid),
+        list(strategies),
+        budget_seconds,
+        progress,
+    )
+
+
+def fig7b_q2d(
+    paper_sfs: Sequence[float] = tuple(TPCH_SF_MAP),
+    strategies: Sequence[str] = FIG7_STRATEGIES,
+    sf_map: dict[float, float] | None = None,
+    budget_seconds: float | None = 30.0,
+    progress=None,
+) -> GridResult:
+    """Figure 7(b): Query 2d over the TPC-H scale-factor axis."""
+    mapping = sf_map or TPCH_SF_MAP
+    return run_grid(
+        "Fig. 7(b) - Query 2d, TPC-H",
+        lambda scale: QUERY_2D,
+        lambda scale: tpch_catalog(
+            TpchConfig(scale_factor=mapping[scale], include_order_pipeline=False)
+        ),
+        list(paper_sfs),
+        list(strategies),
+        budget_seconds,
+        progress,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Formatting
+# ---------------------------------------------------------------------------
+
+_ROW_LABELS = {
+    "s1": "S 1",
+    "s2": "S 2",
+    "s3": "S 3",
+    "canonical": "Natix canonical",
+    "unnested": "Natix unnested",
+}
+
+
+def format_rst_grid(grid: GridResult) -> str:
+    """Render an RST grid in Fig. 7(a)/(c) layout (SF1 over SF2 columns)."""
+    out = io.StringIO()
+    out.write(f"{grid.title}\n")
+    sf1_values = sorted({key[0] for key in grid.scale_keys})
+    sf2_values = sorted({key[1] for key in grid.scale_keys})
+    header1 = "SF1".ljust(18) + "".join(
+        f"{sf1:^{8 * len(sf2_values)}}" for sf1 in sf1_values
+    )
+    header2 = "SF2".ljust(18) + "".join(
+        "".join(f"{sf2:>8}" for sf2 in sf2_values) for _ in sf1_values
+    )
+    out.write(header1.rstrip() + "\n")
+    out.write(header2.rstrip() + "\n")
+    for strategy in grid.strategies:
+        row = _ROW_LABELS.get(strategy, strategy).ljust(18)
+        for sf1 in sf1_values:
+            for sf2 in sf2_values:
+                cell = grid.get((sf1, sf2), strategy)
+                row += f"{cell.display if cell else '-':>8}"
+        out.write(row.rstrip() + "\n")
+    return out.getvalue()
+
+
+def format_tpch_row(grid: GridResult) -> str:
+    """Render the TPC-H sweep in Fig. 7(b) layout (SF columns)."""
+    out = io.StringIO()
+    out.write(f"{grid.title}\n")
+    header = "TPC-H SF (paper)".ljust(18) + "".join(
+        f"{key:>9}" for key in grid.scale_keys
+    )
+    out.write(header.rstrip() + "\n")
+    for strategy in grid.strategies:
+        row = _ROW_LABELS.get(strategy, strategy).ljust(18)
+        for key in grid.scale_keys:
+            cell = grid.get(key, strategy)
+            row += f"{cell.display if cell else '-':>9}"
+        out.write(row.rstrip() + "\n")
+    return out.getvalue()

@@ -1,0 +1,132 @@
+"""Timed query runs and grid sweeps.
+
+The paper aborts any execution after six hours and reports ``n/a``
+(Fig. 7(b)).  :func:`run_cell` emulates this with a configurable
+wall-clock budget enforced *inside* the engine
+(:class:`~repro.errors.BudgetExceeded`), so a blown cell costs at most
+the budget, not six hours.
+
+Planning time is excluded from the measurement (the paper measures
+execution of prepared plans); each measured run starts with a cold
+execution context, mirroring the paper's cold-buffer setup as far as an
+in-memory engine meaningfully can.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.engine import EvalOptions
+from repro.errors import BudgetExceeded
+from repro.optimizer import plan_query
+from repro.storage.catalog import Catalog
+
+#: Marker for cells that exceeded their budget (paper: "> 6 hours").
+NA = "n/a"
+
+
+@dataclass
+class BenchResult:
+    """One measured cell."""
+
+    strategy: str
+    seconds: float | None  # None = budget exceeded (printed as n/a)
+    rows: int | None
+    subquery_evals: int = 0
+    subquery_cache_hits: int = 0
+
+    @property
+    def display(self) -> str:
+        if self.seconds is None:
+            return NA
+        if self.seconds >= 100:
+            return f"{self.seconds:.0f}"
+        if self.seconds >= 1:
+            return f"{self.seconds:.3g}"
+        return f"{self.seconds:.3f}"
+
+
+def run_cell(
+    sql: str,
+    catalog: Catalog,
+    strategy: str,
+    budget_seconds: float | None = 30.0,
+    collect_stats: bool = False,
+) -> BenchResult:
+    """Plan once, execute once, report wall-clock seconds (or n/a)."""
+    planned = plan_query(sql, catalog, strategy)
+    options = EvalOptions(budget_seconds=budget_seconds, collect_stats=collect_stats)
+    start = time.perf_counter()
+    try:
+        table, ctx = planned.execute(catalog, options, with_context=True)
+    except BudgetExceeded:
+        return BenchResult(strategy, None, None)
+    elapsed = time.perf_counter() - start
+    return BenchResult(
+        strategy,
+        elapsed,
+        len(table),
+        subquery_evals=ctx.stats.subquery_evals,
+        subquery_cache_hits=ctx.stats.subquery_cache_hits,
+    )
+
+
+@dataclass
+class GridResult:
+    """All cells of one figure: (scale key, strategy) → result."""
+
+    title: str
+    scale_keys: list = field(default_factory=list)
+    strategies: list[str] = field(default_factory=list)
+    cells: dict = field(default_factory=dict)  # (scale_key, strategy) -> BenchResult
+
+    def record(self, scale_key, result: BenchResult) -> None:
+        if scale_key not in self.scale_keys:
+            self.scale_keys.append(scale_key)
+        if result.strategy not in self.strategies:
+            self.strategies.append(result.strategy)
+        self.cells[(scale_key, result.strategy)] = result
+
+    def get(self, scale_key, strategy: str) -> BenchResult | None:
+        return self.cells.get((scale_key, strategy))
+
+    def seconds(self, scale_key, strategy: str) -> float | None:
+        cell = self.get(scale_key, strategy)
+        return None if cell is None else cell.seconds
+
+    def speedup(self, scale_key, slow: str, fast: str) -> float | None:
+        """slow/fast runtime ratio for one scale point (None if n/a)."""
+        slow_cell = self.seconds(scale_key, slow)
+        fast_cell = self.seconds(scale_key, fast)
+        if slow_cell is None or fast_cell is None or fast_cell == 0:
+            return None
+        return slow_cell / fast_cell
+
+
+def run_grid(
+    title: str,
+    sql_for_scale,
+    catalog_for_scale,
+    scale_keys,
+    strategies,
+    budget_seconds: float | None = 30.0,
+    progress=None,
+) -> GridResult:
+    """Sweep a (scale × strategy) grid.
+
+    ``sql_for_scale(scale_key)`` and ``catalog_for_scale(scale_key)``
+    supply the query text and data per scale point; catalogs are built
+    once per scale point and shared by all strategies (the paper likewise
+    varies only the execution strategy per data point).
+    """
+    grid = GridResult(title)
+    for scale_key in scale_keys:
+        catalog = catalog_for_scale(scale_key)
+        sql = sql_for_scale(scale_key)
+        for strategy in strategies:
+            result = run_cell(sql, catalog, strategy, budget_seconds)
+            grid.record(scale_key, result)
+            if progress is not None:
+                progress(scale_key, result)
+    return grid

@@ -1,0 +1,66 @@
+"""The paper's benchmark queries.
+
+Q1–Q4 are the running examples of §3 over the RST schema; ``QUERY_2D``
+is the introductory analytical query (a disjunctive variant of TPC-H
+Query 2 — "European suppliers delivering a part at minimum supply cost
+*or* with more than 2000 units on stock").  Column names follow standard
+TPC-H spelling (``s_nationkey`` for the paper's ``s_n_key`` etc.).
+"""
+
+#: §3.1 — disjunctive linking (type JA, simple).
+Q1 = """
+SELECT DISTINCT *
+FROM   r
+WHERE  A1 = (SELECT COUNT(DISTINCT *) FROM s WHERE A2 = B2)
+   OR  A4 > 1500
+"""
+
+#: §3.2 — disjunctive correlation (type JA, simple).
+Q2 = """
+SELECT DISTINCT *
+FROM   r
+WHERE  A1 = (SELECT COUNT(*) FROM s WHERE A2 = B2 OR B4 > 1500)
+"""
+
+#: §3.5 — tree query (two blocks nested at the same level).
+Q3 = """
+SELECT DISTINCT *
+FROM   r
+WHERE  A1 = (SELECT COUNT(DISTINCT *) FROM s WHERE A2 = B2)
+   OR  A3 = (SELECT COUNT(DISTINCT *) FROM t WHERE A4 = C2)
+"""
+
+#: §3.6 — linear query (a block nested inside a nested block).
+Q4 = """
+SELECT DISTINCT *
+FROM   r
+WHERE  A1 = (SELECT COUNT(DISTINCT *)
+             FROM   s
+             WHERE  A2 = B2
+                OR  B3 = (SELECT COUNT(DISTINCT *) FROM t WHERE B4 = C2))
+"""
+
+#: §1 — Query 2d on the TPC-H schema (disjunctive linking, MIN aggregate).
+QUERY_2D = """
+SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment
+FROM   part, supplier, partsupp, nation, region
+WHERE  p_partkey = ps_partkey
+  AND  s_suppkey = ps_suppkey
+  AND  p_size = 15
+  AND  p_type LIKE '%BRASS'
+  AND  s_nationkey = n_nationkey
+  AND  n_regionkey = r_regionkey
+  AND  r_name = 'EUROPE'
+  AND  (ps_supplycost = (SELECT MIN(ps_supplycost)
+                         FROM   partsupp, supplier, nation, region
+                         WHERE  s_suppkey = ps_suppkey
+                           AND  p_partkey = ps_partkey
+                           AND  s_nationkey = n_nationkey
+                           AND  n_regionkey = r_regionkey
+                           AND  r_name = 'EUROPE')
+        OR ps_availqty > 2000)
+ORDER BY s_acctbal DESC, n_name, s_name, p_partkey
+"""
+
+#: All RST queries by name (used by the harness and the examples).
+RST_QUERIES = {"Q1": Q1, "Q2": Q2, "Q3": Q3, "Q4": Q4}

@@ -1,0 +1,72 @@
+"""Markdown rendering of benchmark grids (for EXPERIMENTS.md).
+
+Same data as :mod:`repro.bench.figures`' fixed-width layout, emitted as
+GitHub-flavoured markdown tables plus a speedup summary line.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.bench.harness import GridResult
+
+_ROW_LABELS = {
+    "s1": "S 1",
+    "s2": "S 2",
+    "s3": "S 3",
+    "canonical": "Natix canonical",
+    "unnested": "Natix unnested",
+}
+
+
+def grid_to_markdown(grid: GridResult) -> str:
+    """Render a grid as a markdown table (strategies × scale keys)."""
+    out = io.StringIO()
+    keys = list(grid.scale_keys)
+    header = ["system"] + [_scale_label(key) for key in keys]
+    out.write("| " + " | ".join(header) + " |\n")
+    out.write("|" + "---|" * len(header) + "\n")
+    for strategy in grid.strategies:
+        cells = [_ROW_LABELS.get(strategy, strategy)]
+        for key in keys:
+            cell = grid.get(key, strategy)
+            cells.append(cell.display if cell else "—")
+        out.write("| " + " | ".join(cells) + " |\n")
+    return out.getvalue()
+
+
+def speedup_summary(grid: GridResult, slow: str = "canonical", fast: str = "unnested") -> str:
+    """One line: min/max speedup of ``fast`` over ``slow`` across cells.
+
+    Cells where the slow strategy hit the budget are reported as a lower
+    bound (``> budget/fast``-style), matching how the paper's ``n/a``
+    rows can only strengthen the claim.
+    """
+    ratios = []
+    lower_bounds = 0
+    for key in grid.scale_keys:
+        ratio = grid.speedup(key, slow, fast)
+        if ratio is None:
+            slow_cell = grid.get(key, slow)
+            fast_cell = grid.get(key, fast)
+            if slow_cell is not None and slow_cell.seconds is None and fast_cell and fast_cell.seconds:
+                lower_bounds += 1
+            continue
+        ratios.append(ratio)
+    if not ratios and not lower_bounds:
+        return f"no comparable cells for {slow} vs {fast}"
+    parts = []
+    if ratios:
+        parts.append(
+            f"{fast} vs {slow}: {min(ratios):.1f}x – {max(ratios):.1f}x "
+            f"over {len(ratios)} cells"
+        )
+    if lower_bounds:
+        parts.append(f"{lower_bounds} cells where {slow} exceeded its budget (n/a)")
+    return "; ".join(parts)
+
+
+def _scale_label(key) -> str:
+    if isinstance(key, tuple):
+        return "×".join(str(part) for part in key)
+    return str(key)

@@ -1,0 +1,328 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``        execute a SQL query against CSV files or a generated dataset
+``explain``    print the chosen plan as an ASCII DAG
+``classify``   print the Kim/Muralikrishna classification
+``compare``    time every strategy on one query (a one-query Figure 7 row)
+``generate``   write an RST or TPC-H dataset as CSV files
+``shell``      a minimal interactive loop
+
+Datasets are specified either with ``--csv DIR`` (every ``*.csv`` file
+becomes a table named after the file, types inferred from the first data
+row) or with ``--dataset rst[:SF]`` / ``--dataset tpch[:SF]`` for
+generated data.
+
+Examples::
+
+    python -m repro generate --dataset tpch:0.01 --out /tmp/tpch
+    python -m repro run --csv /tmp/tpch "SELECT COUNT(*) FROM partsupp"
+    python -m repro compare --dataset rst:5 --paper-query Q1
+    python -m repro explain --dataset rst:1 --strategy unnested --paper-query Q4
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv as csv_module
+import os
+import sys
+import time
+
+from repro import Database
+from repro.bench.queries import QUERY_2D, RST_QUERIES
+from repro.datagen import RstConfig, TpchConfig, generate_rst, generate_tpch
+from repro.errors import ReproError
+from repro.storage.schema import Column, ColumnType, Schema
+from repro.storage.table import Table
+
+PAPER_QUERIES = dict(RST_QUERIES, **{"2D": QUERY_2D})
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Disjunctive-unnesting query processor (ICDE 2007 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_dataset_args(p):
+        p.add_argument("--csv", metavar="DIR", help="load every *.csv in DIR")
+        p.add_argument(
+            "--dataset", metavar="NAME[:SF]",
+            help="generated dataset: rst[:SF] or tpch[:SF]",
+        )
+
+    run = sub.add_parser("run", help="execute a query")
+    add_dataset_args(run)
+    run.add_argument("sql", nargs="?", help="SQL text (or use --paper-query)")
+    run.add_argument("--paper-query", choices=sorted(PAPER_QUERIES), help="a built-in paper query")
+    run.add_argument("--strategy", default="auto")
+    run.add_argument("--limit", type=int, default=20, help="rows to display")
+
+    explain = sub.add_parser("explain", help="show the plan")
+    add_dataset_args(explain)
+    explain.add_argument("sql", nargs="?")
+    explain.add_argument("--paper-query", choices=sorted(PAPER_QUERIES))
+    explain.add_argument("--strategy", default="auto")
+
+    classify = sub.add_parser("classify", help="classify a query")
+    add_dataset_args(classify)
+    classify.add_argument("sql", nargs="?")
+    classify.add_argument("--paper-query", choices=sorted(PAPER_QUERIES))
+
+    compare = sub.add_parser("compare", help="time all strategies")
+    add_dataset_args(compare)
+    compare.add_argument("sql", nargs="?")
+    compare.add_argument("--paper-query", choices=sorted(PAPER_QUERIES))
+    compare.add_argument(
+        "--strategies", default="canonical,s1,s2,s3,unnested,auto",
+        help="comma-separated strategy list",
+    )
+    compare.add_argument("--budget", type=float, default=60.0)
+
+    generate = sub.add_parser("generate", help="write a dataset as CSV")
+    generate.add_argument("--dataset", required=True, metavar="NAME[:SF]")
+    generate.add_argument("--out", required=True, metavar="DIR")
+
+    shell = sub.add_parser("shell", help="interactive query loop")
+    add_dataset_args(shell)
+    shell.add_argument("--strategy", default="auto")
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Dataset loading
+# ---------------------------------------------------------------------------
+
+
+def parse_dataset_spec(spec: str) -> tuple[str, float]:
+    name, _, factor = spec.partition(":")
+    return name.lower(), float(factor) if factor else 1.0
+
+
+def load_database(args) -> Database:
+    db = Database()
+    if getattr(args, "csv", None):
+        _load_csv_dir(db, args.csv)
+        return db
+    if getattr(args, "dataset", None):
+        name, factor = parse_dataset_spec(args.dataset)
+        if name == "rst":
+            tables = generate_rst(factor, factor, factor, RstConfig())
+        elif name == "tpch":
+            tables = generate_tpch(TpchConfig(scale_factor=factor))
+        else:
+            raise ReproError(f"unknown dataset {name!r} (use rst or tpch)")
+        for table in tables.values():
+            db.register(table)
+        return db
+    raise ReproError("no data source: pass --csv DIR or --dataset NAME[:SF]")
+
+
+def _load_csv_dir(db: Database, directory: str) -> None:
+    found = False
+    for entry in sorted(os.listdir(directory)):
+        if not entry.endswith(".csv"):
+            continue
+        found = True
+        path = os.path.join(directory, entry)
+        name = entry[: -len(".csv")]
+        db.register(_read_csv(path, name))
+    if not found:
+        raise ReproError(f"no *.csv files in {directory!r}")
+
+
+def _read_csv(path: str, name: str) -> Table:
+    """Load a CSV with header, inferring column types from the data."""
+    with open(path, newline="") as handle:
+        reader = csv_module.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise ReproError(f"{path}: empty file")
+        records = list(reader)
+    types = [_infer_type(records, position) for position in range(len(header))]
+    schema = Schema([Column(col, t) for col, t in zip(header, types)])
+    rows = [
+        tuple(t.parse(field) for t, field in zip(types, record))
+        for record in records
+    ]
+    return Table(schema, rows, name=name)
+
+
+def _infer_type(records, position) -> ColumnType:
+    saw_float = False
+    saw_value = False
+    for record in records:
+        field = record[position] if position < len(record) else ""
+        if field == "":
+            continue
+        saw_value = True
+        try:
+            int(field)
+            continue
+        except ValueError:
+            pass
+        try:
+            float(field)
+            saw_float = True
+            continue
+        except ValueError:
+            return ColumnType.STRING
+    if not saw_value:
+        return ColumnType.STRING
+    return ColumnType.FLOAT if saw_float else ColumnType.INT
+
+
+def resolve_sql(args) -> str:
+    if getattr(args, "paper_query", None):
+        return PAPER_QUERIES[args.paper_query]
+    if getattr(args, "sql", None):
+        return args.sql
+    raise ReproError("no query: pass SQL text or --paper-query")
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_run(args, out) -> int:
+    db = load_database(args)
+    sql = resolve_sql(args)
+    start = time.perf_counter()
+    result = db.execute(sql, args.strategy)
+    elapsed = time.perf_counter() - start
+    out.write(result.pretty(limit=args.limit))
+    out.write(f"({len(result)} rows in {elapsed:.4f}s, strategy {args.strategy})\n")
+    return 0
+
+
+def cmd_explain(args, out) -> int:
+    db = load_database(args)
+    out.write(db.explain(resolve_sql(args), args.strategy))
+    return 0
+
+
+def cmd_classify(args, out) -> int:
+    db = load_database(args)
+    qc = db.classify(resolve_sql(args))
+    out.write(qc.describe() + "\n")
+    for block in qc.blocks:
+        flags = []
+        if block.disjunctive_linking:
+            flags.append("disjunctive linking")
+        if block.disjunctive_correlation:
+            flags.append("disjunctive correlation")
+        suffix = f" ({', '.join(flags)})" if flags else ""
+        out.write(f"  depth {block.depth}: type {block.kim_type.value}{suffix}\n")
+    return 0
+
+
+def cmd_compare(args, out) -> int:
+    from repro.bench.harness import run_cell
+
+    db = load_database(args)
+    sql = resolve_sql(args)
+    out.write(f"{'strategy':<12} {'seconds':>10} {'rows':>8}\n")
+    for strategy in args.strategies.split(","):
+        strategy = strategy.strip()
+        cell = run_cell(sql, db.catalog, strategy, args.budget)
+        rows = "-" if cell.rows is None else cell.rows
+        out.write(f"{strategy:<12} {cell.display:>10} {rows:>8}\n")
+    return 0
+
+
+def cmd_generate(args, out) -> int:
+    name, factor = parse_dataset_spec(args.dataset)
+    if name == "rst":
+        tables = generate_rst(factor, factor, factor, RstConfig())
+    elif name == "tpch":
+        tables = generate_tpch(TpchConfig(scale_factor=factor))
+    else:
+        raise ReproError(f"unknown dataset {name!r} (use rst or tpch)")
+    os.makedirs(args.out, exist_ok=True)
+    for table in tables.values():
+        path = os.path.join(args.out, f"{table.name}.csv")
+        table.to_csv(path)
+        out.write(f"wrote {path} ({len(table)} rows)\n")
+    return 0
+
+
+def cmd_shell(args, out) -> int:
+    db = load_database(args)
+    out.write(
+        "repro shell - end statements with a blank line; "
+        "commands: \\strategy NAME, \\explain SQL, \\tables, \\quit\n"
+    )
+    strategy = args.strategy
+    buffer: list[str] = []
+    while True:
+        try:
+            prompt = "repro> " if not buffer else "  ...> "
+            line = input(prompt)
+        except EOFError:
+            break
+        stripped = line.strip()
+        if not buffer and stripped.startswith("\\"):
+            command, _, rest = stripped.partition(" ")
+            if command in ("\\quit", "\\q"):
+                break
+            if command == "\\tables":
+                for name in db.catalog.table_names():
+                    out.write(f"  {name} ({len(db.table(name))} rows)\n")
+                continue
+            if command == "\\strategy":
+                strategy = rest.strip() or strategy
+                out.write(f"strategy = {strategy}\n")
+                continue
+            if command == "\\explain":
+                try:
+                    out.write(db.explain(rest, strategy))
+                except ReproError as error:
+                    out.write(f"error: {error}\n")
+                continue
+            out.write(f"unknown command {command}\n")
+            continue
+        if stripped:
+            buffer.append(line)
+            continue
+        if not buffer:
+            continue
+        sql = "\n".join(buffer)
+        buffer = []
+        try:
+            start = time.perf_counter()
+            result = db.execute(sql, strategy)
+            elapsed = time.perf_counter() - start
+            out.write(result.pretty())
+            out.write(f"({len(result)} rows in {elapsed:.4f}s)\n")
+        except ReproError as error:
+            out.write(f"error: {error}\n")
+    return 0
+
+
+COMMANDS = {
+    "run": cmd_run,
+    "explain": cmd_explain,
+    "classify": cmd_classify,
+    "compare": cmd_compare,
+    "generate": cmd_generate,
+    "shell": cmd_shell,
+}
+
+
+def main(argv=None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        return COMMANDS[args.command](args, out)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,22 @@
+"""Synthetic data generators for the paper's two evaluation schemas.
+
+* :mod:`repro.datagen.rst` — the RST schema of §4.1: three tables R, S, T
+  with four integer columns each, independently scaled;
+* :mod:`repro.datagen.tpch` — a ``dbgen``-like generator for the TPC-H
+  subset Query 2d touches (plus customer/orders/lineitem for
+  completeness), with spec-faithful table-size ratios.
+
+Both generators are fully deterministic given a seed.
+"""
+
+from repro.datagen.rst import RstConfig, generate_rst, rst_catalog
+from repro.datagen.tpch import TpchConfig, generate_tpch, tpch_catalog
+
+__all__ = [
+    "RstConfig",
+    "generate_rst",
+    "rst_catalog",
+    "TpchConfig",
+    "generate_tpch",
+    "tpch_catalog",
+]

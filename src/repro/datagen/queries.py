@@ -1,0 +1,125 @@
+"""Random nested-query workload generator.
+
+Produces syntactically valid SQL over the RST schema covering the
+paper's whole problem class — used by the fuzzing example, by stress
+tests, and available to downstream users who want to exercise their own
+optimizer changes against randomized disjunctive nesting.
+
+The generator is seeded and purely functional: the same
+:class:`QueryGenConfig` and seed always yield the same workload.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+AGGREGATES = [
+    "COUNT(*)", "COUNT(B1)", "COUNT(DISTINCT B1)", "SUM(B1)", "AVG(B1)",
+    "MIN(B1)", "MAX(B1)", "COUNT(DISTINCT *)",
+]
+LINK_OPS = ["=", "<>", "<", "<=", ">", ">="]
+CORR_OPS = ["=", "=", "=", "<", ">"]  # equality-biased, like real workloads
+OUTER_SIMPLE = ["A4 > 1500", "A4 < 700", "A3 = 2", "A1 <> 1", "A2 > 3"]
+INNER_SIMPLE = ["B4 > 1500", "B3 = 2", "B1 < 3", "B4 < 500"]
+THIRD_SIMPLE = ["C4 > 1500", "C3 = 1"]
+
+
+@dataclass(frozen=True)
+class QueryGenConfig:
+    """Shape probabilities for the generator (must sum to ≤ 1 each)."""
+
+    seed: int = 7
+    #: probability that the outer linking predicate sits in a disjunction
+    p_disjunctive_linking: float = 0.6
+    #: probability that the inner correlation sits in a disjunction
+    p_disjunctive_correlation: float = 0.5
+    #: probability of a second nested block (tree query)
+    p_tree: float = 0.2
+    #: probability of a nested block inside the inner block (linear query)
+    p_linear: float = 0.15
+    #: probability of a quantified (EXISTS/IN/ANY/ALL) form instead of scalar
+    p_quantified: float = 0.2
+    #: probability of SELECT DISTINCT
+    p_distinct: float = 0.5
+
+
+class QueryGenerator:
+    """Generates random nested queries over the RST schema."""
+
+    def __init__(self, config: QueryGenConfig | None = None):
+        self.config = config or QueryGenConfig()
+        self.rng = random.Random(self.config.seed)
+
+    def generate(self, count: int) -> list[str]:
+        """Generate ``count`` queries (deterministic per seed)."""
+        return [self.query() for _ in range(count)]
+
+    def query(self) -> str:
+        rng = self.rng
+        config = self.config
+        linking = self._linking_predicate()
+        disjuncts = [linking]
+        if rng.random() < config.p_disjunctive_linking:
+            disjuncts.append(rng.choice(OUTER_SIMPLE))
+            if rng.random() < config.p_tree:
+                disjuncts.append(self._second_subquery())
+            rng.shuffle(disjuncts)
+            where = " OR ".join(disjuncts)
+        else:
+            where = linking
+            if rng.random() < 0.4:
+                where += f" AND {rng.choice(OUTER_SIMPLE)}"
+        distinct = "DISTINCT " if rng.random() < config.p_distinct else ""
+        return f"SELECT {distinct}* FROM r WHERE {where}"
+
+    # -- pieces -----------------------------------------------------------
+
+    def _linking_predicate(self) -> str:
+        rng = self.rng
+        if rng.random() < self.config.p_quantified:
+            return self._quantified_predicate()
+        op = rng.choice(LINK_OPS)
+        return f"A1 {op} ({self._inner_block()})"
+
+    def _quantified_predicate(self) -> str:
+        rng = self.rng
+        form = rng.choice(["exists", "not_exists", "in", "not_in", "any", "all"])
+        inner = f"SELECT B1 FROM s WHERE {self._correlation()}"
+        if form == "exists":
+            return f"EXISTS ({inner})"
+        if form == "not_exists":
+            return f"NOT EXISTS ({inner})"
+        if form == "in":
+            return f"A1 IN ({inner})"
+        if form == "not_in":
+            return f"A1 NOT IN ({inner})"
+        op = rng.choice(["<", "<=", ">", ">="])
+        quantifier = "ANY" if form == "any" else "ALL"
+        return f"A1 {op} {quantifier} ({inner})"
+
+    def _inner_block(self) -> str:
+        rng = self.rng
+        aggregate = rng.choice(AGGREGATES)
+        return f"SELECT {aggregate} FROM s WHERE {self._correlation()}"
+
+    def _correlation(self) -> str:
+        rng = self.rng
+        config = self.config
+        corr = f"A2 {rng.choice(CORR_OPS)} B2"
+        if rng.random() < config.p_linear:
+            nested = f"B3 = (SELECT COUNT(*) FROM t WHERE B4 = C2)"
+            return f"{corr} OR {nested}"
+        if rng.random() < config.p_disjunctive_correlation:
+            parts = [corr, rng.choice(INNER_SIMPLE)]
+            rng.shuffle(parts)
+            return " OR ".join(parts)
+        if rng.random() < 0.4:
+            return f"{corr} AND {rng.choice(INNER_SIMPLE)}"
+        return corr
+
+    def _second_subquery(self) -> str:
+        rng = self.rng
+        op = rng.choice(LINK_OPS)
+        agg = rng.choice(["COUNT(*)", "COUNT(DISTINCT *)", "MIN(C1)"])
+        return f"A3 {op} (SELECT {agg} FROM t WHERE A4 = C2)"

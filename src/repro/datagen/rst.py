@@ -1,0 +1,100 @@
+"""The RST schema (paper §4.1).
+
+Three tables R, S, T with four integer columns each (``A1..A4``,
+``B1..B4``, ``C1..C4``).  The paper scales them independently with
+scaling factors SF ∈ {1, 5, 10} = {10 000, 50 000, 100 000} rows; our
+default maps SF 1 to 1 000 rows (see DESIGN.md §4 — canonical evaluation
+is O(n·m) in any engine, so shrinking both axes preserves Fig. 7's
+shape), configurable via :class:`RstConfig`.
+
+Column distributions (the paper does not publish dbgen-style details, so
+these are chosen to keep the paper's predicates meaningfully selective):
+
+========  ==================  =============================================
+column    distribution        role in the paper's queries
+========  ==================  =============================================
+``X1``    uniform [0, 20)     linking attribute (``A1 = count(...)``) —
+                              small domain so the linking predicate
+                              actually matches sometimes
+``X2``    uniform [0, D)      correlation attribute (``A2 = B2``); the
+                              domain D (default 500) fixes the expected
+                              group size at rows/D
+``X3``    uniform [0, 20)     secondary linking attribute (Q3)
+``X4``    uniform [0, 3000)   simple-predicate attribute
+                              (``A4 > 1500`` ≈ 50 % selective,
+                              ``B4 > 1500`` likewise)
+========  ==================  =============================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.storage.catalog import Catalog
+from repro.storage.schema import Column, ColumnType, Schema
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class RstConfig:
+    """Tuning knobs for the RST generator."""
+
+    rows_per_sf: int = 1000
+    link_domain: int = 20
+    correlation_domain: int = 500
+    simple_domain: int = 3000
+    seed: int = 20070415  # ICDE 2007
+
+    def row_count(self, scale_factor: float) -> int:
+        return max(int(round(scale_factor * self.rows_per_sf)), 1)
+
+
+def _table(name: str, prefix: str, rows: int, config: RstConfig, rng: random.Random) -> Table:
+    schema = Schema(
+        [
+            Column(f"{prefix}1", ColumnType.INT),
+            Column(f"{prefix}2", ColumnType.INT),
+            Column(f"{prefix}3", ColumnType.INT),
+            Column(f"{prefix}4", ColumnType.INT),
+        ]
+    )
+    data = [
+        (
+            rng.randrange(config.link_domain),
+            rng.randrange(config.correlation_domain),
+            rng.randrange(config.link_domain),
+            rng.randrange(config.simple_domain),
+        )
+        for _ in range(rows)
+    ]
+    return Table(schema, data, name=name)
+
+
+def generate_rst(
+    sf_r: float = 1,
+    sf_s: float = 1,
+    sf_t: float = 1,
+    config: RstConfig | None = None,
+) -> dict[str, Table]:
+    """Generate the three RST tables at independent scale factors."""
+    config = config or RstConfig()
+    rng = random.Random(config.seed)
+    return {
+        "r": _table("r", "A", config.row_count(sf_r), config, rng),
+        "s": _table("s", "B", config.row_count(sf_s), config, rng),
+        "t": _table("t", "C", config.row_count(sf_t), config, rng),
+    }
+
+
+def rst_catalog(
+    sf_r: float = 1,
+    sf_s: float = 1,
+    sf_t: float = 1,
+    config: RstConfig | None = None,
+) -> Catalog:
+    """Generate RST tables and register them in a fresh catalog."""
+    catalog = Catalog()
+    for table in generate_rst(sf_r, sf_s, sf_t, config).values():
+        catalog.register(table)
+    return catalog

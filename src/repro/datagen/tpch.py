@@ -1,0 +1,329 @@
+"""A ``dbgen``-like TPC-H generator (the subset the paper evaluates).
+
+Query 2d (the paper's introductory query, a disjunctive variant of TPC-H
+Query 2) touches REGION, NATION, SUPPLIER, PART, PARTSUPP; we generate
+those with the specification's table-size ratios and value distributions,
+plus CUSTOMER / ORDERS / LINEITEM so the dataset also supports the usual
+TPC-H warm-up queries in the examples:
+
+=============  ======================  =================================
+table          rows at scale factor 1  notes
+=============  ======================  =================================
+region         5                       fixed names (spec)
+nation         25                      fixed names + region keys (spec)
+supplier       10 000 · SF
+part           200 000 · SF            p_type from the spec's word mill
+partsupp       4 per part              spec's supplier-spreading formula
+customer       150 000 · SF
+orders         1 500 000 · SF          10 per customer
+lineitem       ~4 per order            1–7 lines, spec distribution
+=============  ======================  =================================
+
+The paper runs SF ∈ {0.01 … 10} in C++; the Python harness maps that
+axis down (DESIGN.md §4).  Generation is deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.storage.catalog import Catalog
+from repro.storage.schema import Column, ColumnType, Schema
+from repro.storage.table import Table
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+#: (nation name, region key) per the TPC-H specification.
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+TYPE_SYLLABLE_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLLABLE_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLLABLE_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+
+ORDER_STATUS = ["O", "F", "P"]
+
+
+@dataclass(frozen=True)
+class TpchConfig:
+    """Size and randomness knobs for the generator."""
+
+    scale_factor: float = 0.01
+    seed: int = 19920522  # TPC-H v1 era
+    include_order_pipeline: bool = True  # customer/orders/lineitem
+
+    @property
+    def suppliers(self) -> int:
+        return max(int(round(10_000 * self.scale_factor)), 5)
+
+    @property
+    def parts(self) -> int:
+        return max(int(round(200_000 * self.scale_factor)), 20)
+
+    @property
+    def customers(self) -> int:
+        return max(int(round(150_000 * self.scale_factor)), 10)
+
+    @property
+    def orders(self) -> int:
+        return self.customers * 10
+
+
+def generate_tpch(config: TpchConfig | None = None) -> dict[str, Table]:
+    """Generate the TPC-H subset at ``config.scale_factor``."""
+    config = config or TpchConfig()
+    rng = random.Random(config.seed)
+    tables: dict[str, Table] = {}
+
+    tables["region"] = Table(
+        Schema([Column("r_regionkey", ColumnType.INT), Column("r_name", ColumnType.STRING)]),
+        [(index, name) for index, name in enumerate(REGIONS)],
+        name="region",
+    )
+
+    tables["nation"] = Table(
+        Schema(
+            [
+                Column("n_nationkey", ColumnType.INT),
+                Column("n_name", ColumnType.STRING),
+                Column("n_regionkey", ColumnType.INT),
+            ]
+        ),
+        [(index, name, region) for index, (name, region) in enumerate(NATIONS)],
+        name="nation",
+    )
+
+    supplier_rows = []
+    for key in range(1, config.suppliers + 1):
+        supplier_rows.append(
+            (
+                key,
+                f"Supplier#{key:09d}",
+                _address(rng),
+                rng.randrange(len(NATIONS)),
+                _phone(rng),
+                round(rng.uniform(-999.99, 9999.99), 2),
+                _comment(rng),
+            )
+        )
+    tables["supplier"] = Table(
+        Schema(
+            [
+                Column("s_suppkey", ColumnType.INT),
+                Column("s_name", ColumnType.STRING),
+                Column("s_address", ColumnType.STRING),
+                Column("s_nationkey", ColumnType.INT),
+                Column("s_phone", ColumnType.STRING),
+                Column("s_acctbal", ColumnType.FLOAT),
+                Column("s_comment", ColumnType.STRING),
+            ]
+        ),
+        supplier_rows,
+        name="supplier",
+    )
+
+    part_rows = []
+    for key in range(1, config.parts + 1):
+        part_type = " ".join(
+            (rng.choice(TYPE_SYLLABLE_1), rng.choice(TYPE_SYLLABLE_2), rng.choice(TYPE_SYLLABLE_3))
+        )
+        part_rows.append(
+            (
+                key,
+                f"part {key}",
+                f"Manufacturer#{rng.randrange(1, 6)}",
+                part_type,
+                rng.randrange(1, 51),
+                round(rng.uniform(900.0, 2000.0), 2),
+            )
+        )
+    tables["part"] = Table(
+        Schema(
+            [
+                Column("p_partkey", ColumnType.INT),
+                Column("p_name", ColumnType.STRING),
+                Column("p_mfgr", ColumnType.STRING),
+                Column("p_type", ColumnType.STRING),
+                Column("p_size", ColumnType.INT),
+                Column("p_retailprice", ColumnType.FLOAT),
+            ]
+        ),
+        part_rows,
+        name="part",
+    )
+
+    # PARTSUPP: 4 suppliers per part, spread by the spec's formula so a
+    # part's suppliers are scattered over the supplier key space.
+    partsupp_rows = []
+    supplier_count = config.suppliers
+    for part_key in range(1, config.parts + 1):
+        for index in range(4):
+            supp_key = (
+                part_key
+                + index * (supplier_count // 4 + (part_key - 1) % supplier_count)
+            ) % supplier_count + 1
+            partsupp_rows.append(
+                (
+                    part_key,
+                    supp_key,
+                    rng.randrange(1, 10_000),
+                    round(rng.uniform(1.0, 1000.0), 2),
+                )
+            )
+    tables["partsupp"] = Table(
+        Schema(
+            [
+                Column("ps_partkey", ColumnType.INT),
+                Column("ps_suppkey", ColumnType.INT),
+                Column("ps_availqty", ColumnType.INT),
+                Column("ps_supplycost", ColumnType.FLOAT),
+            ]
+        ),
+        partsupp_rows,
+        name="partsupp",
+    )
+
+    if config.include_order_pipeline:
+        _generate_order_pipeline(tables, config, rng)
+    return tables
+
+
+def _generate_order_pipeline(tables: dict[str, Table], config: TpchConfig, rng: random.Random) -> None:
+    customer_rows = []
+    for key in range(1, config.customers + 1):
+        customer_rows.append(
+            (
+                key,
+                f"Customer#{key:09d}",
+                _address(rng),
+                rng.randrange(len(NATIONS)),
+                _phone(rng),
+                round(rng.uniform(-999.99, 9999.99), 2),
+                rng.choice(["BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"]),
+            )
+        )
+    tables["customer"] = Table(
+        Schema(
+            [
+                Column("c_custkey", ColumnType.INT),
+                Column("c_name", ColumnType.STRING),
+                Column("c_address", ColumnType.STRING),
+                Column("c_nationkey", ColumnType.INT),
+                Column("c_phone", ColumnType.STRING),
+                Column("c_acctbal", ColumnType.FLOAT),
+                Column("c_mktsegment", ColumnType.STRING),
+            ]
+        ),
+        customer_rows,
+        name="customer",
+    )
+
+    order_rows = []
+    lineitem_rows = []
+    for order_key in range(1, config.orders + 1):
+        cust_key = rng.randrange(1, config.customers + 1)
+        order_date = _date(rng)
+        total = 0.0
+        lines = rng.randrange(1, 8)
+        for line_number in range(1, lines + 1):
+            part_key = rng.randrange(1, config.parts + 1)
+            supp_index = rng.randrange(4)
+            supp_key = (
+                part_key + supp_index * (config.suppliers // 4 + (part_key - 1) % config.suppliers)
+            ) % config.suppliers + 1
+            quantity = rng.randrange(1, 51)
+            price = round(rng.uniform(900.0, 2000.0) * quantity / 10.0, 2)
+            discount = round(rng.uniform(0.0, 0.1), 2)
+            total += price * (1 - discount)
+            lineitem_rows.append(
+                (
+                    order_key,
+                    part_key,
+                    supp_key,
+                    line_number,
+                    quantity,
+                    price,
+                    discount,
+                    _date(rng),
+                )
+            )
+        order_rows.append(
+            (
+                order_key,
+                cust_key,
+                rng.choice(ORDER_STATUS),
+                round(total, 2),
+                order_date,
+                rng.randrange(1, 6),
+            )
+        )
+    tables["orders"] = Table(
+        Schema(
+            [
+                Column("o_orderkey", ColumnType.INT),
+                Column("o_custkey", ColumnType.INT),
+                Column("o_orderstatus", ColumnType.STRING),
+                Column("o_totalprice", ColumnType.FLOAT),
+                Column("o_orderdate", ColumnType.STRING),
+                Column("o_shippriority", ColumnType.INT),
+            ]
+        ),
+        order_rows,
+        name="orders",
+    )
+    tables["lineitem"] = Table(
+        Schema(
+            [
+                Column("l_orderkey", ColumnType.INT),
+                Column("l_partkey", ColumnType.INT),
+                Column("l_suppkey", ColumnType.INT),
+                Column("l_linenumber", ColumnType.INT),
+                Column("l_quantity", ColumnType.INT),
+                Column("l_extendedprice", ColumnType.FLOAT),
+                Column("l_discount", ColumnType.FLOAT),
+                Column("l_shipdate", ColumnType.STRING),
+            ]
+        ),
+        lineitem_rows,
+        name="lineitem",
+    )
+
+
+def tpch_catalog(config: TpchConfig | None = None) -> Catalog:
+    """Generate the TPC-H subset and register it in a fresh catalog."""
+    catalog = Catalog()
+    for table in generate_tpch(config).values():
+        catalog.register(table)
+    return catalog
+
+
+# -- little string mills -------------------------------------------------------
+
+
+def _address(rng: random.Random) -> str:
+    length = rng.randrange(10, 30)
+    return "".join(rng.choice("abcdefghijklmnopqrstuvwxyz ,.") for _ in range(length))
+
+
+def _phone(rng: random.Random) -> str:
+    return f"{rng.randrange(10, 35)}-{rng.randrange(100, 1000)}-{rng.randrange(100, 1000)}-{rng.randrange(1000, 10_000)}"
+
+
+def _comment(rng: random.Random) -> str:
+    words = ["carefully", "quickly", "final", "pending", "ironic", "deposits", "packages", "requests", "sleep", "haggle"]
+    return " ".join(rng.choice(words) for _ in range(rng.randrange(4, 10)))
+
+
+def _date(rng: random.Random) -> str:
+    year = rng.randrange(1992, 1999)
+    month = rng.randrange(1, 13)
+    day = rng.randrange(1, 29)
+    return f"{year:04d}-{month:02d}-{day:02d}"

@@ -1,0 +1,224 @@
+"""DML execution: INSERT / DELETE / UPDATE against the catalog.
+
+The query processor proper is read-only; this module implements the
+mutation statements on top of it:
+
+* ``INSERT … VALUES`` evaluates constant expressions (via the constant
+  folder, so arithmetic and CASE over literals work) and appends;
+* ``INSERT … SELECT`` runs the query through the normal planner;
+* ``DELETE`` partitions the table with a **bypass selection** on the
+  WHERE predicate — the negative stream (FALSE *or UNKNOWN*) is exactly
+  the keep set, which sidesteps the classic trap of deleting with
+  ``NOT p`` under three-valued logic;
+* ``UPDATE`` numbers the rows (ν), partitions the same way, applies the
+  assignments to the positive stream via map operators, and merges the
+  streams back in original row order.
+
+Subqueries are allowed anywhere a predicate or value expression is —
+name resolution and evaluation reuse the ordinary translator and engine.
+Statistics for the touched table are refreshed afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra import expr as E
+from repro.algebra import ops as L
+from repro.engine import EvalOptions, execute_plan
+from repro.errors import TranslationError
+from repro.optimizer import execute_sql
+from repro.optimizer.simplify import simplify_expr
+from repro.sql import ast
+from repro.sql.translate import _Scope, _Translator
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+
+@dataclass
+class DmlResult:
+    """Outcome of one DML statement."""
+
+    operation: str
+    table: str
+    rows_affected: int
+
+    def as_table(self) -> Table:
+        from repro.storage.schema import Schema
+
+        return Table(Schema(["rows_affected"]), [(self.rows_affected,)])
+
+
+def execute_dml(stmt, catalog: Catalog, views=None) -> DmlResult:
+    """Execute a parsed DML statement."""
+    if isinstance(stmt, ast.InsertStmt):
+        return _execute_insert(stmt, catalog, views)
+    if isinstance(stmt, ast.DeleteStmt):
+        return _execute_delete(stmt, catalog, views)
+    if isinstance(stmt, ast.UpdateStmt):
+        return _execute_update(stmt, catalog, views)
+    raise TranslationError(f"not a DML statement: {type(stmt).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# INSERT
+# ---------------------------------------------------------------------------
+
+
+def _execute_insert(stmt: ast.InsertStmt, catalog: Catalog, views) -> DmlResult:
+    table = catalog.table(stmt.table)
+    positions = _column_positions(table, stmt.columns)
+
+    if stmt.query is not None:
+        result = execute_sql_rows(stmt.query, catalog, views)
+        if result and len(result[0]) != len(positions):
+            raise TranslationError(
+                f"INSERT expects {len(positions)} columns, query returns "
+                f"{len(result[0])}"
+            )
+        new_rows = [_scatter(row, positions, len(table.schema)) for row in result]
+    else:
+        new_rows = []
+        for value_row in stmt.values:
+            if len(value_row) != len(positions):
+                raise TranslationError(
+                    f"INSERT expects {len(positions)} values per row, got "
+                    f"{len(value_row)}"
+                )
+            constants = tuple(_constant_value(expr) for expr in value_row)
+            new_rows.append(_scatter(constants, positions, len(table.schema)))
+
+    table.extend(new_rows)
+    catalog.analyze(stmt.table)
+    return DmlResult("insert", stmt.table, len(new_rows))
+
+
+def execute_sql_rows(query, catalog: Catalog, views) -> list:
+    """Run a parsed query statement and return its raw rows."""
+    from repro.optimizer.joins import optimize_joins
+    from repro.sql.translate import translate
+
+    translation = translate(query, catalog, views)
+    plan = optimize_joins(translation.plan, catalog)
+    return execute_plan(plan, catalog).rows
+
+
+def _column_positions(table: Table, columns) -> list[int]:
+    if not columns:
+        return list(range(len(table.schema)))
+    positions = []
+    lower_names = {name.lower(): index for index, name in enumerate(table.schema.names)}
+    for column in columns:
+        if column.lower() not in lower_names:
+            raise TranslationError(
+                f"table {table.name!r} has no column {column!r}"
+            )
+        positions.append(lower_names[column.lower()])
+    if len(set(positions)) != len(positions):
+        raise TranslationError("duplicate column in INSERT column list")
+    return positions
+
+
+def _scatter(values, positions, arity) -> tuple:
+    row = [None] * arity
+    for value, position in zip(values, positions):
+        row[position] = value
+    return tuple(row)
+
+
+def _constant_value(expr_node: ast.Node):
+    """Evaluate a constant AST expression (folding handles arithmetic)."""
+    translator = _Translator(Catalog(), {})
+    scope = _Scope(None)
+    try:
+        expression = translator.translate_expr(expr_node, scope)
+    except Exception as error:
+        raise TranslationError(f"VALUES expressions must be constant: {error}")
+    folded = simplify_expr(expression)
+    if not isinstance(folded, E.Literal):
+        raise TranslationError(
+            f"VALUES expression {folded.sql()} is not constant"
+        )
+    return folded.value
+
+
+# ---------------------------------------------------------------------------
+# DELETE / UPDATE
+# ---------------------------------------------------------------------------
+
+
+def _dml_context(table_name: str, catalog: Catalog, views):
+    """(translator, scope, numbered scan plan, sequence attr) for a table."""
+    translator = _Translator(catalog, views)
+    table = catalog.table(table_name)
+    scope = _Scope(None)
+    qualifier = translator.table_counter.next("q")
+    scope.add_table(table_name, qualifier, table.schema.names)
+    scan = L.Scan(table_name, table.schema.qualify(qualifier), qualifier)
+    return translator, scope, scan
+
+
+def _execute_delete(stmt: ast.DeleteStmt, catalog: Catalog, views) -> DmlResult:
+    table = catalog.table(stmt.table)
+    if stmt.where is None:
+        affected = len(table)
+        table.rows.clear()
+        catalog.analyze(stmt.table)
+        return DmlResult("delete", stmt.table, affected)
+
+    translator, scope, scan = _dml_context(stmt.table, catalog, views)
+    predicate = translator.translate_expr(stmt.where, scope)
+    bypass = L.BypassSelect(scan, predicate)
+    keep = execute_plan(bypass.negative, catalog).rows
+    affected = len(table) - len(keep)
+    table.rows[:] = keep
+    catalog.analyze(stmt.table)
+    return DmlResult("delete", stmt.table, affected)
+
+
+def _execute_update(stmt: ast.UpdateStmt, catalog: Catalog, views) -> DmlResult:
+    table = catalog.table(stmt.table)
+    translator, scope, scan = _dml_context(stmt.table, catalog, views)
+
+    arity = len(table.schema)
+    lower_names = {name.lower(): index for index, name in enumerate(table.schema.names)}
+    assignment_positions = []
+    assignment_exprs = []
+    for column, value_node in stmt.assignments:
+        if column.lower() not in lower_names:
+            raise TranslationError(f"table {stmt.table!r} has no column {column!r}")
+        assignment_positions.append(lower_names[column.lower()])
+        assignment_exprs.append(translator.translate_expr(value_node, scope))
+    if len(set(assignment_positions)) != len(assignment_positions):
+        raise TranslationError("duplicate column in UPDATE SET list")
+
+    sequence = "dml.seq"
+    numbered = L.Numbering(scan, sequence)
+    predicate = (
+        translator.translate_expr(stmt.where, scope) if stmt.where is not None else E.TRUE
+    )
+    bypass = L.BypassSelect(numbered, predicate)
+
+    # Evaluate all assignment values against the *old* row (SQL
+    # semantics: SET a = b, b = a swaps), then splice them in.
+    update_plan: L.Operator = bypass.positive
+    for index, expression in enumerate(assignment_exprs):
+        update_plan = L.Map(update_plan, f"dml.new{index}", expression)
+    updated_rows = execute_plan(update_plan, catalog).rows
+    kept_rows = execute_plan(bypass.negative, catalog).rows
+
+    merged: list[tuple] = []
+    value_count = len(assignment_exprs)
+    for row in updated_rows:
+        base = list(row[:arity])
+        new_values = row[arity + 1 : arity + 1 + value_count]
+        for position, value in zip(assignment_positions, new_values):
+            base[position] = value
+        merged.append((row[arity], tuple(base)))  # (sequence, new row)
+    for row in kept_rows:
+        merged.append((row[arity], tuple(row[:arity])))
+    merged.sort(key=lambda pair: pair[0])
+
+    table.rows[:] = [row for _, row in merged]
+    catalog.analyze(stmt.table)
+    return DmlResult("update", stmt.table, len(updated_rows))

@@ -1,0 +1,99 @@
+"""Execution context: options, memoisation, budget accounting.
+
+A fresh :class:`ExecContext` accompanies every top-level plan execution.
+It provides:
+
+* **stream memoisation** — bypass operators and shared DAG nodes are
+  evaluated once per distinct correlation environment;
+* **subquery memoisation** — the optional cache behind the S2 baseline
+  emulation (see DESIGN.md §4): nested-loop evaluation that remembers the
+  subquery result per distinct correlation-value combination;
+* **budget accounting** — the paper aborts runs after six hours and
+  reports ``n/a``; our harness passes a (much smaller) wall-clock budget
+  and the engine raises :class:`~repro.errors.BudgetExceeded` when it is
+  blown, checked every ``TICK_GRANULARITY`` processed rows.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import BudgetExceeded
+
+#: How many processed rows between two wall-clock checks.
+TICK_GRANULARITY = 65536
+
+
+@dataclass(frozen=True)
+class EvalOptions:
+    """Knobs controlling the runtime behaviour of a single execution.
+
+    ``subquery_memo``
+        Cache correlated-subquery results keyed on the correlation
+        values (baseline S2).  Uncorrelated subqueries are always cached.
+    ``budget_seconds``
+        Wall-clock budget; ``None`` disables the check.
+    ``collect_stats``
+        Count rows produced per physical operator class (used by tests
+        and the ablation benchmarks; tiny overhead).
+    """
+
+    subquery_memo: bool = False
+    budget_seconds: float | None = None
+    collect_stats: bool = False
+
+
+@dataclass
+class ExecStats:
+    """Counters collected during one execution."""
+
+    rows_produced: dict[str, int] = field(default_factory=dict)
+    #: id(physical node) -> (rows produced, invocation count)
+    node_rows: dict[int, tuple[int, int]] = field(default_factory=dict)
+    subquery_evals: int = 0
+    subquery_cache_hits: int = 0
+
+    def record_rows(self, op_name: str, count: int) -> None:
+        self.rows_produced[op_name] = self.rows_produced.get(op_name, 0) + count
+
+    def record_node(self, node_id: int, count: int) -> None:
+        rows, calls = self.node_rows.get(node_id, (0, 0))
+        self.node_rows[node_id] = (rows + count, calls + 1)
+
+    def total_rows(self) -> int:
+        return sum(self.rows_produced.values())
+
+
+class ExecContext:
+    """State shared by all operators of one plan execution."""
+
+    __slots__ = (
+        "options",
+        "stats",
+        "memo",
+        "subquery_cache",
+        "_deadline",
+        "_tick_budget",
+    )
+
+    def __init__(self, options: EvalOptions | None = None):
+        self.options = options or EvalOptions()
+        self.stats = ExecStats()
+        #: (node id, env signature) -> materialised rows or (pos, neg) pair
+        self.memo: dict[tuple, object] = {}
+        #: (plan id, correlation values) -> scalar / rows
+        self.subquery_cache: dict[tuple, object] = {}
+        budget = self.options.budget_seconds
+        self._deadline = None if budget is None else time.perf_counter() + budget
+        self._tick_budget = TICK_GRANULARITY
+
+    def tick(self, rows: int = 1) -> None:
+        """Account for ``rows`` processed rows; enforce the budget."""
+        if self._deadline is None:
+            return
+        self._tick_budget -= rows
+        if self._tick_budget <= 0:
+            self._tick_budget = TICK_GRANULARITY
+            if time.perf_counter() > self._deadline:
+                raise BudgetExceeded(self.options.budget_seconds)

@@ -1,0 +1,102 @@
+"""Top-level plan execution.
+
+``execute_plan`` compiles a logical plan against a catalog and runs it in
+a fresh :class:`~repro.engine.context.ExecContext`, returning a
+:class:`~repro.storage.table.Table` whose schema is the plan's output
+schema.  The context (with its statistics) can be returned as well for
+tests and benchmarks that inspect evaluation behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.ops import Operator
+from repro.engine.compile import compile_plan
+from repro.engine.context import EvalOptions, ExecContext
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+
+def execute_plan(
+    plan: Operator,
+    catalog: Catalog,
+    options: EvalOptions | None = None,
+    with_context: bool = False,
+):
+    """Execute a logical plan and materialise the result.
+
+    Parameters
+    ----------
+    plan:
+        The logical plan DAG (bypass streams allowed anywhere).
+    catalog:
+        Supplies base-table contents for :class:`~repro.algebra.ops.Scan`.
+    options:
+        Runtime knobs (subquery memoisation, wall-clock budget, stats).
+    with_context:
+        When true, return ``(table, context)`` so callers can inspect
+        :class:`~repro.engine.context.ExecStats`.
+    """
+    physical = compile_plan(plan, catalog)
+    ctx = ExecContext(options)
+    rows = physical.execute(ctx, {})
+    table = Table(plan.schema, rows)
+    if with_context:
+        return table, ctx
+    return table
+
+
+def explain_analyze(
+    plan: Operator,
+    catalog: Catalog,
+    options: EvalOptions | None = None,
+) -> tuple[str, Table]:
+    """Execute ``plan`` and render the physical tree with actual rows.
+
+    Returns ``(report, result_table)``.  Shared (memoised) nodes appear
+    once with a ``[shared]`` marker; correlated-subquery plans (compiled
+    into expression closures) are summarised by the eval/cache counters
+    in the footer rather than inlined.
+    """
+    import time
+
+    from dataclasses import replace as dc_replace
+
+    base = options or EvalOptions()
+    run_options = dc_replace(base, collect_stats=True)
+    physical = compile_plan(plan, catalog)
+    ctx = ExecContext(run_options)
+    start = time.perf_counter()
+    rows = physical.execute(ctx, {})
+    elapsed = time.perf_counter() - start
+
+    lines: list[str] = []
+    seen: set[int] = set()
+
+    def visit(node, prefix: str, connector: str, is_last: bool) -> None:
+        stats = ctx.stats.node_rows.get(id(node))
+        if stats is None:
+            detail = "(not executed)"
+        else:
+            produced, calls = stats
+            detail = f"rows={produced}"
+            if calls > 1:
+                detail += f" calls={calls}"
+        marker = " [shared]" if id(node) in seen else ""
+        lines.append(f"{prefix}{connector}{node.describe()}  {detail}{marker}")
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        children = node.children()
+        child_prefix = prefix + ("" if connector == "" else ("   " if is_last else "|  "))
+        for index, child in enumerate(children):
+            last = index == len(children) - 1
+            visit(child, child_prefix, "`- " if last else "|- ", last)
+
+    visit(physical, "", "", True)
+    footer = (
+        f"-- {len(rows)} result rows in {elapsed:.4f}s; "
+        f"{ctx.stats.subquery_evals} nested-subquery evaluations, "
+        f"{ctx.stats.subquery_cache_hits} cache hits"
+    )
+    report = "\n".join(lines) + "\n" + footer + "\n"
+    return report, Table(plan.schema, rows)

@@ -1,0 +1,87 @@
+"""Exception hierarchy for the repro query processor.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch a single base class.  The hierarchy mirrors the pipeline
+stages: lexing/parsing, name resolution, translation, rewriting, planning,
+and execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SqlError(ReproError):
+    """Base class for errors in the SQL front-end."""
+
+
+class LexError(SqlError):
+    """Raised when the lexer encounters an invalid token.
+
+    Carries the 1-based ``line`` and ``column`` of the offending character.
+    """
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(SqlError):
+    """Raised when the parser encounters an unexpected token."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class BindError(SqlError):
+    """Raised during name resolution (unknown table/column, ambiguity)."""
+
+
+class TranslationError(ReproError):
+    """Raised when a bound query cannot be translated into the algebra."""
+
+
+class RewriteError(ReproError):
+    """Raised when an unnesting rewrite is applied to a non-matching plan."""
+
+
+class NotUnnestableError(RewriteError):
+    """Raised when no unnesting equivalence applies to a nested plan.
+
+    The rewriter raises this only in *strict* mode; the default pipeline
+    falls back to the canonical (nested-loop) plan instead.
+    """
+
+
+class PlanningError(ReproError):
+    """Raised when the optimizer cannot produce a physical plan."""
+
+
+class ExecutionError(ReproError):
+    """Raised by the runtime when a plan fails during evaluation."""
+
+
+class CatalogError(ReproError):
+    """Raised for catalog misuse (duplicate/missing tables, schema drift)."""
+
+
+class SchemaError(ReproError):
+    """Raised when an operator is built over incompatible schemas."""
+
+
+class BudgetExceeded(ExecutionError):
+    """Raised when a benchmark cell exceeds its wall-clock budget.
+
+    Mirrors the paper's six-hour abort: Figure 7 reports ``n/a`` for such
+    cells, and so does our harness.
+    """
+
+    def __init__(self, budget_seconds: float):
+        super().__init__(f"evaluation exceeded budget of {budget_seconds:.1f}s")
+        self.budget_seconds = budget_seconds

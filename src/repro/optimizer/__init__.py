@@ -1,0 +1,20 @@
+"""Cost-based optimizer: statistics, join ordering, strategy selection.
+
+The paper stresses (§1) that unnesting equivalences should be applied
+*cost-based* — some unnesting strategies do not always produce better
+plans.  This package provides:
+
+* :mod:`repro.optimizer.cardinality` — selectivity and cardinality
+  estimation from catalog statistics;
+* :mod:`repro.optimizer.cost` — a cost model over logical plans, aware of
+  nested-loop subquery evaluation and bypass DAGs;
+* :mod:`repro.optimizer.joins` — selection pushdown and greedy join
+  ordering (turning the canonical cross products into join trees), run on
+  every query block including nested ones;
+* :mod:`repro.optimizer.planner` — the strategy layer: canonical,
+  unnested, cost-based auto, and the S1/S2/S3 baseline emulations.
+"""
+
+from repro.optimizer.planner import PlannedQuery, Strategy, plan_query, execute_sql
+
+__all__ = ["PlannedQuery", "Strategy", "plan_query", "execute_sql"]

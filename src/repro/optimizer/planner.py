@@ -1,0 +1,178 @@
+"""Strategy layer: canonical / unnested / cost-based / S1–S3 baselines.
+
+A *strategy* fixes how a SQL text becomes an executable plan:
+
+===============  ==========================================================
+``canonical``    translate → join optimisation; subqueries stay nested
+                 (the Natix canonical plans of §4)
+``unnested``     canonical + the bypass unnesting rewriter (Eqv. 1–5)
+``auto``         cost both alternatives, keep the cheaper — the paper's
+                 cost-based application of the equivalences
+``s1``           canonical, cold subplan per outer row (commercial S 1)
+``s2``           canonical + correlation-value subquery memoisation (S 2)
+``s3``           canonical + cheap-first disjunct reordering (S 3)
+===============  ==========================================================
+
+All strategies share the same front-end and the same join optimisation,
+so measured differences isolate the nested-query evaluation strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+
+from repro.algebra import ops as L
+from repro.baselines import reorder_disjuncts_cheap_first
+from repro.engine import EvalOptions, execute_plan
+from repro.errors import PlanningError
+from repro.optimizer.cost import CostModel
+from repro.optimizer.joins import optimize_joins
+from repro.rewrite import UnnestOptions, unnest
+from repro.sql import classify, parse, translate
+from repro.sql.classify import QueryClass
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """How to turn a canonical translation into an executable plan."""
+
+    name: str
+    description: str
+    apply_unnesting: bool = False
+    cost_based: bool = False
+    subquery_memo: bool = False
+    reorder_disjuncts: bool = False
+
+
+STRATEGIES: dict[str, Strategy] = {
+    "canonical": Strategy(
+        "canonical", "nested-loop evaluation of nested blocks"
+    ),
+    "unnested": Strategy(
+        "unnested", "bypass unnesting (Equivalences 1-5)", apply_unnesting=True
+    ),
+    "auto": Strategy(
+        "auto", "cost-based choice between canonical and unnested", cost_based=True
+    ),
+    "s1": Strategy(
+        "s1", "commercial baseline S1: plain nested loops"
+    ),
+    "s2": Strategy(
+        "s2", "commercial baseline S2: nested loops + subquery memoisation",
+        subquery_memo=True,
+    ),
+    "s3": Strategy(
+        "s3", "commercial baseline S3: nested loops + cheap-first disjuncts",
+        reorder_disjuncts=True,
+    ),
+}
+
+
+@dataclass
+class PlannedQuery:
+    """A fully planned query, ready for (repeated) execution."""
+
+    sql: str
+    strategy: Strategy
+    logical: L.Operator
+    output_names: tuple[str, ...]
+    classification: QueryClass
+    estimated_cost: float
+    chosen_alternative: str  # for "auto": which side won
+
+    def execute(
+        self,
+        catalog: Catalog,
+        options: EvalOptions | None = None,
+        with_context: bool = False,
+    ):
+        """Run the plan; returns a Table with user-visible column names."""
+        base = options or EvalOptions()
+        merged = dc_replace(base, subquery_memo=base.subquery_memo or self.strategy.subquery_memo)
+        result = execute_plan(self.logical, catalog, merged, with_context=with_context)
+        if with_context:
+            table, ctx = result
+            return _present(table, self.output_names), ctx
+        return _present(result, self.output_names)
+
+
+def plan_query(
+    sql: str,
+    catalog: Catalog,
+    strategy: str | Strategy = "auto",
+    unnest_options: UnnestOptions | None = None,
+    views: dict | None = None,
+) -> PlannedQuery:
+    """Parse, translate, optimise and (per strategy) unnest ``sql``."""
+    if isinstance(strategy, str):
+        try:
+            strategy = STRATEGIES[strategy.lower()]
+        except KeyError:
+            raise PlanningError(
+                f"unknown strategy {strategy!r}; have {sorted(STRATEGIES)}"
+            ) from None
+
+    statement = parse(sql)
+    translation = translate(statement, catalog, views)
+    classification = classify(translation.plan)
+    from repro.optimizer.simplify import simplify_plan
+
+    canonical = optimize_joins(simplify_plan(translation.plan), catalog)
+
+    if unnest_options is None:
+        # Ground the Eqv.-2-vs-3 rank decision in catalog statistics.
+        from repro.optimizer.rank_estimator import CatalogEstimator
+
+        unnest_options = UnnestOptions(estimator=CatalogEstimator(catalog))
+
+    chosen = "canonical"
+    logical = canonical
+    if strategy.reorder_disjuncts:
+        logical = reorder_disjuncts_cheap_first(canonical)
+    elif strategy.apply_unnesting:
+        logical = unnest(canonical, unnest_options)
+        chosen = "unnested"
+    elif strategy.cost_based:
+        rewritten = unnest(canonical, unnest_options)
+        canonical_cost = CostModel(catalog).cost(canonical)
+        rewritten_cost = CostModel(catalog).cost(rewritten)
+        if rewritten_cost < canonical_cost:
+            logical, chosen = rewritten, "unnested"
+        else:
+            logical, chosen = canonical, "canonical"
+
+    cost = CostModel(catalog).cost(logical)
+    return PlannedQuery(
+        sql=sql,
+        strategy=strategy,
+        logical=logical,
+        output_names=translation.output_names,
+        classification=classification,
+        estimated_cost=cost,
+        chosen_alternative=chosen,
+    )
+
+
+def execute_sql(
+    sql: str,
+    catalog: Catalog,
+    strategy: str | Strategy = "auto",
+    options: EvalOptions | None = None,
+    unnest_options: UnnestOptions | None = None,
+    with_context: bool = False,
+    views: dict | None = None,
+):
+    """One-shot convenience: plan and execute."""
+    planned = plan_query(sql, catalog, strategy, unnest_options, views)
+    return planned.execute(catalog, options, with_context=with_context)
+
+
+def _present(table: Table, output_names: tuple[str, ...]) -> Table:
+    """Relabel the result columns with user-visible names."""
+    from repro.storage.schema import Schema
+
+    if len(output_names) != len(table.schema):
+        return table
+    return Table(Schema(output_names), table.rows)

@@ -1,0 +1,51 @@
+"""Catalog-backed rank estimation for the bypass-chain ordering.
+
+The rewriter orders disjuncts by Slagle's rank ``(s − 1)/c`` (§3.1
+Remark).  The default :class:`~repro.rewrite.rank.Estimator` uses fixed
+System-R constants; this subclass grounds both components in the
+catalog:
+
+* selectivity comes from :class:`~repro.optimizer.cardinality.CardinalityModel`
+  (distinct counts, min/max interpolation);
+* the cost of a subquery-bearing disjunct is the estimated cost of its
+  *unnestable form* is unknown at ordering time, so we charge the cost
+  model's estimate for one evaluation of the nested plan — expensive
+  enough that cheap simple predicates still go first, but a genuinely
+  terrible simple predicate (huge cost, selectivity ≈ 1) will rank after
+  the subquery, flipping the chain to Equivalence 3.
+
+``plan_query`` installs this estimator automatically whenever the caller
+did not override the unnest options.
+"""
+
+from __future__ import annotations
+
+from repro.algebra import expr as E
+from repro.optimizer.cardinality import CardinalityModel
+from repro.rewrite.rank import Estimator
+from repro.storage.catalog import Catalog
+
+
+class CatalogEstimator(Estimator):
+    """Rank estimator grounded in catalog statistics."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self.cards = CardinalityModel(catalog)
+
+    def selectivity(self, predicate: E.Expr) -> float:
+        for node in predicate.walk():
+            if isinstance(node, E.SubqueryExpr):
+                self.cards._harvest_stats(node.plan)
+        return self.cards.selectivity(predicate)
+
+    def cost(self, predicate: E.Expr) -> float:
+        from repro.optimizer.cost import CostModel
+
+        total = self.SIMPLE_COST
+        for node in predicate.walk():
+            if isinstance(node, E.SubqueryExpr):
+                total += max(CostModel(self.catalog).cost(node.plan), self.SUBQUERY_COST)
+            elif isinstance(node, E.Like):
+                total += self.LIKE_COST
+        return total

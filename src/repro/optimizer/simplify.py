@@ -1,0 +1,220 @@
+"""Expression simplification: constant folding and boolean identities.
+
+A classic optimizer pass run before join ordering:
+
+* comparisons / arithmetic / LIKE / IS NULL over literals fold to
+  literals, with exact three-valued semantics (``1 < NULL`` folds to
+  UNKNOWN, i.e. ``Literal(None)``);
+* boolean identities: TRUE/FALSE absorption in AND/OR, double negation,
+  single-item unwrapping;
+* ``σ[TRUE]`` disappears; ``σ[FALSE/UNKNOWN-constant]`` becomes
+  ``Limit 0`` (the empty relation with the same schema);
+* CASE with a constant TRUE first branch folds to that branch.
+
+Folding never descends *into* subquery plans through expressions — the
+plan walker visits those plans itself — and never reorders anything, so
+it composes with the rank-based disjunct ordering downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+
+from repro.algebra import expr as E
+from repro.algebra import ops as L
+
+_CMP = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+def simplify_expr(expression: E.Expr) -> E.Expr:
+    """Fold constants and apply boolean identities (3VL-exact)."""
+    kids = expression.children()
+    if kids:
+        new_kids = [simplify_expr(kid) for kid in kids]
+        if not all(new is old for new, old in zip(new_kids, kids)):
+            expression = expression.replace_children(new_kids)
+
+    if isinstance(expression, E.SubqueryExpr):
+        new_plan = simplify_plan(expression.plan)
+        if new_plan is not expression.plan:
+            expression = dc_replace(expression, plan=new_plan)
+        return expression
+
+    if isinstance(expression, E.Comparison):
+        left, right = expression.left, expression.right
+        if isinstance(left, E.Literal) and isinstance(right, E.Literal):
+            if left.value is None or right.value is None:
+                return E.NULL
+            try:
+                return E.Literal(_CMP[expression.op](left.value, right.value))
+            except TypeError:
+                return expression
+        return expression
+
+    if isinstance(expression, E.Arithmetic):
+        left, right = expression.left, expression.right
+        if isinstance(left, E.Literal) and isinstance(right, E.Literal):
+            if left.value is None or right.value is None:
+                return E.NULL
+            try:
+                return E.Literal(_ARITH[expression.op](left.value, right.value))
+            except (TypeError, ZeroDivisionError):
+                return expression
+        return expression
+
+    if isinstance(expression, E.Negate):
+        operand = expression.operand
+        if isinstance(operand, E.Literal):
+            if operand.value is None:
+                return E.NULL
+            try:
+                return E.Literal(-operand.value)
+            except TypeError:
+                return expression
+        return expression
+
+    if isinstance(expression, E.Not):
+        operand = expression.operand
+        if isinstance(operand, E.Literal):
+            if operand.value is None:
+                return E.NULL
+            return E.Literal(not operand.value)
+        if isinstance(operand, E.Not):
+            # NOT NOT x ≡ x only when x is boolean-valued; all our NOT
+            # operands are predicates, so this is safe.
+            return operand.operand
+        return expression
+
+    if isinstance(expression, E.And):
+        items = []
+        saw_unknown = False
+        for item in expression.items:
+            if isinstance(item, E.Literal):
+                if item.value is False:
+                    return E.FALSE
+                if item.value is None:
+                    saw_unknown = True
+                continue  # TRUE (and UNKNOWN, handled below) drop out
+            items.append(item)
+        if not items:
+            return E.NULL if saw_unknown else E.TRUE
+        if saw_unknown:
+            # x AND UNKNOWN is not x (it can turn TRUE into UNKNOWN) but
+            # under a selection both behave the same; we keep exactness
+            # by retaining the UNKNOWN literal.
+            items.append(E.NULL)
+        return E.conjunction(items)
+
+    if isinstance(expression, E.Or):
+        items = []
+        saw_unknown = False
+        for item in expression.items:
+            if isinstance(item, E.Literal):
+                if item.value is True:
+                    return E.TRUE
+                if item.value is None:
+                    saw_unknown = True
+                continue
+            items.append(item)
+        if not items:
+            return E.NULL if saw_unknown else E.FALSE
+        if saw_unknown:
+            items.append(E.NULL)
+        return E.disjunction(items)
+
+    if isinstance(expression, E.IsNull):
+        operand = expression.operand
+        if isinstance(operand, E.Literal):
+            result = operand.value is None
+            return E.Literal(result != expression.negated)
+        return expression
+
+    if isinstance(expression, E.Like):
+        operand = expression.operand
+        if isinstance(operand, E.Literal):
+            if operand.value is None:
+                return E.NULL
+            from repro.engine.evaluate import _like_to_regex
+            import re
+
+            matched = re.match(_like_to_regex(expression.pattern), operand.value) is not None
+            return E.Literal(matched != expression.negated)
+        return expression
+
+    if isinstance(expression, E.Case):
+        branches = []
+        for condition, value in expression.branches:
+            if isinstance(condition, E.Literal):
+                if condition.value is True and not branches:
+                    return value
+                if condition.value is not True:
+                    continue  # FALSE/UNKNOWN branch can never fire
+            branches.append((condition, value))
+        if not branches:
+            return expression.default
+        if branches != list(expression.branches):
+            return E.Case(tuple(branches), expression.default)
+        return expression
+
+    return expression
+
+
+def simplify_plan(plan: L.Operator) -> L.Operator:
+    """Apply :func:`simplify_expr` throughout a plan DAG."""
+    memo: dict[int, L.Operator] = {}
+
+    def visit(node: L.Operator) -> L.Operator:
+        cached = memo.get(id(node))
+        if cached is not None:
+            return cached
+        children = [visit(child) for child in node.children()]
+        if not all(new is old for new, old in zip(children, node.children())):
+            node = node.replace_children(children)
+        node = _simplify_node(node)
+        memo[id(node)] = node
+        return node
+
+    def _simplify_node(node: L.Operator) -> L.Operator:
+        if isinstance(node, L.Select):
+            predicate = simplify_expr(node.predicate)
+            if predicate == E.TRUE:
+                return node.child
+            if isinstance(predicate, E.Literal) and predicate.value is not True:
+                return L.Limit(node.child, 0)  # FALSE/UNKNOWN: empty
+            if predicate is not node.predicate:
+                return L.Select(node.child, predicate)
+            return node
+        if isinstance(node, L.Map):
+            expression = simplify_expr(node.expression)
+            if expression is not node.expression:
+                return L.Map(node.child, node.name, expression)
+            return node
+        if isinstance(node, L.Join):
+            predicate = simplify_expr(node.predicate)
+            if predicate == E.TRUE:
+                return L.CrossProduct(node.left, node.right)
+            if predicate is not node.predicate:
+                return L.Join(node.left, node.right, predicate)
+            return node
+        if isinstance(node, L.BypassSelect):
+            predicate = simplify_expr(node.predicate)
+            if predicate is not node.predicate:
+                return L.BypassSelect(node.child, predicate)
+            return node
+        return node
+
+    return visit(plan)

@@ -1,0 +1,23 @@
+"""The unnesting rewriter — the paper's contribution.
+
+:mod:`repro.rewrite.unnest` implements Equivalences 1–5 as composable
+plan builders plus a recursive driver that handles simple, linear, and
+tree queries, including the paper's outlook case of *combined*
+disjunctive linking and correlation.  :mod:`repro.rewrite.quantified`
+extends the machinery to table subqueries (EXISTS/IN/ANY/ALL — the
+technical-report extension).  :mod:`repro.rewrite.rank` orders disjuncts
+by Slagle's rank, deciding between Equivalence 2 and 3.
+"""
+
+from repro.rewrite.unnest import UnnestOptions, unnest
+from repro.rewrite.rank import rank_of, order_disjuncts
+from repro.rewrite.debypass import contains_bypass, remove_bypass
+
+__all__ = [
+    "unnest",
+    "UnnestOptions",
+    "rank_of",
+    "order_disjuncts",
+    "remove_bypass",
+    "contains_bypass",
+]

@@ -1,0 +1,136 @@
+"""Bypass-operator elimination (paper §6.1).
+
+    "Although most runtime systems and optimizers do not incorporate
+     bypass plans, it is possible to transfer bypass plans into plans
+     without bypass operators.  This can, for example, be done by
+     tagging every tuple whether it belongs to the positive or negative
+     stream."
+
+:func:`remove_bypass` implements exactly that: each bypass selection
+becomes a map computing a two-valued tag (``CASE WHEN p THEN TRUE ELSE
+FALSE END`` — folding UNKNOWN into the negative stream, like σ± does),
+and each stream tap becomes a selection on the tag plus a projection
+back to the original schema.  A bypass join is tagged over the cross
+product.  The tagged node is shared by both stream replacements, so the
+result is still a DAG — but one made only of standard operators, which
+is what an engine without native bypass support needs.
+
+The ablation benchmark ``benchmarks/test_ablations.py`` measures what
+the tag-based encoding costs compared to native bypass operators.
+"""
+
+from __future__ import annotations
+
+from repro.algebra import expr as E
+from repro.algebra import ops as L
+
+
+def remove_bypass(plan: L.Operator) -> L.Operator:
+    """Rewrite a bypass DAG into an equivalent plan without σ±/⋈±."""
+    return _Debypasser().rewrite(plan)
+
+
+class _Debypasser:
+    def __init__(self):
+        self._memo: dict[int, L.Operator] = {}
+        #: id(bypass node) -> (tagged plan, tag attribute name)
+        self._tagged: dict[int, tuple[L.Operator, str]] = {}
+        self._counter = 0
+
+    def _fresh_tag(self) -> str:
+        self._counter += 1
+        return f"bp{self._counter}.tag"
+
+    def rewrite(self, node: L.Operator) -> L.Operator:
+        cached = self._memo.get(id(node))
+        if cached is not None:
+            return cached
+        if isinstance(node, L.StreamTap):
+            result = self._rewrite_tap(node)
+        else:
+            children = [self.rewrite(child) for child in node.children()]
+            if all(new is old for new, old in zip(children, node.children())):
+                result = node
+            else:
+                result = node.replace_children(children)
+            result = self._rewrite_subplans(result)
+        self._memo[id(node)] = result
+        return result
+
+    def _tagged_plan(self, bypass: L.Operator) -> tuple[L.Operator, str]:
+        """Build (once) the tagged replacement for a bypass operator."""
+        cached = self._tagged.get(id(bypass))
+        if cached is not None:
+            return cached
+        tag = self._fresh_tag()
+        predicate = bypass.predicate
+        two_valued = E.Case(((predicate, E.Literal(True)),), E.Literal(False))
+        if isinstance(bypass, L.BypassSelect):
+            source = self.rewrite(bypass.child)
+        else:  # BypassJoin: tag the cross product
+            source = L.CrossProduct(
+                self.rewrite(bypass.left), self.rewrite(bypass.right)
+            )
+        tagged = L.Map(source, tag, two_valued)
+        self._tagged[id(bypass)] = (tagged, tag)
+        return tagged, tag
+
+    def _rewrite_tap(self, tap: L.StreamTap) -> L.Operator:
+        bypass = tap.child
+        tagged, tag = self._tagged_plan(bypass)
+        wanted = E.Literal(True) if tap.positive_stream else E.Literal(False)
+        selected = L.Select(tagged, E.Comparison("=", E.ColumnRef(tag), wanted))
+        return L.Project(selected, tap.schema.names)
+
+    def _rewrite_subplans(self, node: L.Operator) -> L.Operator:
+        """Recurse into subquery plans inside the node's expressions."""
+        if not any(True for _ in node.subquery_plans()):
+            return node
+
+        def rewrite_expr(expression: E.Expr) -> E.Expr:
+            if isinstance(expression, E.SubqueryExpr):
+                from dataclasses import replace
+
+                new_plan = self.rewrite(expression.plan)
+                if new_plan is expression.plan:
+                    return expression
+                return replace(expression, plan=new_plan)
+            kids = expression.children()
+            if not kids:
+                return expression
+            new_kids = [rewrite_expr(kid) for kid in kids]
+            if all(new is old for new, old in zip(new_kids, kids)):
+                return expression
+            return expression.replace_children(new_kids)
+
+        if isinstance(node, L.Select):
+            predicate = rewrite_expr(node.predicate)
+            if predicate is not node.predicate:
+                return L.Select(node.child, predicate)
+        elif isinstance(node, L.Map):
+            expression = rewrite_expr(node.expression)
+            if expression is not node.expression:
+                return L.Map(node.child, node.name, expression)
+        elif isinstance(node, L.BypassSelect):
+            predicate = rewrite_expr(node.predicate)
+            if predicate is not node.predicate:
+                return L.BypassSelect(node.child, predicate)
+        return node
+
+
+def contains_bypass(plan: L.Operator) -> bool:
+    """True if any bypass operator remains anywhere in the plan DAG."""
+    seen: set[int] = set()
+
+    def visit(node: L.Operator) -> bool:
+        if id(node) in seen:
+            return False
+        seen.add(id(node))
+        if isinstance(node, (L.BypassSelect, L.BypassJoin)):
+            return True
+        for sub in node.subquery_plans():
+            if visit(sub):
+                return True
+        return any(visit(child) for child in node.children())
+
+    return visit(plan)

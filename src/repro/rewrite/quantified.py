@@ -1,0 +1,152 @@
+"""Quantified table subqueries via count reduction (TR extension).
+
+The technical report extends the unnesting strategy to table subqueries
+(EXISTS / NOT EXISTS / IN / NOT IN, and ``θ ANY/ALL`` from the paper's
+outlook).  We reduce every quantified form to a *counting scalar
+subquery* over the same block, which the scalar machinery (Eqv. 1–5)
+then unnests uniformly:
+
+====================  =====================================================
+``EXISTS q``          ``count(q) > 0``
+``NOT EXISTS q``      ``count(q) = 0``
+``x IN q``            ``count(σ[x = c] q) > 0``
+``x NOT IN q``        ``count(σ[x = c ∨ c IS NULL ∨ x IS NULL] q) = 0``
+``x θ ANY q``         ``count(σ[x θ c] q) > 0``
+``x θ ALL q``         ``count(σ[x θ̄ c ∨ c IS NULL ∨ x IS NULL] q) = 0``
+====================  =====================================================
+
+where ``c`` is the subquery's output column and ``θ̄`` negates ``θ``.
+
+Exactness: the TRUE-sets agree with SQL's three-valued semantics in every
+case; where SQL yields UNKNOWN the reduction may yield FALSE.  In an NNF
+predicate (no NOT above the reduced expression) a selection — plain or
+bypass — cannot distinguish the two, so the reduction is sound exactly
+there; the rewriter normalises to NNF first.  The count-based violation
+encodings for the negated forms build the NULL guards *into* the counted
+set, so the notorious NOT IN NULL trap is handled exactly, not
+approximately.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.algebra import expr as E
+from repro.algebra import ops as L
+from repro.algebra.aggregates import STAR, AggSpec
+from repro.rewrite.normalize import to_nnf
+
+
+def reduce_quantified(expression: E.Expr, fresh: Callable[[str], str]) -> E.Expr:
+    """Rewrite quantified subquery expressions into count comparisons.
+
+    ``fresh(suffix)`` supplies globally unique attribute names for the
+    synthesised aggregate outputs.  Non-reducible nodes (e.g. a subquery
+    whose block uses LIMIT) are left untouched — the engine evaluates
+    them nested.
+    """
+    if isinstance(expression, E.Exists):
+        plan = _strip_presentation(expression.plan, keep_single_column=False)
+        if plan is None:
+            return expression
+        count = _count_subquery(plan, None, fresh)
+        op = "=" if expression.negated else ">"
+        return E.Comparison(op, count, E.Literal(0))
+
+    if isinstance(expression, E.InSubquery):
+        stripped = _strip_presentation(expression.plan, keep_single_column=True)
+        if stripped is None:
+            return expression
+        plan, column = stripped
+        operand = expression.operand
+        if expression.negated:
+            violation = E.disjunction(
+                [
+                    E.Comparison("=", operand, E.ColumnRef(column)),
+                    E.IsNull(E.ColumnRef(column)),
+                    E.IsNull(operand),
+                ]
+            )
+            count = _count_subquery(plan, violation, fresh)
+            return E.Comparison("=", count, E.Literal(0))
+        match = E.Comparison("=", operand, E.ColumnRef(column))
+        count = _count_subquery(plan, match, fresh)
+        return E.Comparison(">", count, E.Literal(0))
+
+    if isinstance(expression, E.QuantifiedComparison):
+        stripped = _strip_presentation(expression.plan, keep_single_column=True)
+        if stripped is None:
+            return expression
+        plan, column = stripped
+        operand = expression.operand
+        if expression.quantifier == "any":
+            match = E.Comparison(expression.op, operand, E.ColumnRef(column))
+            count = _count_subquery(plan, match, fresh)
+            return E.Comparison(">", count, E.Literal(0))
+        violation = E.disjunction(
+            [
+                E.Comparison(E.NEGATED_OP[expression.op], operand, E.ColumnRef(column)),
+                E.IsNull(E.ColumnRef(column)),
+                E.IsNull(operand),
+            ]
+        )
+        count = _count_subquery(plan, violation, fresh)
+        return E.Comparison("=", count, E.Literal(0))
+
+    kids = expression.children()
+    if not kids:
+        return expression
+    new_kids = [reduce_quantified(kid, fresh) for kid in kids]
+    if all(new is old for new, old in zip(new_kids, kids)):
+        return expression
+    return expression.replace_children(new_kids)
+
+
+def _strip_presentation(plan: L.Operator, keep_single_column: bool):
+    """Peel Sort/Distinct/Project wrappers that do not affect counting.
+
+    For the single-column forms (IN / quantified) returns
+    ``(stripped_plan, column_name)``; for EXISTS just the stripped plan.
+    ``None`` signals "do not reduce" (LIMIT present, or no single output
+    column where one is required).
+
+    Dropping Distinct is sound: ``count(σ …) > 0`` / ``= 0`` tests
+    emptiness, which duplicate elimination never changes.
+    """
+    node = plan
+    column: str | None = None
+    while True:
+        if isinstance(node, L.Limit):
+            return None
+        if isinstance(node, (L.Sort, L.Distinct)):
+            node = node.child
+            continue
+        if isinstance(node, L.Project):
+            if column is None and len(node.names) == 1:
+                column = node.names[0]
+            node = node.child
+            continue
+        break
+    if not keep_single_column:
+        return node
+    if column is None:
+        if len(node.schema) == 1:
+            column = node.schema.names[0]
+        else:
+            return None
+    return node, column
+
+
+def _count_subquery(plan: L.Operator, extra: E.Expr | None, fresh: Callable[[str], str]) -> E.ScalarSubquery:
+    """Build ``(SELECT COUNT(*) FROM plan WHERE extra)`` as an expression."""
+    if isinstance(plan, L.Select):
+        predicate, source = plan.predicate, plan.child
+    else:
+        predicate, source = E.TRUE, plan
+    conjuncts = [to_nnf(predicate)]
+    if extra is not None:
+        conjuncts.append(extra)
+    combined = E.conjunction(conjuncts)
+    body = source if combined == E.TRUE else L.Select(source, combined)
+    aggregate = L.ScalarAggregate(body, [(fresh("cnt"), AggSpec("count", STAR))])
+    return E.ScalarSubquery(aggregate)

@@ -1,0 +1,87 @@
+"""Predicate ranks and disjunct ordering (paper §3.1, Remark).
+
+For a predicate ``p`` with selectivity ``s`` and per-tuple evaluation
+cost ``c``, Slagle's rank is ``rank(p) = (s − 1) / c``; predicates are
+evaluated in ascending rank order.  In a bypass chain over a disjunction
+this decides between Equivalence 2 (cheap simple predicate first, the
+subquery evaluated only on the negative stream) and Equivalence 3 (the
+unnested subquery first, the expensive simple predicate bypassed).
+
+Estimates come from an :class:`Estimator`; the default one uses the
+classic System-R constants and charges subqueries a large cost, which
+yields the paper's default strategy (Eqv. 2).  The cost-based optimizer
+injects a catalog-driven estimator instead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.algebra import expr as E
+
+
+class Estimator:
+    """Default selectivity/cost heuristics (no statistics needed)."""
+
+    #: Relative per-tuple cost of evaluating a nested subquery.
+    SUBQUERY_COST = 1000.0
+    LIKE_COST = 5.0
+    SIMPLE_COST = 1.0
+
+    def selectivity(self, predicate: E.Expr) -> float:
+        if isinstance(predicate, E.Comparison):
+            if predicate.op == "=":
+                return 0.1
+            if predicate.op == "<>":
+                return 0.9
+            return 1.0 / 3.0
+        if isinstance(predicate, E.And):
+            result = 1.0
+            for item in predicate.items:
+                result *= self.selectivity(item)
+            return result
+        if isinstance(predicate, E.Or):
+            result = 1.0
+            for item in predicate.items:
+                result *= 1.0 - self.selectivity(item)
+            return 1.0 - result
+        if isinstance(predicate, E.Not):
+            return 1.0 - self.selectivity(predicate.operand)
+        if isinstance(predicate, (E.Like, E.InList)):
+            return 0.25
+        if isinstance(predicate, (E.Exists, E.InSubquery, E.QuantifiedComparison)):
+            return 0.5
+        return 0.5
+
+    def cost(self, predicate: E.Expr) -> float:
+        if predicate.contains_subquery():
+            return self.SUBQUERY_COST
+        if isinstance(predicate, E.Like):
+            return self.LIKE_COST
+        total = self.SIMPLE_COST
+        for child in predicate.children():
+            total += self.cost(child) - self.SIMPLE_COST if not isinstance(child, E.Literal) else 0.0
+        return max(total, self.SIMPLE_COST)
+
+
+def rank_of(predicate: E.Expr, estimator: Estimator | None = None) -> float:
+    """Slagle's rank ``(s − 1) / c`` — lower means evaluate earlier."""
+    estimator = estimator or Estimator()
+    selectivity = estimator.selectivity(predicate)
+    cost = estimator.cost(predicate)
+    return (selectivity - 1.0) / cost
+
+
+def order_disjuncts(
+    disjuncts: Sequence[E.Expr],
+    estimator: Estimator | None = None,
+    key: Callable[[E.Expr], float] | None = None,
+) -> list[E.Expr]:
+    """Order disjuncts for a bypass chain by ascending rank (stable).
+
+    With the default estimator, subquery-free disjuncts precede nested
+    ones (Equivalence 2); an estimator that makes the simple predicate
+    very expensive flips the order (Equivalence 3).
+    """
+    ranker = key or (lambda d: rank_of(d, estimator))
+    return sorted(disjuncts, key=ranker)

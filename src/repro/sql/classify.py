@@ -1,0 +1,194 @@
+"""Query classification (paper §2.2).
+
+Two orthogonal taxonomies:
+
+* **Kim types** per nested block — A (aggregate, uncorrelated),
+  N (no aggregate, uncorrelated), J (correlated, no aggregate),
+  JA (correlated aggregate).  A/JA blocks are *scalar subqueries*;
+  N/J blocks are *table subqueries* (EXISTS/IN/... linking).
+* **Muralikrishna structure** over the whole query — SIMPLE (exactly one
+  nested block), LINEAR (several blocks, at most one nested within any
+  block), TREE (some block has two or more blocks nested at the same
+  level); NONE if the query has no nesting.
+
+On top of these, the classifier reports the paper's two problem markers:
+``disjunctive_linking`` (a linking predicate occurs inside a disjunction)
+and ``disjunctive_correlation`` (a correlation predicate occurs inside a
+disjunction in the inner block).
+
+Classification operates on the *canonical translation* — the algebra —
+because correlation is visible there as free attributes, with no extra
+name-resolution machinery.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.algebra import expr as E
+from repro.algebra import ops as L
+
+
+class KimType(enum.Enum):
+    A = "A"
+    N = "N"
+    J = "J"
+    JA = "JA"
+
+
+class NestingStructure(enum.Enum):
+    NONE = "none"
+    SIMPLE = "simple"
+    LINEAR = "linear"
+    TREE = "tree"
+
+
+@dataclass
+class BlockInfo:
+    """Classification of one nested query block."""
+
+    plan: L.Operator
+    kim_type: KimType
+    depth: int  # 1 = directly nested in the root block
+    correlated: bool
+    has_aggregate: bool
+    disjunctive_linking: bool
+    disjunctive_correlation: bool
+    children: list["BlockInfo"] = field(default_factory=list)
+
+
+@dataclass
+class QueryClass:
+    """Classification of a whole query."""
+
+    blocks: list[BlockInfo]
+    structure: NestingStructure
+    disjunctive_linking: bool
+    disjunctive_correlation: bool
+
+    @property
+    def nested_block_count(self) -> int:
+        return len(self.blocks)
+
+    def describe(self) -> str:
+        if not self.blocks:
+            return "flat query (no nesting)"
+        types = "/".join(sorted({b.kim_type.value for b in self.blocks}))
+        markers = []
+        if self.disjunctive_linking:
+            markers.append("disjunctive linking")
+        if self.disjunctive_correlation:
+            markers.append("disjunctive correlation")
+        marker_text = f" with {', '.join(markers)}" if markers else ""
+        return f"{self.structure.value} nested query, type {types}{marker_text}"
+
+
+def classify(plan: L.Operator) -> QueryClass:
+    """Classify the canonical translation of a query."""
+    top_blocks = _collect_blocks(plan, depth=1)
+    all_blocks: list[BlockInfo] = []
+
+    def flatten(blocks: list[BlockInfo]) -> None:
+        for block in blocks:
+            all_blocks.append(block)
+            flatten(block.children)
+
+    flatten(top_blocks)
+    structure = _structure_of(plan, top_blocks, all_blocks)
+    return QueryClass(
+        blocks=all_blocks,
+        structure=structure,
+        disjunctive_linking=any(b.disjunctive_linking for b in all_blocks),
+        disjunctive_correlation=any(b.disjunctive_correlation for b in all_blocks),
+    )
+
+
+def _collect_blocks(plan: L.Operator, depth: int) -> list[BlockInfo]:
+    """Find nested blocks of ``plan`` (not descending into them here)."""
+    blocks: list[BlockInfo] = []
+    for node in plan.iter_dag():
+        for expression in node.exprs():
+            for sub, linking_disjunctive in _subqueries_with_context(expression):
+                blocks.append(_classify_block(sub.plan, depth, linking_disjunctive))
+    return blocks
+
+
+def _subqueries_with_context(expression: E.Expr):
+    """Yield (subquery expr, occurs-under-a-disjunction) pairs."""
+
+    def visit(node: E.Expr, under_or: bool):
+        if isinstance(node, E.SubqueryExpr):
+            yield node, under_or
+            # Do not descend into the plan; handled recursively elsewhere.
+            for child in node.children():
+                yield from visit(child, under_or)
+            return
+        next_under_or = under_or or isinstance(node, E.Or)
+        for child in node.children():
+            yield from visit(child, next_under_or)
+
+    yield from visit(expression, False)
+
+
+def _classify_block(plan: L.Operator, depth: int, linking_disjunctive: bool) -> BlockInfo:
+    correlated = bool(plan.free_attrs())
+    has_aggregate = _has_top_aggregate(plan)
+    if has_aggregate:
+        kim = KimType.JA if correlated else KimType.A
+    else:
+        kim = KimType.J if correlated else KimType.N
+    disjunctive_correlation = _has_disjunctive_correlation(plan)
+    children = _collect_blocks(plan, depth + 1)
+    return BlockInfo(
+        plan=plan,
+        kim_type=kim,
+        depth=depth,
+        correlated=correlated,
+        has_aggregate=has_aggregate,
+        disjunctive_linking=linking_disjunctive,
+        disjunctive_correlation=disjunctive_correlation,
+        children=children,
+    )
+
+
+def _has_top_aggregate(plan: L.Operator) -> bool:
+    """Does the block compute a top-level aggregate (type A/JA)?"""
+    node = plan
+    while isinstance(node, (L.Project, L.Map, L.Rename, L.Distinct, L.Limit, L.Sort)):
+        node = node.child
+    return isinstance(node, (L.ScalarAggregate, L.GroupBy))
+
+
+def _has_disjunctive_correlation(plan: L.Operator) -> bool:
+    """Does a correlation predicate occur under a disjunction?
+
+    A correlation predicate of a block is any predicate expression that
+    references the block's free attributes.
+    """
+    free = plan.free_attrs()
+    if not free:
+        return False
+    for node in plan.iter_dag():
+        for expression in node.exprs():
+            for disjunct_parent in expression.walk():
+                if isinstance(disjunct_parent, E.Or):
+                    for item in disjunct_parent.items:
+                        if item.free_attrs() & free:
+                            return True
+    return False
+
+
+def _structure_of(
+    root: L.Operator, top_blocks: list[BlockInfo], all_blocks: list[BlockInfo]
+) -> NestingStructure:
+    if not all_blocks:
+        return NestingStructure.NONE
+    if len(all_blocks) == 1:
+        return NestingStructure.SIMPLE
+    # Tree: some block (or the root) directly contains >= 2 nested blocks.
+    if len(top_blocks) >= 2:
+        return NestingStructure.TREE
+    if any(len(block.children) >= 2 for block in all_blocks):
+        return NestingStructure.TREE
+    return NestingStructure.LINEAR

@@ -1,0 +1,192 @@
+"""Render an AST back to SQL text.
+
+Used for logging, plan headers, and the parser round-trip property test
+(``parse(render(parse(q))) == parse(q)``).  Rendering is fully
+parenthesised where precedence could bite, and deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlError
+from repro.sql import ast
+
+
+def render(stmt) -> str:
+    """Render a statement (SELECT or set-operation chain) as SQL."""
+    if isinstance(stmt, ast.SetOpStmt):
+        keyword = {"union": "UNION", "intersect": "INTERSECT", "except": "EXCEPT"}[stmt.op]
+        if stmt.all:
+            keyword += " ALL"
+        return f"{render(stmt.left)} {keyword} {render(stmt.right)}"
+    parts = []
+    if stmt.ctes:
+        definitions = ", ".join(
+            f"{name} AS ({render(definition)})" for name, definition in stmt.ctes
+        )
+        parts.append(f"WITH {definitions}")
+    parts.append("SELECT")
+    if stmt.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_render_select_item(item) for item in stmt.items))
+    parts.append("FROM")
+    parts.append(", ".join(_render_table_ref(ref) for ref in stmt.tables))
+    if stmt.where is not None:
+        parts.append("WHERE")
+        parts.append(render_expr(stmt.where))
+    if stmt.group_by:
+        parts.append("GROUP BY")
+        parts.append(", ".join(render_expr(key) for key in stmt.group_by))
+    if stmt.having is not None:
+        parts.append("HAVING")
+        parts.append(render_expr(stmt.having))
+    if stmt.order_by:
+        parts.append("ORDER BY")
+        parts.append(
+            ", ".join(
+                render_expr(item.expr) + ("" if item.ascending else " DESC")
+                for item in stmt.order_by
+            )
+        )
+    if stmt.limit is not None:
+        parts.append(f"LIMIT {stmt.limit}")
+    return " ".join(parts)
+
+
+def _render_select_item(item: ast.SelectItem) -> str:
+    text = render_expr(item.expr)
+    if item.alias:
+        return f"{text} AS {item.alias}"
+    return text
+
+
+def _render_table_ref(ref: ast.TableRef) -> str:
+    if ref.subquery is not None:
+        return f"({render(ref.subquery)}) AS {ref.alias}"
+    if ref.alias:
+        return f"{ref.table} AS {ref.alias}"
+    return ref.table
+
+
+def render_expr(node: ast.Node) -> str:
+    """Render one expression AST node."""
+    handler = _HANDLERS.get(type(node))
+    if handler is None:
+        raise SqlError(f"cannot render {type(node).__name__}")
+    return handler(node)
+
+
+def _render_constant(node: ast.Constant) -> str:
+    if node.value is None:
+        return "NULL"
+    if node.value is True:
+        return "TRUE"
+    if node.value is False:
+        return "FALSE"
+    if isinstance(node.value, str):
+        return "'" + node.value.replace("'", "''") + "'"
+    return str(node.value)
+
+
+def _render_name(node: ast.Name) -> str:
+    return node.sql()
+
+
+def _render_star(node: ast.Star) -> str:
+    return f"{node.qualifier}.*" if node.qualifier else "*"
+
+
+def _render_binary(node: ast.BinaryOp) -> str:
+    return f"({render_expr(node.left)} {node.op} {render_expr(node.right)})"
+
+
+def _render_unary(node: ast.UnaryOp) -> str:
+    if node.op == "not":
+        return f"(NOT {render_expr(node.operand)})"
+    return f"(- {render_expr(node.operand)})"
+
+
+def _render_bool(node: ast.BoolOp) -> str:
+    keyword = " AND " if node.op == "and" else " OR "
+    return "(" + keyword.join(render_expr(item) for item in node.items) + ")"
+
+
+def _render_like(node: ast.LikeOp) -> str:
+    keyword = "NOT LIKE" if node.negated else "LIKE"
+    pattern = node.pattern.replace("'", "''")
+    return f"({render_expr(node.operand)} {keyword} '{pattern}')"
+
+
+def _render_is_null(node: ast.IsNullOp) -> str:
+    keyword = "IS NOT NULL" if node.negated else "IS NULL"
+    return f"({render_expr(node.operand)} {keyword})"
+
+
+def _render_in_list(node: ast.InListOp) -> str:
+    keyword = "NOT IN" if node.negated else "IN"
+    items = ", ".join(render_expr(item) for item in node.items)
+    return f"({render_expr(node.operand)} {keyword} ({items}))"
+
+
+def _render_between(node: ast.BetweenOp) -> str:
+    keyword = "NOT BETWEEN" if node.negated else "BETWEEN"
+    return (
+        f"({render_expr(node.operand)} {keyword} "
+        f"{render_expr(node.low)} AND {render_expr(node.high)})"
+    )
+
+
+def _render_case(node: ast.CaseExpr) -> str:
+    parts = ["CASE"]
+    for cond, value in node.branches:
+        parts.append(f"WHEN {render_expr(cond)} THEN {render_expr(value)}")
+    if node.default is not None:
+        parts.append(f"ELSE {render_expr(node.default)}")
+    parts.append("END")
+    return " ".join(parts)
+
+
+def _render_func(node: ast.FuncCall) -> str:
+    distinct = "DISTINCT " if node.distinct else ""
+    args = ", ".join(render_expr(arg) for arg in node.args)
+    return f"{node.name}({distinct}{args})"
+
+
+def _render_subquery(node: ast.Subquery) -> str:
+    return f"({render(node.query)})"
+
+
+def _render_exists(node: ast.ExistsOp) -> str:
+    keyword = "NOT EXISTS" if node.negated else "EXISTS"
+    return f"({keyword} ({render(node.query)}))"
+
+
+def _render_in_subquery(node: ast.InSubqueryOp) -> str:
+    keyword = "NOT IN" if node.negated else "IN"
+    return f"({render_expr(node.operand)} {keyword} ({render(node.query)}))"
+
+
+def _render_quantified(node: ast.QuantifiedOp) -> str:
+    return (
+        f"({render_expr(node.operand)} {node.op} {node.quantifier.upper()} "
+        f"({render(node.query)}))"
+    )
+
+
+_HANDLERS = {
+    ast.Constant: _render_constant,
+    ast.Name: _render_name,
+    ast.Star: _render_star,
+    ast.BinaryOp: _render_binary,
+    ast.UnaryOp: _render_unary,
+    ast.BoolOp: _render_bool,
+    ast.LikeOp: _render_like,
+    ast.IsNullOp: _render_is_null,
+    ast.InListOp: _render_in_list,
+    ast.BetweenOp: _render_between,
+    ast.CaseExpr: _render_case,
+    ast.FuncCall: _render_func,
+    ast.Subquery: _render_subquery,
+    ast.ExistsOp: _render_exists,
+    ast.InSubqueryOp: _render_in_subquery,
+    ast.QuantifiedOp: _render_quantified,
+}

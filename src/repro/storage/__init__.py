@@ -1,0 +1,21 @@
+"""In-memory storage substrate: schemas, tables, and the catalog.
+
+The engine operates on plain Python tuples; a :class:`~repro.storage.schema.Schema`
+gives positional meaning to the fields.  A :class:`~repro.storage.table.Table`
+is an ordered bag (multiset) of rows, and a
+:class:`~repro.storage.catalog.Catalog` names a collection of tables and
+keeps lightweight statistics used by the cost-based optimizer.
+"""
+
+from repro.storage.schema import Column, Schema, ColumnType
+from repro.storage.table import Table
+from repro.storage.catalog import Catalog, TableStats
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Schema",
+    "Table",
+    "Catalog",
+    "TableStats",
+]

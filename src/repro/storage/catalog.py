@@ -1,0 +1,175 @@
+"""The catalog: named tables plus optimizer statistics.
+
+Statistics are deliberately simple (row count, per-column distinct counts
+and min/max) — enough for the selectivity formulas in
+:mod:`repro.optimizer.cardinality`.  They are computed eagerly on
+registration and refreshed explicitly via :meth:`Catalog.analyze`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import CatalogError
+from repro.storage.table import Table
+
+
+@dataclass
+class Histogram:
+    """An equi-width histogram over a numeric column.
+
+    ``edges`` has ``len(counts) + 1`` entries; bucket ``i`` covers
+    ``[edges[i], edges[i+1])`` (the last bucket is right-closed).
+    """
+
+    edges: list[float] = field(default_factory=list)
+    counts: list[int] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, values: list, buckets: int = 20) -> "Histogram | None":
+        numeric = [v for v in values if isinstance(v, (int, float)) and not isinstance(v, bool)]
+        if len(numeric) < 2:
+            return None
+        low, high = min(numeric), max(numeric)
+        if high <= low:
+            return None
+        buckets = min(buckets, max(len(numeric) // 2, 1))
+        width = (high - low) / buckets
+        counts = [0] * buckets
+        for v in numeric:
+            index = min(int((v - low) / width), buckets - 1)
+            counts[index] += 1
+        edges = [low + i * width for i in range(buckets)] + [float(high)]
+        return cls(edges, counts)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def fraction_below(self, value: float) -> float:
+        """Estimated fraction of values strictly below ``value``.
+
+        Interpolates linearly inside the containing bucket.
+        """
+        if not self.counts or self.total == 0:
+            return 0.5
+        if value <= self.edges[0]:
+            return 0.0
+        if value >= self.edges[-1]:
+            return 1.0
+        below = 0.0
+        for index, count in enumerate(self.counts):
+            low, high = self.edges[index], self.edges[index + 1]
+            if value >= high:
+                below += count
+                continue
+            if value > low:
+                below += count * (value - low) / (high - low)
+            break
+        return below / self.total
+
+
+@dataclass
+class ColumnStats:
+    """Statistics for a single column."""
+
+    distinct: int = 0
+    min_value: object = None
+    max_value: object = None
+    null_count: int = 0
+    histogram: "Histogram | None" = None
+
+
+@dataclass
+class TableStats:
+    """Statistics for one table."""
+
+    row_count: int = 0
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    @classmethod
+    def compute(cls, table: Table, histogram_buckets: int = 20) -> "TableStats":
+        stats = cls(row_count=len(table))
+        for column in table.schema:
+            values = table.column_values(column.name)
+            non_null = [v for v in values if v is not None]
+            col = ColumnStats(
+                distinct=len(set(non_null)),
+                min_value=min(non_null) if non_null else None,
+                max_value=max(non_null) if non_null else None,
+                null_count=len(values) - len(non_null),
+                histogram=Histogram.build(non_null, histogram_buckets),
+            )
+            stats.columns[column.name] = col
+        return stats
+
+
+class Catalog:
+    """A named collection of tables.
+
+    Table names are case-insensitive (folded to lower case), matching the
+    SQL front-end's identifier folding.
+    """
+
+    def __init__(self):
+        self._tables: dict[str, Table] = {}
+        self._stats: dict[str, TableStats] = {}
+
+    def register(self, table: Table, name: str | None = None, analyze: bool = True) -> None:
+        """Add ``table`` under ``name`` (default: the table's own name)."""
+        key = (name or table.name).lower()
+        if not key:
+            raise CatalogError("cannot register a table without a name")
+        if key in self._tables:
+            raise CatalogError(f"table {key!r} is already registered")
+        self._tables[key] = table
+        self._stats[key] = TableStats.compute(table) if analyze else TableStats(len(table))
+
+    def replace(self, table: Table, name: str | None = None) -> None:
+        """Register ``table``, overwriting any existing entry."""
+        key = (name or table.name).lower()
+        if not key:
+            raise CatalogError("cannot register a table without a name")
+        self._tables.pop(key, None)
+        self._stats.pop(key, None)
+        self.register(table, key)
+
+    def drop(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        del self._tables[key]
+        del self._stats[key]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"unknown table {name!r}; catalog has {sorted(self._tables)}"
+            ) from None
+
+    def stats(self, name: str) -> TableStats:
+        try:
+            return self._stats[name.lower()]
+        except KeyError:
+            raise CatalogError(f"no statistics for table {name!r}") from None
+
+    def analyze(self, name: str | None = None) -> None:
+        """Recompute statistics for one table, or for all tables."""
+        names = [name.lower()] if name else list(self._tables)
+        for key in names:
+            self._stats[key] = TableStats.compute(self.table(key))
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tables)
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)

@@ -1,0 +1,160 @@
+"""Tables: ordered bags of row tuples with a schema.
+
+The paper's formal algebra is defined over sets, with a section (§3.7)
+arguing correctness over multisets; our tables are multisets (ordered for
+reproducibility).  ``Table`` also provides the handful of bag/set helpers
+the test-suite uses to compare query results independent of row order.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections import Counter
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+from repro.storage.schema import Column, ColumnType, Schema
+
+Row = tuple
+
+
+class Table:
+    """An in-memory bag of rows sharing one schema.
+
+    Rows are plain tuples whose arity must match the schema.  The class is
+    deliberately small: all query processing happens in the engine; a
+    table only stores data and answers simple statistics queries.
+    """
+
+    __slots__ = ("schema", "rows", "name")
+
+    def __init__(self, schema: Schema | Sequence[Column | str], rows: Iterable[Row] = (), name: str = ""):
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        self.schema = schema
+        self.rows: list[Row] = [tuple(row) for row in rows]
+        self.name = name
+        arity = len(schema)
+        for row in self.rows:
+            if len(row) != arity:
+                raise SchemaError(
+                    f"row arity {len(row)} does not match schema arity {arity}"
+                )
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def append(self, row: Sequence) -> None:
+        row = tuple(row)
+        if len(row) != len(self.schema):
+            raise SchemaError(
+                f"row arity {len(row)} does not match schema arity {len(self.schema)}"
+            )
+        self.rows.append(row)
+
+    def extend(self, rows: Iterable[Sequence]) -> None:
+        for row in rows:
+            self.append(row)
+
+    # -- bag/set comparisons --------------------------------------------------
+
+    def as_bag(self) -> Counter:
+        """Multiset view of the rows (order-insensitive comparison)."""
+        return Counter(self.rows)
+
+    def as_set(self) -> frozenset:
+        return frozenset(self.rows)
+
+    def bag_equals(self, other: "Table | Iterable[Row]") -> bool:
+        other_rows = other.rows if isinstance(other, Table) else list(other)
+        return Counter(self.rows) == Counter(tuple(r) for r in other_rows)
+
+    # -- statistics -------------------------------------------------------
+
+    def column_values(self, name: str) -> list:
+        position = self.schema.position(name)
+        return [row[position] for row in self.rows]
+
+    def distinct_count(self, name: str) -> int:
+        """Number of distinct non-NULL values in column ``name``."""
+        position = self.schema.position(name)
+        return len({row[position] for row in self.rows if row[position] is not None})
+
+    def min_max(self, name: str) -> tuple:
+        """(min, max) over non-NULL values, or (None, None) if all NULL."""
+        values = [v for v in self.column_values(name) if v is not None]
+        if not values:
+            return (None, None)
+        return (min(values), max(values))
+
+    # -- CSV I/O -----------------------------------------------------------
+
+    def to_csv(self, path: str) -> None:
+        """Write the table (with a header line) to ``path``."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.schema.names)
+            for row in self.rows:
+                writer.writerow(["" if v is None else v for v in row])
+
+    @classmethod
+    def from_csv(cls, path: str, schema: Schema, name: str = "") -> "Table":
+        """Load a table from a CSV file written by :meth:`to_csv`.
+
+        Values are parsed according to the schema's column types; empty
+        fields become NULL.
+        """
+        types = [col.type for col in schema]
+        rows = []
+        with open(path, newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is not None and tuple(header) != schema.names:
+                raise SchemaError(
+                    f"CSV header {header} does not match schema {list(schema.names)}"
+                )
+            for record in reader:
+                rows.append(
+                    tuple(col_type.parse(field) for col_type, field in zip(types, record))
+                )
+        return cls(schema, rows, name=name)
+
+    # -- pretty printing -----------------------------------------------------
+
+    def pretty(self, limit: int = 20) -> str:
+        """Render the first ``limit`` rows as an aligned text table."""
+        names = self.schema.names
+        shown = self.rows[:limit]
+        cells = [[("NULL" if v is None else str(v)) for v in row] for row in shown]
+        widths = [len(n) for n in names]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        out = io.StringIO()
+        header = " | ".join(n.ljust(w) for n, w in zip(names, widths))
+        out.write(header + "\n")
+        out.write("-+-".join("-" * w for w in widths) + "\n")
+        for row in cells:
+            out.write(" | ".join(c.ljust(w) for c, w in zip(row, widths)) + "\n")
+        if len(self.rows) > limit:
+            out.write(f"... ({len(self.rows) - limit} more rows)\n")
+        return out.getvalue()
+
+    def __repr__(self) -> str:
+        label = self.name or "<anonymous>"
+        return f"Table({label}, {len(self.rows)} rows, {list(self.schema.names)})"
+
+
+def make_table(name: str, columns: Sequence[tuple[str, ColumnType]], rows: Iterable[Row]) -> Table:
+    """Convenience constructor used by tests and examples."""
+    schema = Schema([Column(col_name, col_type) for col_name, col_type in columns])
+    return Table(schema, rows, name=name)

@@ -1,0 +1,167 @@
+"""Aggregate semantics and the paper's decomposability property (§3.3).
+
+The decomposability property ``f(X) = fO(fI(Y), fI(Z))`` for every
+disjoint split ``X = Y ⊎ Z`` is the load-bearing fact behind
+Equivalence 4; it is checked here exhaustively with hypothesis.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.algebra.aggregates import (
+    STAR,
+    AggSpec,
+    evaluate_spec,
+    get_aggregate,
+)
+
+
+class TestBasicSemantics:
+    def test_count_star_counts_nulls(self):
+        agg = get_aggregate("count_star")
+        assert agg.over([1, None, 2]) == 3
+
+    def test_count_skips_nulls(self):
+        agg = get_aggregate("count")
+        assert agg.over([1, None, 2]) == 2
+
+    def test_sum(self):
+        assert get_aggregate("sum").over([1, 2, 3]) == 6
+
+    def test_sum_empty_is_null(self):
+        assert get_aggregate("sum").over([]) is None
+
+    def test_sum_all_null_is_null(self):
+        assert get_aggregate("sum").over([None, None]) is None
+
+    def test_avg(self):
+        assert get_aggregate("avg").over([1, 2, 3]) == 2
+
+    def test_avg_empty_is_null(self):
+        assert get_aggregate("avg").over([]) is None
+
+    def test_min_max(self):
+        assert get_aggregate("min").over([3, 1, 2]) == 1
+        assert get_aggregate("max").over([3, 1, 2]) == 3
+
+    def test_empty_values(self):
+        assert get_aggregate("count_star").empty_value() == 0
+        assert get_aggregate("count").empty_value() == 0
+        assert get_aggregate("sum").empty_value() is None
+        assert get_aggregate("min").empty_value() is None
+        assert get_aggregate("avg").empty_value() is None
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(ValueError):
+            get_aggregate("median")
+
+
+class TestAggSpec:
+    def test_count_star_resolution(self):
+        assert AggSpec("count", STAR).resolved_name() == "count_star"
+        assert AggSpec("count", STAR, distinct=True).resolved_name() == "count"
+        assert AggSpec("COUNT", STAR).resolved_name() == "count_star"
+
+    def test_decomposability_flags(self):
+        assert AggSpec("count", STAR).is_decomposable
+        assert AggSpec("sum", STAR).is_decomposable
+        assert AggSpec("avg", STAR).is_decomposable
+        # Footnote 1: DISTINCT COUNT/SUM/AVG are not decomposable.
+        assert not AggSpec("count", STAR, distinct=True).is_decomposable
+        assert not AggSpec("sum", STAR, distinct=True).is_decomposable
+        assert not AggSpec("avg", STAR, distinct=True).is_decomposable
+        # MIN/MAX are duplicate-insensitive, DISTINCT changes nothing.
+        assert AggSpec("min", STAR, distinct=True).is_decomposable
+        assert AggSpec("max", STAR, distinct=True).is_decomposable
+
+    def test_with_partial(self):
+        spec = AggSpec("sum", STAR).with_partial()
+        assert spec.as_partial
+
+    def test_empty_result_partial_vs_final(self):
+        assert AggSpec("avg", STAR).empty_result() is None
+        assert AggSpec("avg", STAR).with_partial().empty_result() == (0, 0)
+
+    def test_sql_rendering(self):
+        assert AggSpec("count", STAR, distinct=True).sql() == "count(DISTINCT *)"
+        assert "ᴵ" in AggSpec("sum", STAR).with_partial().sql()
+
+    def test_validates_eagerly(self):
+        with pytest.raises(ValueError):
+            AggSpec("bogus", STAR)
+
+
+class TestEvaluateSpec:
+    def test_distinct_count(self):
+        # STAR arguments arrive as whole-row tuples (never None); rows
+        # containing NULL fields still count as rows.
+        spec = AggSpec("count", STAR, distinct=True)
+        assert evaluate_spec(spec, [(1,), (1,), (2,), (None,)]) == 3
+
+    def test_distinct_sum(self):
+        spec = AggSpec("sum", STAR, distinct=True)
+        assert evaluate_spec(spec, [2, 2, 3]) == 5
+
+    def test_partial_mode_returns_state(self):
+        spec = AggSpec("avg", STAR).with_partial()
+        assert evaluate_spec(spec, [2, 4]) == (6, 2)
+
+    def test_count_star_with_tuples(self):
+        spec = AggSpec("count", STAR)
+        assert evaluate_spec(spec, [(1, 2), (1, 2)]) == 2
+
+    def test_distinct_star_tuples(self):
+        spec = AggSpec("count", STAR, distinct=True)
+        assert evaluate_spec(spec, [(1, 2), (1, 2), (3, 4)]) == 2
+
+
+# ---------------------------------------------------------------------------
+# Property: decomposability (paper §3.3)
+# ---------------------------------------------------------------------------
+
+DECOMPOSABLE = ["count_star", "count", "sum", "avg", "min", "max"]
+
+values_lists = st.lists(st.integers(min_value=-1000, max_value=1000), max_size=30)
+
+
+@pytest.mark.parametrize("name", DECOMPOSABLE)
+@given(left=values_lists, right=values_lists)
+def test_decomposition_property(name, left, right):
+    """f(Y ⊎ Z) == fO(fI(Y), fI(Z)) for every disjoint split."""
+    agg = get_aggregate(name)
+    whole = agg.over(left + right)
+
+    def partial(values):
+        state = agg.partial_empty()
+        for value in values:
+            state = agg.partial_step(state, value)
+        return state
+
+    combined = agg.finalize_partial(agg.combine(partial(left), partial(right)))
+    assert combined == whole
+
+
+@pytest.mark.parametrize("name", DECOMPOSABLE)
+@given(values=values_lists)
+def test_combine_with_empty_is_identity(name, values):
+    """fI(∅) is the identity of combine — the outer-join default is safe."""
+    agg = get_aggregate(name)
+
+    def partial(vals):
+        state = agg.partial_empty()
+        for value in vals:
+            state = agg.partial_step(state, value)
+        return state
+
+    value_partial = partial(values)
+    left = agg.finalize_partial(agg.combine(agg.partial_empty(), value_partial))
+    right = agg.finalize_partial(agg.combine(value_partial, agg.partial_empty()))
+    assert left == agg.over(values)
+    assert right == agg.over(values)
+
+
+@given(values=values_lists)
+def test_avg_matches_sum_over_count(values):
+    agg = get_aggregate("avg")
+    expected = None if not values else sum(values) / len(values)
+    assert agg.over(values) == expected

@@ -1,0 +1,145 @@
+"""Tests for the benchmark harness (timing, n/a budget, formatting)."""
+
+import pytest
+
+from repro.bench import (
+    NA,
+    BenchResult,
+    GridResult,
+    format_rst_grid,
+    format_tpch_row,
+    run_cell,
+    run_grid,
+)
+from repro.bench.queries import Q1
+from repro.datagen.rst import RstConfig
+from tests.conftest import make_rst_catalog
+
+
+@pytest.fixture(scope="module")
+def rst():
+    return make_rst_catalog(n_r=40, n_s=40)
+
+
+class TestRunCell:
+    def test_measures_and_counts(self, rst):
+        result = run_cell(Q1, rst, "unnested", budget_seconds=30)
+        assert result.seconds is not None
+        assert result.seconds >= 0
+        assert result.rows is not None
+
+    def test_budget_exceeded_reports_na(self):
+        # Budget checks happen every ~65k processed rows, so the aborted
+        # run needs enough data to cross that threshold.
+        big = make_rst_catalog(n_r=600, n_s=600)
+        result = run_cell(Q1, big, "canonical", budget_seconds=0.0)
+        assert result.seconds is None
+        assert result.display == NA
+
+    def test_display_formats(self):
+        assert BenchResult("x", 123.4, 1).display == "123"
+        assert BenchResult("x", 2.5, 1).display == "2.5"
+        assert BenchResult("x", 0.01234, 1).display == "0.012"
+        assert BenchResult("x", None, None).display == "n/a"
+
+    def test_stats_collection(self, rst):
+        result = run_cell(Q1, rst, "s2", budget_seconds=30)
+        assert result.subquery_cache_hits >= 0
+
+
+class TestGrid:
+    def test_run_grid_and_speedup(self, rst):
+        grid = run_grid(
+            "test",
+            lambda scale: Q1,
+            lambda scale: rst,
+            [(1, 1)],
+            ["canonical", "unnested"],
+            budget_seconds=30,
+        )
+        assert grid.seconds((1, 1), "canonical") is not None
+        speedup = grid.speedup((1, 1), "canonical", "unnested")
+        assert speedup is not None and speedup > 0
+
+    def test_speedup_none_for_na(self):
+        grid = GridResult("t")
+        grid.record("k", BenchResult("slow", None, None))
+        grid.record("k", BenchResult("fast", 1.0, 5))
+        assert grid.speedup("k", "slow", "fast") is None
+
+    def test_progress_callback(self, rst):
+        seen = []
+        run_grid(
+            "test",
+            lambda scale: Q1,
+            lambda scale: rst,
+            [(1, 1)],
+            ["unnested"],
+            budget_seconds=30,
+            progress=lambda key, result: seen.append((key, result.strategy)),
+        )
+        assert seen == [((1, 1), "unnested")]
+
+
+class TestFormatting:
+    def _grid(self):
+        grid = GridResult("Fig. test")
+        for sf1 in (1, 5):
+            for sf2 in (1, 5):
+                grid.record((sf1, sf2), BenchResult("canonical", 1.5, 10))
+                grid.record((sf1, sf2), BenchResult("unnested", 0.1, 10))
+        return grid
+
+    def test_rst_layout(self):
+        text = format_rst_grid(self._grid())
+        assert "Natix canonical" in text
+        assert "Natix unnested" in text
+        assert "SF1" in text and "SF2" in text
+
+    def test_tpch_layout(self):
+        grid = GridResult("Fig. 7(b)")
+        grid.record(0.01, BenchResult("canonical", None, None))
+        grid.record(0.01, BenchResult("unnested", 0.5, 3))
+        text = format_tpch_row(grid)
+        assert "n/a" in text
+        assert "0.5" in text
+
+    def test_na_rendered_in_rst_grid(self):
+        grid = GridResult("g")
+        grid.record((1, 1), BenchResult("s1", None, None))
+        assert "n/a" in format_rst_grid(grid)
+
+
+class TestFigureRunnersSmoke:
+    def test_fig7a_tiny(self):
+        from repro.bench import fig7a_q1
+
+        grid = fig7a_q1(
+            grid=[(1, 1)],
+            strategies=["canonical", "unnested"],
+            rst_config=RstConfig(rows_per_sf=60),
+            budget_seconds=30,
+        )
+        assert grid.seconds((1, 1), "unnested") is not None
+
+    def test_fig7c_tiny(self):
+        from repro.bench import fig7c_q2
+
+        grid = fig7c_q2(
+            grid=[(1, 1)],
+            strategies=["unnested"],
+            rst_config=RstConfig(rows_per_sf=60),
+            budget_seconds=30,
+        )
+        assert grid.seconds((1, 1), "unnested") is not None
+
+    def test_fig7b_tiny(self):
+        from repro.bench import fig7b_q2d
+
+        grid = fig7b_q2d(
+            paper_sfs=[0.01],
+            strategies=["unnested"],
+            sf_map={0.01: 0.002},
+            budget_seconds=60,
+        )
+        assert grid.seconds(0.01, "unnested") is not None

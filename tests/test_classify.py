@@ -1,0 +1,109 @@
+"""Tests for the Kim / Muralikrishna query classifier (paper §2.2)."""
+
+import pytest
+
+from repro.bench.queries import Q1, Q2, Q3, Q4, QUERY_2D
+from repro.datagen import tpch_catalog, TpchConfig
+from repro.sql import classify, parse, translate
+from repro.sql.classify import KimType, NestingStructure
+from tests.conftest import make_rst_catalog
+
+
+@pytest.fixture(scope="module")
+def rst():
+    return make_rst_catalog()
+
+
+def classify_sql(sql, catalog):
+    return classify(translate(parse(sql), catalog).plan)
+
+
+class TestPaperQueries:
+    def test_q1_simple_ja_disjunctive_linking(self, rst):
+        qc = classify_sql(Q1, rst)
+        assert qc.structure is NestingStructure.SIMPLE
+        assert qc.blocks[0].kim_type is KimType.JA
+        assert qc.disjunctive_linking
+        assert not qc.disjunctive_correlation
+
+    def test_q2_simple_ja_disjunctive_correlation(self, rst):
+        qc = classify_sql(Q2, rst)
+        assert qc.structure is NestingStructure.SIMPLE
+        assert qc.blocks[0].kim_type is KimType.JA
+        assert qc.disjunctive_correlation
+        assert not qc.disjunctive_linking
+
+    def test_q3_tree(self, rst):
+        qc = classify_sql(Q3, rst)
+        assert qc.structure is NestingStructure.TREE
+        assert len(qc.blocks) == 2
+        assert all(block.kim_type is KimType.JA for block in qc.blocks)
+
+    def test_q4_linear(self, rst):
+        qc = classify_sql(Q4, rst)
+        assert qc.structure is NestingStructure.LINEAR
+        assert len(qc.blocks) == 2
+        depths = sorted(block.depth for block in qc.blocks)
+        assert depths == [1, 2]
+
+    def test_query_2d(self):
+        catalog = tpch_catalog(TpchConfig(scale_factor=0.002, include_order_pipeline=False))
+        qc = classify_sql(QUERY_2D, catalog)
+        assert qc.structure is NestingStructure.SIMPLE
+        assert qc.blocks[0].kim_type is KimType.JA
+        assert qc.disjunctive_linking
+
+
+class TestKimTypes:
+    def test_type_a(self, rst):
+        qc = classify_sql("SELECT * FROM r WHERE A1 = (SELECT MAX(B1) FROM s)", rst)
+        assert qc.blocks[0].kim_type is KimType.A
+        assert qc.structure is NestingStructure.SIMPLE
+
+    def test_type_n(self, rst):
+        qc = classify_sql("SELECT * FROM r WHERE A1 IN (SELECT B1 FROM s)", rst)
+        assert qc.blocks[0].kim_type is KimType.N
+
+    def test_type_j(self, rst):
+        qc = classify_sql(
+            "SELECT * FROM r WHERE EXISTS (SELECT * FROM s WHERE A2 = B2)", rst
+        )
+        assert qc.blocks[0].kim_type is KimType.J
+
+    def test_type_ja(self, rst):
+        qc = classify_sql(
+            "SELECT * FROM r WHERE A1 = (SELECT COUNT(*) FROM s WHERE A2 = B2)", rst
+        )
+        assert qc.blocks[0].kim_type is KimType.JA
+
+
+class TestStructure:
+    def test_flat(self, rst):
+        qc = classify_sql("SELECT * FROM r WHERE A1 > 3", rst)
+        assert qc.structure is NestingStructure.NONE
+        assert qc.nested_block_count == 0
+
+    def test_conjunctive_linking_not_flagged(self, rst):
+        qc = classify_sql(
+            "SELECT * FROM r WHERE A1 = (SELECT COUNT(*) FROM s WHERE A2 = B2) AND A4 > 5",
+            rst,
+        )
+        assert not qc.disjunctive_linking
+
+    def test_tree_inside_nested_block(self, rst):
+        sql = """SELECT * FROM r WHERE A1 = (
+                   SELECT COUNT(*) FROM s
+                   WHERE B1 = (SELECT MAX(C1) FROM t)
+                      OR B2 = (SELECT MIN(C2) FROM t x))"""
+        qc = classify_sql(sql, rst)
+        assert qc.structure is NestingStructure.TREE
+
+    def test_describe_mentions_markers(self, rst):
+        qc = classify_sql(Q1, rst)
+        text = qc.describe()
+        assert "disjunctive linking" in text
+        assert "JA" in text
+
+    def test_describe_flat(self, rst):
+        qc = classify_sql("SELECT * FROM r", rst)
+        assert "flat" in qc.describe()

@@ -1,0 +1,109 @@
+"""The count bug (Kiessling [18]) — empty groups must not lose tuples.
+
+Classic trap: rewriting ``A1 = (SELECT COUNT(...) FROM s WHERE A2 = B2)``
+into join + grouping loses outer tuples whose group is empty, precisely
+the ones where COUNT = 0 should match ``A1 = 0``.  The paper's
+leftouterjoin default ``g:f(∅)`` (and the binary grouping's built-in
+``f(∅)``) fix this; these tests construct the trap explicitly.
+"""
+
+import pytest
+
+from repro.engine import execute_plan
+from repro.rewrite import UnnestOptions, unnest
+from repro.sql import parse, translate
+from repro.storage import Catalog, Schema, Table
+from tests.conftest import assert_bag_equal
+
+
+@pytest.fixture
+def trap_catalog():
+    """r rows whose A2 has no partner in s — their COUNT is 0."""
+    catalog = Catalog()
+    catalog.register(
+        Table(
+            Schema(["A1", "A2", "A4"]),
+            [
+                (0, 999, 10),   # empty group; qualifies iff COUNT = 0 handled
+                (0, 1, 10),     # group of size 2 → count 2 ≠ 0
+                (2, 1, 10),     # count 2 = A1 → qualifies
+                (0, 888, 9000), # empty group AND A4 > 1500
+            ],
+            name="r",
+        )
+    )
+    catalog.register(
+        Table(Schema(["B1", "B2", "B4"]), [(1, 1, 5), (2, 1, 5)], name="s")
+    )
+    return catalog
+
+
+def both_plans(sql, catalog, options=None):
+    plan = translate(parse(sql), catalog).plan
+    rewritten = unnest(plan, options or UnnestOptions(strict=True))
+    return execute_plan(plan, catalog), execute_plan(rewritten, catalog)
+
+
+class TestConjunctiveLinking:
+    def test_count_zero_rows_kept(self, trap_catalog):
+        sql = "SELECT * FROM r WHERE A1 = (SELECT COUNT(*) FROM s WHERE A2 = B2)"
+        canonical, unnested = both_plans(sql, trap_catalog)
+        assert_bag_equal(canonical, unnested)
+        # The empty-group rows with A1 = 0 must be in the result.
+        assert (0, 999, 10) in unnested.rows
+        assert (0, 888, 9000) in unnested.rows
+        assert (2, 1, 10) in unnested.rows
+        assert len(unnested) == 3
+
+
+class TestDisjunctiveLinking:
+    def test_count_zero_in_negative_stream(self, trap_catalog):
+        sql = """SELECT * FROM r
+                 WHERE A1 = (SELECT COUNT(*) FROM s WHERE A2 = B2) OR A4 > 1500"""
+        canonical, unnested = both_plans(sql, trap_catalog)
+        assert_bag_equal(canonical, unnested)
+        assert (0, 999, 10) in unnested.rows  # via the count path
+        assert (0, 888, 9000) in unnested.rows  # via the bypass path
+        assert (2, 1, 10) in unnested.rows  # count 2 = A1
+        assert len(unnested) == 3  # (0, 1, 10) fails both disjuncts
+
+
+class TestDisjunctiveCorrelation:
+    def test_eqv4_empty_group_partial(self, trap_catalog):
+        # Inner disjunction never satisfied for A2 = 999: count must be 0.
+        sql = """SELECT * FROM r
+                 WHERE A1 = (SELECT COUNT(*) FROM s WHERE A2 = B2 OR B4 > 1000)"""
+        canonical, unnested = both_plans(sql, trap_catalog)
+        assert_bag_equal(canonical, unnested)
+        assert (0, 999, 10) in unnested.rows
+
+    def test_eqv5_empty_group(self, trap_catalog):
+        sql = """SELECT * FROM r
+                 WHERE A1 = (SELECT COUNT(*) FROM s WHERE A2 = B2 OR B4 > 1000)"""
+        canonical, unnested = both_plans(
+            sql, trap_catalog, UnnestOptions(strict=True, enable_eqv4=False)
+        )
+        assert_bag_equal(canonical, unnested)
+        assert (0, 999, 10) in unnested.rows
+
+
+class TestSumNullSemantics:
+    def test_sum_over_empty_group_is_null_not_zero(self):
+        """SUM(∅) is NULL; a predicate `A1 = 0` must NOT match it."""
+        catalog = Catalog()
+        catalog.register(Table(Schema(["A1", "A2"]), [(0, 999)], name="r"))
+        catalog.register(Table(Schema(["B1", "B2"]), [(5, 1)], name="s"))
+        sql = "SELECT * FROM r WHERE A1 = (SELECT SUM(B1) FROM s WHERE A2 = B2)"
+        canonical, unnested = both_plans(sql, catalog)
+        assert canonical.rows == []
+        assert unnested.rows == []
+
+    def test_min_over_empty_group_is_null(self):
+        catalog = Catalog()
+        catalog.register(Table(Schema(["A1", "A2", "A4"]), [(0, 999, 2000)], name="r"))
+        catalog.register(Table(Schema(["B1", "B2"]), [(5, 1)], name="s"))
+        sql = """SELECT * FROM r
+                 WHERE A1 = (SELECT MIN(B1) FROM s WHERE A2 = B2) OR A4 > 1500"""
+        canonical, unnested = both_plans(sql, catalog)
+        assert_bag_equal(canonical, unnested)
+        assert len(unnested) == 1  # via the bypass disjunct only

@@ -1,0 +1,107 @@
+"""Common table expressions (WITH clauses)."""
+
+import pytest
+
+from repro import Database
+from repro.errors import TranslationError
+from repro.sql import parse
+from repro.sql.render import render
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        "s", ["B1", "B2", "B4"],
+        [(1, 1, 100), (2, 1, 2000), (3, 2, 50), (4, 2, 1800)],
+    )
+    database.create_table("r", ["A1", "A2"], [(2, 1), (0, 9)])
+    return database
+
+
+class TestParsing:
+    def test_single_cte(self):
+        stmt = parse("WITH x AS (SELECT a FROM t) SELECT * FROM x")
+        assert len(stmt.ctes) == 1
+        assert stmt.ctes[0][0] == "x"
+
+    def test_multiple_ctes(self):
+        stmt = parse(
+            "WITH x AS (SELECT a FROM t), y AS (SELECT b FROM u) "
+            "SELECT * FROM x, y"
+        )
+        assert [name for name, _ in stmt.ctes] == ["x", "y"]
+
+    def test_roundtrip(self):
+        sql = "WITH x AS (SELECT a FROM t) SELECT * FROM x WHERE a > 1"
+        tree = parse(sql)
+        assert parse(render(tree)) == tree
+
+
+class TestExecution:
+    def test_basic_cte(self, db):
+        result = db.execute(
+            "WITH cheap AS (SELECT B1 FROM s WHERE B4 < 1000) "
+            "SELECT * FROM cheap ORDER BY B1"
+        )
+        assert result.rows == [(1,), (3,)]
+
+    def test_cte_referenced_twice(self, db):
+        result = db.execute(
+            "WITH v AS (SELECT B1, B2 FROM s) "
+            "SELECT a.B1, b.B1 FROM v a, v b WHERE a.B2 = b.B2 AND a.B1 < b.B1"
+        )
+        assert sorted(result.rows) == [(1, 2), (3, 4)]
+
+    def test_cte_chain(self, db):
+        result = db.execute(
+            "WITH big AS (SELECT B1, B2 FROM s WHERE B4 > 1000), "
+            "     grouped AS (SELECT B2, COUNT(*) AS c FROM big GROUP BY B2) "
+            "SELECT * FROM grouped ORDER BY B2"
+        )
+        assert result.rows == [(1, 1), (2, 1)]
+
+    def test_cte_visible_in_subquery(self, db):
+        result = db.execute(
+            """WITH svals AS (SELECT B1, B2 FROM s)
+               SELECT * FROM r
+               WHERE A1 = (SELECT COUNT(*) FROM svals WHERE A2 = B2) OR A1 = 0""",
+            strategy="unnested",
+        )
+        assert sorted(result.rows) == [(0, 9), (2, 1)]
+
+    def test_cte_shadows_view(self, db):
+        db.create_view("v", "SELECT B1 FROM s WHERE B1 > 3")
+        result = db.execute(
+            "WITH v AS (SELECT B1 FROM s WHERE B1 < 2) SELECT * FROM v"
+        )
+        assert result.rows == [(1,)]
+
+    def test_strategies_agree(self, db):
+        sql = (
+            "WITH svals AS (SELECT B1, B2 FROM s WHERE B4 > 60) "
+            "SELECT * FROM r WHERE A1 = (SELECT COUNT(*) FROM svals WHERE A2 = B2)"
+        )
+        reference = db.execute(sql, "canonical")
+        for strategy in ("unnested", "auto", "s2"):
+            assert db.execute(sql, strategy).bag_equals(reference)
+
+
+class TestErrors:
+    def test_duplicate_cte_name(self, db):
+        with pytest.raises(TranslationError, match="duplicate CTE"):
+            db.execute(
+                "WITH x AS (SELECT B1 FROM s), x AS (SELECT B2 FROM s) "
+                "SELECT * FROM x"
+            )
+
+    def test_self_reference_rejected(self, db):
+        with pytest.raises(TranslationError, match="cyclic"):
+            db.execute("WITH x AS (SELECT * FROM x) SELECT * FROM x")
+
+    def test_mutual_recursion_rejected(self, db):
+        with pytest.raises(TranslationError, match="cyclic"):
+            db.execute(
+                "WITH a AS (SELECT * FROM b), b AS (SELECT * FROM a) "
+                "SELECT * FROM a"
+            )

@@ -1,0 +1,91 @@
+"""Integration tests for the public Database façade."""
+
+import pytest
+
+from repro import Database, EvalOptions, STRATEGIES, UnnestOptions
+from repro.errors import CatalogError, ParseError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        "r", ["A1", "A2", "A3", "A4"],
+        [(1, 1, 0, 2000), (2, 2, 0, 100), (0, 3, 0, 50), (0, 3, 1, 1700)],
+    )
+    database.create_table(
+        "s", ["B1", "B2", "B3", "B4"],
+        [(9, 1, 0, 0), (8, 2, 0, 0), (7, 2, 0, 0)],
+    )
+    return database
+
+
+Q = """SELECT DISTINCT * FROM r
+       WHERE A1 = (SELECT COUNT(*) FROM s WHERE A2 = B2) OR A4 > 1500"""
+
+
+class TestFacade:
+    def test_execute_default_strategy(self, db):
+        result = db.execute(Q)
+        assert sorted(result.rows) == [
+            (0, 3, 0, 50), (0, 3, 1, 1700), (1, 1, 0, 2000), (2, 2, 0, 100),
+        ]
+
+    def test_all_registered_strategies(self, db):
+        expected = db.execute(Q, "canonical")
+        for name in STRATEGIES:
+            assert db.execute(Q, name).bag_equals(expected)
+
+    def test_explain_contains_header(self, db):
+        text = db.explain(Q, "unnested")
+        assert "strategy: unnested" in text
+        assert "BypassSelect" in text
+        assert "query class" in text
+
+    def test_explain_auto_reports_choice(self, db):
+        text = db.explain(Q, "auto")
+        assert "chose" in text
+
+    def test_classify(self, db):
+        qc = db.classify(Q)
+        assert qc.disjunctive_linking
+
+    def test_plan_reusable(self, db):
+        planned = db.plan(Q, "unnested")
+        first = planned.execute(db.catalog)
+        second = planned.execute(db.catalog)
+        assert first.bag_equals(second)
+
+    def test_unnest_options_forwarded(self, db):
+        text = db.explain(Q, "unnested", unnest_options=UnnestOptions(disjunct_order="subquery_first"))
+        assert "BypassSelect" in text
+
+    def test_eval_options(self, db):
+        result = db.execute(Q, "canonical", options=EvalOptions(subquery_memo=True))
+        assert len(result) == 4
+
+    def test_register_and_analyze(self, db):
+        from repro.storage import Schema, Table
+
+        db.register(Table(Schema(["X"]), [(1,)], name="extra"))
+        assert len(db.table("extra")) == 1
+        db.table("extra").append((2,))
+        db.analyze("extra")
+        assert db.catalog.stats("extra").row_count == 2
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.create_table("r", ["X"])
+
+    def test_parse_error_propagates(self, db):
+        with pytest.raises(ParseError):
+            db.execute("SELECT FROM")
+
+    def test_output_column_labels(self, db):
+        result = db.execute("SELECT A1 AS first, A2 FROM r", "canonical")
+        assert result.schema.names == ("first", "A2")
+
+    def test_version_exported(self):
+        import repro
+
+        assert repro.__version__

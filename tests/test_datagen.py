@@ -1,0 +1,114 @@
+"""Tests for the RST and TPC-H data generators."""
+
+import pytest
+
+from repro.datagen import (
+    RstConfig,
+    TpchConfig,
+    generate_rst,
+    generate_tpch,
+    rst_catalog,
+    tpch_catalog,
+)
+
+
+class TestRst:
+    def test_default_sizes(self):
+        tables = generate_rst(1, 5, 10)
+        assert len(tables["r"]) == 1000
+        assert len(tables["s"]) == 5000
+        assert len(tables["t"]) == 10000
+
+    def test_schemas(self):
+        tables = generate_rst(1, 1, 1, RstConfig(rows_per_sf=10))
+        assert tables["r"].schema.names == ("A1", "A2", "A3", "A4")
+        assert tables["s"].schema.names == ("B1", "B2", "B3", "B4")
+        assert tables["t"].schema.names == ("C1", "C2", "C3", "C4")
+
+    def test_deterministic(self):
+        config = RstConfig(rows_per_sf=50)
+        first = generate_rst(1, 1, 1, config)
+        second = generate_rst(1, 1, 1, config)
+        assert first["r"].rows == second["r"].rows
+
+    def test_seed_changes_data(self):
+        first = generate_rst(1, 1, 1, RstConfig(rows_per_sf=50, seed=1))
+        second = generate_rst(1, 1, 1, RstConfig(rows_per_sf=50, seed=2))
+        assert first["r"].rows != second["r"].rows
+
+    def test_domains(self):
+        config = RstConfig(rows_per_sf=500)
+        table = generate_rst(1, 1, 1, config)["r"]
+        values = table.column_values("A4")
+        assert all(0 <= v < config.simple_domain for v in values)
+        assert all(0 <= v < config.link_domain for v in table.column_values("A1"))
+
+    def test_simple_predicate_selectivity_near_half(self):
+        table = generate_rst(2, 1, 1)["r"]
+        hits = sum(1 for v in table.column_values("A4") if v > 1500)
+        assert 0.4 < hits / len(table) < 0.6
+
+    def test_catalog_registration(self):
+        catalog = rst_catalog(1, 1, 1, RstConfig(rows_per_sf=10))
+        assert sorted(catalog.table_names()) == ["r", "s", "t"]
+        assert catalog.stats("r").row_count == 10
+
+
+class TestTpch:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        return generate_tpch(TpchConfig(scale_factor=0.002))
+
+    def test_fixed_tables(self, tables):
+        assert len(tables["region"]) == 5
+        assert len(tables["nation"]) == 25
+
+    def test_ratios(self, tables):
+        config = TpchConfig(scale_factor=0.002)
+        assert len(tables["supplier"]) == config.suppliers
+        assert len(tables["part"]) == config.parts
+        assert len(tables["partsupp"]) == 4 * config.parts
+        assert len(tables["orders"]) == 10 * len(tables["customer"])
+
+    def test_partsupp_keys_valid(self, tables):
+        suppliers = {row[0] for row in tables["supplier"].rows}
+        parts = {row[0] for row in tables["part"].rows}
+        for ps_partkey, ps_suppkey, availqty, cost in tables["partsupp"].rows:
+            assert ps_partkey in parts
+            assert ps_suppkey in suppliers
+            assert 1 <= availqty < 10_000
+            assert 1.0 <= cost <= 1000.0
+
+    def test_part_types_from_word_mill(self, tables):
+        types = {row[3] for row in tables["part"].rows}
+        assert any(t.endswith("BRASS") for t in types)
+        assert all(len(t.split()) == 3 for t in types)
+
+    def test_europe_exists(self, tables):
+        region_keys = {name: key for key, name in tables["region"].rows}
+        assert "EUROPE" in region_keys
+        europe_nations = [
+            row for row in tables["nation"].rows if row[2] == region_keys["EUROPE"]
+        ]
+        assert len(europe_nations) == 5  # spec: 5 nations per region
+
+    def test_deterministic(self):
+        config = TpchConfig(scale_factor=0.002, include_order_pipeline=False)
+        assert (
+            generate_tpch(config)["partsupp"].rows
+            == generate_tpch(config)["partsupp"].rows
+        )
+
+    def test_skip_order_pipeline(self):
+        tables = generate_tpch(TpchConfig(scale_factor=0.002, include_order_pipeline=False))
+        assert "lineitem" not in tables
+
+    def test_catalog(self):
+        catalog = tpch_catalog(TpchConfig(scale_factor=0.002, include_order_pipeline=False))
+        assert "partsupp" in catalog
+        assert catalog.stats("region").row_count == 5
+
+    def test_minimum_sizes_guarded(self):
+        config = TpchConfig(scale_factor=0.00001)
+        assert config.suppliers >= 5
+        assert config.parts >= 20

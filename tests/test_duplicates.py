@@ -1,0 +1,108 @@
+"""Duplicate handling under bag semantics (paper §3.7).
+
+Without DISTINCT, the unnested plan must preserve duplicate outer tuples
+with their exact multiplicity: the grouping keys are unique before the
+leftouterjoin, the numbering operator turns the outer bag into a set for
+Equivalence 5, and every bypass operator partitions its input.
+"""
+
+import pytest
+
+from repro.engine import execute_plan
+from repro.rewrite import UnnestOptions, unnest
+from repro.sql import parse, translate
+from repro.storage import Catalog, Schema, Table
+from tests.conftest import assert_bag_equal
+
+
+@pytest.fixture
+def dup_catalog():
+    catalog = Catalog()
+    duplicate_row = (2, 1, 0, 100)
+    catalog.register(
+        Table(
+            Schema(["A1", "A2", "A3", "A4"]),
+            [duplicate_row, duplicate_row, duplicate_row, (0, 9, 0, 2000), (0, 9, 0, 2000)],
+            name="r",
+        )
+    )
+    catalog.register(
+        Table(
+            Schema(["B1", "B2", "B3", "B4"]),
+            [(1, 1, 0, 0), (2, 1, 0, 0), (2, 1, 0, 0), (3, 2, 0, 3000)],
+            name="s",
+        )
+    )
+    catalog.register(
+        Table(Schema(["C1", "C2", "C3", "C4"]), [(1, 1, 0, 0), (1, 1, 0, 0)], name="t")
+    )
+    return catalog
+
+
+def check(sql, catalog, options=None):
+    plan = translate(parse(sql), catalog).plan
+    rewritten = unnest(plan, options or UnnestOptions(strict=True))
+    canonical = execute_plan(plan, catalog)
+    unnested = execute_plan(rewritten, catalog)
+    assert_bag_equal(canonical, unnested, sql)
+    return unnested
+
+
+class TestMultiplicityPreserved:
+    def test_eqv2_keeps_triplicate(self, dup_catalog):
+        sql = """SELECT * FROM r
+                 WHERE A1 = (SELECT COUNT(DISTINCT B1) FROM s WHERE A2 = B2)
+                    OR A4 > 1500"""
+        result = check(sql, dup_catalog)
+        # COUNT(DISTINCT B1) for A2=1 is 2 = A1 → all three copies stay.
+        assert result.rows.count((2, 1, 0, 100)) == 3
+        assert result.rows.count((0, 9, 0, 2000)) == 2
+
+    def test_eqv4_keeps_duplicates(self, dup_catalog):
+        sql = """SELECT * FROM r
+                 WHERE A1 = (SELECT COUNT(*) FROM s WHERE A2 = B2 OR B4 > 2500)"""
+        check(sql, dup_catalog)
+
+    def test_eqv5_numbering_keeps_duplicates(self, dup_catalog):
+        sql = """SELECT * FROM r
+                 WHERE A1 = (SELECT COUNT(*) FROM s WHERE A2 = B2 OR B4 > 2500)"""
+        check(sql, dup_catalog, UnnestOptions(strict=True, enable_eqv4=False))
+
+    def test_inner_duplicates_affect_count_star(self, dup_catalog):
+        """COUNT(*) sees inner duplicates; COUNT(DISTINCT *) does not."""
+        plain = check(
+            "SELECT * FROM r WHERE A1 = (SELECT COUNT(*) FROM s WHERE A2 = B2)",
+            dup_catalog,
+        )
+        distinct = check(
+            "SELECT * FROM r WHERE A1 = (SELECT COUNT(DISTINCT *) FROM s WHERE A2 = B2)",
+            dup_catalog,
+        )
+        # A2=1 group: 3 rows but 2 distinct rows; A1=2 matches only distinct.
+        assert plain.rows.count((2, 1, 0, 100)) == 0
+        assert distinct.rows.count((2, 1, 0, 100)) == 3
+
+    def test_distinct_star_on_top(self, dup_catalog):
+        sql = """SELECT DISTINCT * FROM r
+                 WHERE A1 = (SELECT COUNT(DISTINCT B1) FROM s WHERE A2 = B2)
+                    OR A4 > 1500"""
+        result = check(sql, dup_catalog)
+        assert result.rows.count((2, 1, 0, 100)) == 1
+
+    def test_linear_query_duplicates(self, dup_catalog):
+        sql = """SELECT * FROM r
+                 WHERE A1 = (SELECT COUNT(*) FROM s
+                             WHERE A2 = B2
+                                OR B3 = (SELECT COUNT(*) FROM t WHERE B4 = C2))"""
+        check(sql, dup_catalog)
+
+    def test_tree_query_duplicates(self, dup_catalog):
+        sql = """SELECT * FROM r
+                 WHERE A1 = (SELECT COUNT(*) FROM s WHERE A2 = B2)
+                    OR A3 = (SELECT COUNT(*) FROM t WHERE A4 = C2)"""
+        check(sql, dup_catalog)
+
+    def test_quantified_duplicates(self, dup_catalog):
+        sql = """SELECT * FROM r
+                 WHERE A1 IN (SELECT B1 FROM s WHERE A2 = B2) OR A4 > 1500"""
+        check(sql, dup_catalog)

@@ -1,0 +1,89 @@
+"""Tests for the exception hierarchy and error quality."""
+
+import pytest
+
+from repro import Database
+from repro.errors import (
+    BindError,
+    BudgetExceeded,
+    CatalogError,
+    ExecutionError,
+    LexError,
+    NotUnnestableError,
+    ParseError,
+    PlanningError,
+    ReproError,
+    RewriteError,
+    SchemaError,
+    SqlError,
+    TranslationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [LexError("x", 1, 1), ParseError("x"), BindError("x"), SqlError("x")],
+    )
+    def test_sql_errors(self, exc):
+        assert isinstance(exc, SqlError)
+        assert isinstance(exc, ReproError)
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            TranslationError("x"), RewriteError("x"), NotUnnestableError("x"),
+            PlanningError("x"), ExecutionError("x"), CatalogError("x"),
+            SchemaError("x"), BudgetExceeded(1.0),
+        ],
+    )
+    def test_repro_errors(self, exc):
+        assert isinstance(exc, ReproError)
+
+    def test_not_unnestable_is_rewrite_error(self):
+        assert issubclass(NotUnnestableError, RewriteError)
+
+    def test_budget_exceeded_is_execution_error(self):
+        assert issubclass(BudgetExceeded, ExecutionError)
+        assert BudgetExceeded(2.5).budget_seconds == 2.5
+
+    def test_lex_error_location(self):
+        error = LexError("bad", 3, 7)
+        assert error.line == 3 and error.column == 7
+        assert "line 3" in str(error)
+
+    def test_parse_error_optional_location(self):
+        assert "line" not in str(ParseError("oops"))
+        assert "line 2" in str(ParseError("oops", 2, 5))
+
+
+class TestErrorMessages:
+    """One catchable base class, informative messages end-to-end."""
+
+    @pytest.fixture
+    def db(self):
+        database = Database()
+        database.create_table("t", ["a"], [(1,)])
+        return database
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELEC * FROM t",                        # parse
+            "SELECT * FROM missing_table",           # catalog
+            "SELECT nope FROM t",                    # bind
+            "SELECT SUM(*) FROM t",                  # translation
+            "SELECT * FROM t WHERE a = 'x",          # lex
+        ],
+    )
+    def test_all_stages_raise_repro_error(self, db, sql):
+        with pytest.raises(ReproError):
+            db.execute(sql)
+
+    def test_unknown_column_names_alternatives(self, db):
+        with pytest.raises(ReproError, match="unknown column"):
+            db.execute("SELECT zz FROM t")
+
+    def test_catalog_error_lists_tables(self, db):
+        with pytest.raises(CatalogError, match="'t'"):
+            db.execute("SELECT * FROM zzz")

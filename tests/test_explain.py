@@ -1,0 +1,89 @@
+"""Tests for plan rendering (explain, signatures, operator counts)."""
+
+import pytest
+
+from repro.algebra import expr as E
+from repro.algebra import ops as L
+from repro.algebra.aggregates import STAR, AggSpec
+from repro.algebra.explain import count_operators, explain, plan_signature
+from repro.storage.schema import Schema
+
+
+def scan(name, cols):
+    return L.Scan(name, Schema(cols))
+
+
+@pytest.fixture
+def bypass_plan():
+    bypass = L.BypassSelect(scan("r", ["A1", "A4"]), E.Comparison(">", E.col("A4"), E.lit(1500)))
+    grouped = L.GroupBy(scan("s", ["B1", "B2"]), ["B2"], [("g", AggSpec("count", STAR))])
+    joined = L.LeftOuterJoin(bypass.negative, grouped, E.eq("A1", "B2"), defaults={"g": 0})
+    filtered = L.Project(L.Select(joined, E.eq("A1", "g")), ["A1", "A4"])
+    return L.UnionAll(bypass.positive, filtered)
+
+
+class TestExplain:
+    def test_contains_labels(self, bypass_plan):
+        text = explain(bypass_plan)
+        assert "UnionAll" in text
+        assert "BypassSelect±[A4 > 1500]" in text
+        assert "GroupBy[B2; g:count(*)]" in text
+        assert "LeftOuterJoin[A1 = B2 | defaults g:0]" in text
+
+    def test_stream_markers(self, bypass_plan):
+        text = explain(bypass_plan)
+        assert "(+) of" in text
+        assert "(−) of" in text
+
+    def test_shared_node_printed_once(self, bypass_plan):
+        text = explain(bypass_plan)
+        assert text.count("BypassSelect±[A4 > 1500]") == 2  # once + one reference
+        assert "[shared #1]" in text
+
+    def test_show_schema(self):
+        text = explain(scan("r", ["A1"]), show_schema=True)
+        assert ":: (A1)" in text
+
+    def test_nested_plan_rendered(self):
+        sub = L.ScalarAggregate(
+            L.Select(scan("s", ["B2"]), E.eq("A1", "B2")),
+            [("g", AggSpec("count", STAR))],
+        )
+        plan = L.Select(
+            scan("r", ["A1"]), E.Comparison("=", E.col("A1"), E.ScalarSubquery(sub))
+        )
+        text = explain(plan)
+        assert "<nested plan>" in text
+        assert "ScalarAgg" in text
+
+
+class TestSignature:
+    def test_deterministic(self, bypass_plan):
+        assert plan_signature(bypass_plan) == plan_signature(bypass_plan)
+
+    def test_shared_nodes_marked(self, bypass_plan):
+        signature = plan_signature(bypass_plan)
+        assert any(line.lstrip(".").startswith("@") for line in signature)
+
+    def test_distinguishes_plans(self):
+        left = L.Select(scan("r", ["A1"]), E.eq("A1", "A1"))
+        right = L.Distinct(scan("r", ["A1"]))
+        assert plan_signature(left) != plan_signature(right)
+
+
+class TestCountOperators:
+    def test_counts(self, bypass_plan):
+        counts = count_operators(bypass_plan)
+        assert counts["BypassSelect"] == 1
+        assert counts["StreamTap"] == 2
+        assert counts["Scan"] == 2
+        assert counts["UnionAll"] == 1
+
+    def test_counts_nested_plans(self):
+        sub = L.ScalarAggregate(scan("s", ["B1"]), [("g", AggSpec("count", STAR))])
+        plan = L.Select(
+            scan("r", ["A1"]), E.Comparison("=", E.col("A1"), E.ScalarSubquery(sub))
+        )
+        counts = count_operators(plan)
+        assert counts["ScalarAggregate"] == 1
+        assert counts["Scan"] == 2

@@ -1,0 +1,103 @@
+"""Unit tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.sql.lexer import Token, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "eof"
+
+    def test_keywords_case_insensitive(self):
+        assert kinds("SELECT select SeLeCt") == [("keyword", "select")] * 3
+
+    def test_identifiers_folded(self):
+        assert kinds("FooBar") == [("ident", "foobar")]
+
+    def test_quoted_identifier_preserves_case(self):
+        assert kinds('"FooBar"') == [("ident", "FooBar")]
+
+    def test_integer(self):
+        assert kinds("42") == [("number", 42)]
+
+    def test_float(self):
+        assert kinds("1.5") == [("number", 1.5)]
+
+    def test_number_then_dot_qualification(self):
+        # "t1.col" must lex as ident, dot, ident — not a float.
+        assert kinds("t1.col") == [("ident", "t1"), ("op", "."), ("ident", "col")]
+
+    def test_string_literal(self):
+        assert kinds("'hello'") == [("string", "hello")]
+
+    def test_string_escape(self):
+        assert kinds("'o''brien'") == [("string", "o'brien")]
+
+    def test_operators(self):
+        text = "= <> <= >= < > ( ) , + - * / ."
+        values = [v for _, v in kinds(text)]
+        assert values == ["=", "<>", "<=", ">=", "<", ">", "(", ")", ",", "+", "-", "*", "/", "."]
+
+    def test_bang_equals_normalised(self):
+        assert kinds("a != b")[1] == ("op", "<>")
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment(self):
+        assert kinds("a -- comment\n b") == [("ident", "a"), ("ident", "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x \n y */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_newlines_tracked(self):
+        tokens = tokenize("a\nb")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+
+    def test_columns_tracked(self):
+        tokens = tokenize("  ab cd")
+        assert tokens[0].column == 3
+        assert tokens[1].column == 6
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated string"):
+            tokenize("'open")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("a ; b")
+
+    def test_error_location(self):
+        with pytest.raises(LexError) as info:
+            tokenize("abc\n  @")
+        assert info.value.line == 2
+        assert info.value.column == 3
+
+
+class TestTokenHelpers:
+    def test_is_keyword(self):
+        token = Token("keyword", "select", 1, 1)
+        assert token.is_keyword("select", "from")
+        assert not token.is_keyword("where")
+
+    def test_is_op(self):
+        token = Token("op", "=", 1, 1)
+        assert token.is_op("=", "<")
+
+    def test_describe(self):
+        assert "eof" not in Token("ident", "x", 1, 1).describe()
+        assert Token("eof", None, 1, 1).describe() == "end of input"

@@ -1,0 +1,204 @@
+"""Unit tests for the rewriter's structural analysis and NNF."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import expr as E
+from repro.algebra import ops as L
+from repro.algebra.aggregates import STAR, AggSpec
+from repro.engine import execute_plan
+from repro.rewrite import normalize as N
+from repro.storage import Catalog, Schema, Table
+
+
+def scan_s():
+    return L.Scan("s", Schema(["B1", "B2", "B3", "B4"]))
+
+
+class TestPeelScalarAggregate:
+    def test_canonical_shape(self):
+        inner = L.Select(scan_s(), E.eq("A2", "B2"))
+        plan = L.Project(
+            L.ScalarAggregate(inner, [("g", AggSpec("count", STAR))]), ["g"]
+        )
+        shape = N.peel_scalar_aggregate(plan)
+        assert shape is not None
+        assert shape.spec.func == "count"
+        assert shape.predicate == E.eq("A2", "B2")
+        assert shape.source is inner.child
+
+    def test_without_select(self):
+        plan = L.ScalarAggregate(scan_s(), [("g", AggSpec("sum", E.col("B1")))])
+        shape = N.peel_scalar_aggregate(plan)
+        assert shape is not None
+        assert shape.predicate == E.TRUE
+
+    def test_non_aggregate_returns_none(self):
+        assert N.peel_scalar_aggregate(L.Project(scan_s(), ["B1"])) is None
+
+    def test_multi_aggregate_returns_none(self):
+        plan = L.ScalarAggregate(
+            scan_s(),
+            [("a", AggSpec("count", STAR)), ("b", AggSpec("sum", E.col("B1")))],
+        )
+        assert N.peel_scalar_aggregate(plan) is None
+
+
+class TestSplitConjuncts:
+    NAMES = frozenset(["B1", "B2", "B3", "B4"])
+
+    def test_split(self):
+        pred = E.conjunction([
+            E.eq("A2", "B2"),
+            E.Comparison(">", E.col("B4"), E.lit(10)),
+        ])
+        split = N.split_conjuncts(pred, self.NAMES)
+        assert len(split.correlating) == 1
+        assert len(split.local) == 1
+
+    def test_true_dropped(self):
+        split = N.split_conjuncts(E.TRUE, self.NAMES)
+        assert split.local == [] and split.correlating == []
+
+    def test_outer_refs(self):
+        refs = N.outer_refs(E.eq("A2", "B2"), self.NAMES)
+        assert refs == {"A2"}
+
+
+class TestMatchEqualityCorrelation:
+    NAMES = frozenset(["B1", "B2"])
+
+    def test_outer_eq_inner(self):
+        pair = N.match_equality_correlation(E.eq("A2", "B2"), self.NAMES)
+        assert pair is not None
+        assert pair.inner_column == "B2"
+        assert pair.outer == E.col("A2")
+
+    def test_inner_eq_outer_mirrored(self):
+        pair = N.match_equality_correlation(E.eq("B2", "A2"), self.NAMES)
+        assert pair is not None
+        assert pair.inner_column == "B2"
+
+    def test_outer_expression_side(self):
+        pred = E.Comparison("=", E.Arithmetic("+", E.col("A2"), E.lit(1)), E.col("B2"))
+        pair = N.match_equality_correlation(pred, self.NAMES)
+        assert pair is not None
+
+    def test_non_equality_rejected(self):
+        assert N.match_equality_correlation(
+            E.Comparison("<", E.col("A2"), E.col("B2")), self.NAMES
+        ) is None
+
+    def test_constant_side_rejected(self):
+        # B2 = 5 is a local predicate, not a correlation.
+        pred = E.Comparison("=", E.col("B2"), E.lit(5))
+        assert N.match_equality_correlation(pred, self.NAMES) is None
+
+    def test_mixed_side_rejected(self):
+        # (A2 + B1) = B2 touches both sides on the left: not groupable.
+        pred = E.Comparison("=", E.Arithmetic("+", E.col("A2"), E.col("B1")), E.col("B2"))
+        assert N.match_equality_correlation(pred, self.NAMES) is None
+
+
+class TestReplaceExprNode:
+    def test_replace_by_identity(self):
+        target = E.col("x")
+        other = E.col("x")  # equal but distinct node
+        root = E.And((target, other))
+        replaced = N.replace_expr_node(root, target, E.lit(1))
+        assert replaced.items[0] == E.lit(1)
+        assert replaced.items[1] is other
+
+    def test_untouched_tree_shared(self):
+        root = E.And((E.col("a"), E.col("b")))
+        assert N.replace_expr_node(root, E.col("zzz"), E.lit(1)) is root
+
+
+# ---------------------------------------------------------------------------
+# NNF — checked against direct evaluation under 3VL
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def boolean_exprs(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        kind = draw(st.sampled_from(["cmp", "like", "isnull", "inlist", "lit"]))
+        column = draw(st.sampled_from(["x", "y"]))
+        if kind == "cmp":
+            op = draw(st.sampled_from(list(E.COMPARISON_OPS)))
+            return E.Comparison(op, E.col(column), E.lit(draw(st.integers(0, 3))))
+        if kind == "like":
+            return E.Like(E.col("s"), draw(st.sampled_from(["a%", "%b", "_"])),
+                          draw(st.booleans()))
+        if kind == "isnull":
+            return E.IsNull(E.col(column), draw(st.booleans()))
+        if kind == "inlist":
+            return E.InList(E.col(column), (E.lit(1), E.lit(draw(st.integers(0, 3)))),
+                            draw(st.booleans()))
+        return E.Literal(draw(st.sampled_from([True, False, None])))
+    kind = draw(st.sampled_from(["and", "or", "not"]))
+    if kind == "not":
+        return E.Not(draw(boolean_exprs(depth + 1)))
+    items = draw(st.lists(boolean_exprs(depth + 1), min_size=2, max_size=3))
+    return E.And(tuple(items)) if kind == "and" else E.Or(tuple(items))
+
+
+def _evaluate(expression, x, y, s):
+    catalog = Catalog()
+    catalog.register(Table(Schema(["x", "y", "s"]), [(x, y, s)], name="unit"))
+    plan = L.Project(
+        L.Map(L.Scan("unit", Schema(["x", "y", "s"])), "v", expression), ["v"]
+    )
+    return execute_plan(plan, catalog).rows[0][0]
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    expression=boolean_exprs(),
+    x=st.one_of(st.none(), st.integers(0, 3)),
+    y=st.one_of(st.none(), st.integers(0, 3)),
+    s=st.one_of(st.none(), st.sampled_from(["a", "ab", "b"])),
+)
+def test_nnf_preserves_3vl_semantics(expression, x, y, s):
+    """to_nnf is exact under three-valued logic, row by row."""
+    original = _evaluate(expression, x, y, s)
+    normalised = _evaluate(N.to_nnf(expression), x, y, s)
+    assert original == normalised or (original is None and normalised is None)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    expression=boolean_exprs(),
+    x=st.one_of(st.none(), st.integers(0, 3)),
+    y=st.one_of(st.none(), st.integers(0, 3)),
+    s=st.one_of(st.none(), st.sampled_from(["a", "ab", "b"])),
+)
+def test_negate_is_3vl_not(expression, x, y, s):
+    original = _evaluate(expression, x, y, s)
+    negated = _evaluate(N.negate(expression), x, y, s)
+    if original is None:
+        assert negated is None
+    else:
+        assert negated == (not original)
+
+
+def test_nnf_pushes_not_through_and():
+    expression = E.Not(E.And((E.col("a"), E.col("b"))))
+    result = N.to_nnf(expression)
+    assert isinstance(result, E.Or)
+    assert all(isinstance(item, E.Not) for item in result.items)
+
+
+def test_nnf_flips_comparison():
+    assert N.to_nnf(E.Not(E.Comparison("<", E.col("a"), E.lit(1)))) == E.Comparison(
+        ">=", E.col("a"), E.lit(1)
+    )
+
+
+def test_nnf_flips_quantifier():
+    plan = scan_s()
+    expression = E.Not(E.QuantifiedComparison(E.col("a"), "<", "any", plan))
+    result = N.to_nnf(expression)
+    assert isinstance(result, E.QuantifiedComparison)
+    assert result.quantifier == "all"
+    assert result.op == ">="

@@ -1,0 +1,183 @@
+"""Unit tests for the logical operators (schema inference, free attrs)."""
+
+import pytest
+
+from repro.algebra import expr as E
+from repro.algebra import ops as L
+from repro.algebra.aggregates import STAR, AggSpec
+from repro.errors import SchemaError
+from repro.storage.schema import Schema
+
+
+def scan_r():
+    return L.Scan("r", Schema(["A1", "A2"]))
+
+
+def scan_s():
+    return L.Scan("s", Schema(["B1", "B2"]))
+
+
+class TestSchemaInference:
+    def test_select_keeps_schema(self):
+        node = L.Select(scan_r(), E.eq("A1", "A2"))
+        assert node.schema.names == ("A1", "A2")
+
+    def test_join_concatenates(self):
+        node = L.Join(scan_r(), scan_s(), E.eq("A1", "B1"))
+        assert node.schema.names == ("A1", "A2", "B1", "B2")
+
+    def test_project_subset(self):
+        node = L.Project(scan_r(), ["A2"])
+        assert node.schema.names == ("A2",)
+
+    def test_map_extends(self):
+        node = L.Map(scan_r(), "g", E.lit(1))
+        assert node.schema.names == ("A1", "A2", "g")
+
+    def test_rename(self):
+        node = L.Rename(scan_r(), {"A1": "X"})
+        assert node.schema.names == ("X", "A2")
+
+    def test_numbering_extends(self):
+        node = L.Numbering(scan_r(), "t")
+        assert node.schema.names == ("A1", "A2", "t")
+
+    def test_groupby_schema(self):
+        node = L.GroupBy(scan_s(), ["B2"], [("g", AggSpec("count", STAR))])
+        assert node.schema.names == ("B2", "g")
+
+    def test_groupby_validates_keys(self):
+        with pytest.raises(SchemaError):
+            L.GroupBy(scan_s(), ["nope"], [("g", AggSpec("count", STAR))])
+
+    def test_scalar_aggregate_schema(self):
+        node = L.ScalarAggregate(scan_s(), [("g", AggSpec("count", STAR))])
+        assert node.schema.names == ("g",)
+
+    def test_binary_groupby_schema(self):
+        numbered = L.Numbering(scan_r(), "t")
+        renamed = L.Rename(L.Numbering(scan_s(), "t0"), {"t0": "t2"})
+        node = L.BinaryGroupBy(
+            numbered, renamed, "g", "t", "t2", AggSpec("count", STAR)
+        )
+        assert node.schema.names == ("A1", "A2", "t", "g")
+
+    def test_semijoin_keeps_left_schema(self):
+        node = L.SemiJoin(scan_r(), scan_s(), E.eq("A1", "B1"))
+        assert node.schema.names == ("A1", "A2")
+
+    def test_union_requires_same_arity(self):
+        with pytest.raises(SchemaError):
+            L.UnionAll(scan_r(), L.Project(scan_s(), ["B1"]))
+
+    def test_left_outer_join_defaults_must_be_right_side(self):
+        with pytest.raises(SchemaError):
+            L.LeftOuterJoin(scan_r(), scan_s(), E.eq("A1", "B1"), defaults={"A1": 0})
+
+    def test_sort_validates_keys(self):
+        with pytest.raises(SchemaError):
+            L.Sort(scan_r(), [("zz", True)])
+
+
+class TestBypassStreams:
+    def test_taps_are_cached(self):
+        bypass = L.BypassSelect(scan_r(), E.eq("A1", "A2"))
+        assert bypass.positive is bypass.positive
+        assert bypass.negative is bypass.negative
+        assert bypass.positive is not bypass.negative
+
+    def test_tap_schema(self):
+        bypass = L.BypassJoin(scan_r(), scan_s(), E.eq("A1", "B1"))
+        assert bypass.positive.schema.names == ("A1", "A2", "B1", "B2")
+
+    def test_tap_requires_bypass(self):
+        with pytest.raises(SchemaError):
+            L.StreamTap(scan_r(), positive=True)
+
+    def test_tap_labels(self):
+        bypass = L.BypassSelect(scan_r(), E.TRUE)
+        assert bypass.positive.label() == "+stream"
+        assert bypass.negative.label() == "−stream"
+
+
+class TestFreeAttrs:
+    def test_scan_has_none(self):
+        assert scan_r().free_attrs() == frozenset()
+
+    def test_correlated_select(self):
+        node = L.Select(scan_s(), E.eq("A1", "B2"))
+        assert node.free_attrs() == {"A1"}
+
+    def test_free_propagates_up(self):
+        inner = L.Select(scan_s(), E.eq("A1", "B2"))
+        node = L.ScalarAggregate(inner, [("g", AggSpec("count", STAR))])
+        assert node.free_attrs() == {"A1"}
+
+    def test_bound_by_local_schema(self):
+        node = L.Select(scan_s(), E.eq("B1", "B2"))
+        assert node.free_attrs() == frozenset()
+
+    def test_subquery_free_attrs_flow_through_exprs(self):
+        sub_plan = L.ScalarAggregate(
+            L.Select(scan_s(), E.eq("A1", "B2")), [("g", AggSpec("count", STAR))]
+        )
+        outer = L.Select(scan_r(), E.Comparison("=", E.col("A2"), E.ScalarSubquery(sub_plan)))
+        assert outer.free_attrs() == frozenset()  # A1 is bound by the scan of r
+
+    def test_agg_arg_free_attrs(self):
+        node = L.ScalarAggregate(scan_s(), [("g", AggSpec("sum", E.col("X9")))])
+        assert node.free_attrs() == {"X9"}
+
+
+class TestRenameFreeAttrs:
+    def test_rename_in_subscript(self):
+        node = L.Select(scan_s(), E.eq("A1", "B2"))
+        renamed = node.rename_free_attrs({"A1": "Z1"})
+        assert renamed.free_attrs() == {"Z1"}
+
+    def test_untouched_nodes_shared(self):
+        inner = scan_s()
+        node = L.Select(inner, E.eq("A1", "B2"))
+        renamed = node.rename_free_attrs({"A1": "Z1"})
+        assert renamed.child is inner
+
+    def test_no_relevant_names_returns_self(self):
+        node = L.Select(scan_s(), E.eq("A1", "B2"))
+        assert node.rename_free_attrs({"other": "x"}) is node
+
+    def test_bypass_sharing_preserved(self):
+        bypass = L.BypassSelect(scan_s(), E.eq("A1", "B2"))
+        union = L.UnionAll(bypass.positive, bypass.negative)
+        renamed = union.rename_free_attrs({"A1": "Z1"})
+        left, right = renamed.children()
+        assert left.child is right.child  # still one bypass node
+
+
+class TestDagUtilities:
+    def test_iter_dag_visits_shared_once(self):
+        bypass = L.BypassSelect(scan_r(), E.TRUE)
+        union = L.UnionAll(bypass.positive, bypass.negative)
+        nodes = list(union.iter_dag())
+        bypass_nodes = [n for n in nodes if isinstance(n, L.BypassSelect)]
+        assert len(bypass_nodes) == 1
+
+    def test_subquery_plans(self):
+        sub_plan = L.ScalarAggregate(scan_s(), [("g", AggSpec("count", STAR))])
+        node = L.Select(scan_r(), E.Comparison("=", E.col("A1"), E.ScalarSubquery(sub_plan)))
+        assert list(node.subquery_plans()) == [sub_plan]
+
+    def test_union_all_helper_folds(self):
+        streams = [L.Project(scan_r(), ["A1"]) for _ in range(3)]
+        node = L.union_all(streams)
+        assert isinstance(node, L.UnionAll)
+        assert isinstance(node.left, L.UnionAll)
+
+    def test_union_all_helper_rejects_empty(self):
+        with pytest.raises(SchemaError):
+            L.union_all([])
+
+    def test_replace_children_identity(self):
+        join = L.Join(scan_r(), scan_s(), E.eq("A1", "B1"))
+        rebuilt = join.replace_children(list(join.children()))
+        assert rebuilt.schema == join.schema
+        assert rebuilt.predicate == join.predicate

@@ -1,0 +1,201 @@
+"""Tests for the optimizer: join ordering, cardinality, cost, planner."""
+
+import pytest
+
+from repro.algebra import expr as E
+from repro.algebra import ops as L
+from repro.algebra.explain import count_operators
+from repro.engine import execute_plan
+from repro.optimizer import plan_query
+from repro.optimizer.cardinality import CardinalityModel
+from repro.optimizer.cost import CostModel
+from repro.optimizer.joins import optimize_joins
+from repro.bench.queries import Q1, QUERY_2D
+from repro.datagen import TpchConfig, tpch_catalog
+from repro.errors import PlanningError
+from repro.sql import parse, translate
+from tests.conftest import assert_bag_equal, make_rst_catalog
+
+
+@pytest.fixture(scope="module")
+def rst():
+    return make_rst_catalog(seed=5)
+
+
+@pytest.fixture(scope="module")
+def tpch():
+    return tpch_catalog(TpchConfig(scale_factor=0.002, include_order_pipeline=False))
+
+
+class TestJoinOptimizer:
+    def test_cross_products_become_joins(self, tpch):
+        plan = translate(parse(QUERY_2D), tpch).plan
+        optimized = optimize_joins(plan, tpch)
+        counts = count_operators(optimized)
+        assert counts.get("CrossProduct") is None
+        assert counts.get("Join", 0) >= 7  # 4 outer + 3 inner joins
+
+    def test_results_preserved(self):
+        # Executing the *unoptimised* canonical translation materialises
+        # the full cross product, so this check needs a micro instance
+        # (20 parts × 5 suppliers × 80 partsupp × 25 × 5 ≈ 10^6 pairs).
+        tiny = tpch_catalog(TpchConfig(scale_factor=1e-9, include_order_pipeline=False))
+        plan = translate(parse(QUERY_2D), tiny).plan
+        optimized = optimize_joins(plan, tiny)
+        assert_bag_equal(execute_plan(plan, tiny), execute_plan(optimized, tiny))
+
+    def test_results_preserved_rst(self, rst):
+        sql = """SELECT * FROM r, s, t
+                 WHERE A2 = B2 AND B3 = C3 AND A4 > 1000 AND C1 = 2"""
+        plan = translate(parse(sql), rst).plan
+        optimized = optimize_joins(plan, rst)
+        assert_bag_equal(execute_plan(plan, rst), execute_plan(optimized, rst))
+        assert count_operators(optimized).get("CrossProduct") is None
+
+    def test_single_table_filters_pushed(self, rst):
+        sql = "SELECT * FROM r, s WHERE A2 = B2 AND A4 > 1000"
+        optimized = optimize_joins(translate(parse(sql), rst).plan, rst)
+        # The pushed filter sits below the join, the join has the equi-key.
+        joins = [n for n in optimized.iter_dag() if isinstance(n, L.Join)]
+        assert len(joins) == 1
+        selects = [n for n in optimized.iter_dag() if isinstance(n, L.Select)]
+        assert any(not s.predicate.contains_subquery() for s in selects)
+
+    def test_subquery_conjunct_stays_on_top(self, rst):
+        sql = """SELECT * FROM r, s WHERE A2 = B2
+                 AND A1 = (SELECT COUNT(*) FROM t WHERE A3 = C3)"""
+        optimized = optimize_joins(translate(parse(sql), rst).plan, rst)
+        top = optimized
+        while not isinstance(top, L.Select):
+            top = top.child
+        assert top.predicate.contains_subquery()
+
+    def test_disconnected_tables_cross_product(self, rst):
+        sql = "SELECT * FROM r, s WHERE A4 > 1000 AND B4 > 1000"
+        optimized = optimize_joins(translate(parse(sql), rst).plan, rst)
+        assert count_operators(optimized).get("CrossProduct") == 1
+
+    def test_inner_blocks_optimized_too(self, tpch):
+        plan = translate(parse(QUERY_2D), tpch).plan
+        optimized = optimize_joins(plan, tpch)
+        subplans = []
+        for node in optimized.iter_dag():
+            subplans.extend(node.subquery_plans())
+        assert subplans
+        assert all(
+            count_operators(sub).get("CrossProduct") is None for sub in subplans
+        )
+
+
+class TestCardinality:
+    def test_scan_uses_stats(self, rst):
+        model = CardinalityModel(rst)
+        plan = L.Scan("r", rst.table("r").schema.qualify("q1"))
+        assert model.cardinality(plan) == len(rst.table("r"))
+
+    def test_equality_selectivity_from_distinct(self, rst):
+        model = CardinalityModel(rst)
+        scan = L.Scan("r", rst.table("r").schema)
+        plan = L.Select(scan, E.Comparison("=", E.col("A1"), E.lit(3)))
+        estimate = model.cardinality(plan)
+        distinct = rst.stats("r").columns["A1"].distinct
+        assert abs(estimate - len(rst.table("r")) / distinct) < 1e-6
+
+    def test_range_interpolation(self, rst):
+        model = CardinalityModel(rst)
+        scan = L.Scan("r", rst.table("r").schema)
+        low = model.cardinality(L.Select(scan, E.Comparison(">", E.col("A4"), E.lit(2900))))
+        high = model.cardinality(L.Select(scan, E.Comparison(">", E.col("A4"), E.lit(100))))
+        assert low < high
+
+    def test_join_cardinality(self, rst):
+        model = CardinalityModel(rst)
+        plan = L.Join(
+            L.Scan("r", rst.table("r").schema),
+            L.Scan("s", rst.table("s").schema),
+            E.eq("A2", "B2"),
+        )
+        estimate = model.cardinality(plan)
+        assert 0 < estimate < len(rst.table("r")) * len(rst.table("s"))
+
+    def test_scalar_aggregate_is_one(self, rst):
+        model = CardinalityModel(rst)
+        from repro.algebra.aggregates import STAR, AggSpec
+
+        plan = L.ScalarAggregate(
+            L.Scan("s", rst.table("s").schema), [("g", AggSpec("count", STAR))]
+        )
+        assert model.cardinality(plan) == 1.0
+
+
+class TestCostModel:
+    def test_unnested_cheaper_for_q1(self, rst):
+        from repro.rewrite import unnest
+
+        plan = optimize_joins(translate(parse(Q1), rst).plan, rst)
+        rewritten = unnest(plan)
+        canonical_cost = CostModel(rst).cost(plan)
+        unnested_cost = CostModel(rst).cost(rewritten)
+        assert unnested_cost < canonical_cost
+
+    def test_correlated_subquery_charged_per_row(self, rst):
+        sql_corr = "SELECT * FROM r WHERE A1 = (SELECT COUNT(*) FROM s WHERE A2 = B2)"
+        sql_uncorr = "SELECT * FROM r WHERE A1 = (SELECT COUNT(*) FROM s)"
+        corr_cost = CostModel(rst).cost(translate(parse(sql_corr), rst).plan)
+        uncorr_cost = CostModel(rst).cost(translate(parse(sql_uncorr), rst).plan)
+        assert corr_cost > uncorr_cost * 3
+
+    def test_shared_nodes_charged_once(self, rst):
+        scan = L.Scan("r", rst.table("r").schema)
+        bypass = L.BypassSelect(scan, E.Comparison(">", E.col("A4"), E.lit(1500)))
+        union = L.UnionAll(bypass.positive, bypass.negative)
+        single = CostModel(rst).cost(bypass.positive)
+        both = CostModel(rst).cost(union)
+        assert both < 2 * single  # the shared bypass is not paid twice
+
+
+class TestPlanner:
+    def test_auto_picks_unnested_for_q1(self, rst):
+        planned = plan_query(Q1, rst, "auto")
+        assert planned.chosen_alternative == "unnested"
+
+    def test_auto_keeps_canonical_for_flat_query(self, rst):
+        planned = plan_query("SELECT * FROM r WHERE A4 > 1500", rst, "auto")
+        assert planned.chosen_alternative == "canonical"
+
+    def test_unknown_strategy(self, rst):
+        with pytest.raises(PlanningError, match="unknown strategy"):
+            plan_query(Q1, rst, "warp-speed")
+
+    def test_all_strategies_agree(self, rst):
+        results = {}
+        for strategy in ("canonical", "unnested", "auto", "s1", "s2", "s3"):
+            planned = plan_query(Q1, rst, strategy)
+            results[strategy] = planned.execute(rst)
+        baseline = results["canonical"]
+        for strategy, table in results.items():
+            assert_bag_equal(baseline, table, strategy)
+
+    def test_output_names_presented(self, rst):
+        planned = plan_query("SELECT A1 AS x, A2 FROM r", rst, "canonical")
+        table = planned.execute(rst)
+        assert table.schema.names == ("x", "A2")
+
+    def test_s2_memoises(self, rst):
+        planned = plan_query(Q1, rst, "s2")
+        _, ctx = planned.execute(rst, with_context=True)
+        assert ctx.stats.subquery_cache_hits > 0
+
+    def test_s1_does_not_memoise(self, rst):
+        planned = plan_query(Q1, rst, "s1")
+        _, ctx = planned.execute(rst, with_context=True)
+        assert ctx.stats.subquery_cache_hits == 0
+
+    def test_s3_evaluates_fewer_subqueries_than_s1(self, rst):
+        _, ctx1 = plan_query(Q1, rst, "s1").execute(rst, with_context=True)
+        _, ctx3 = plan_query(Q1, rst, "s3").execute(rst, with_context=True)
+        assert ctx3.stats.subquery_evals < ctx1.stats.subquery_evals
+
+    def test_classification_attached(self, rst):
+        planned = plan_query(Q1, rst, "canonical")
+        assert planned.classification.disjunctive_linking

@@ -1,0 +1,90 @@
+"""Tests for the structural plan validator."""
+
+import pytest
+
+from repro.algebra import expr as E
+from repro.algebra import ops as L
+from repro.algebra.aggregates import STAR, AggSpec
+from repro.algebra.check import PlanInvariantError, validate_plan
+from repro.bench.queries import Q1, Q2, Q3, Q4, QUERY_2D
+from repro.datagen import TpchConfig, tpch_catalog
+from repro.optimizer import plan_query
+from repro.rewrite import UnnestOptions, remove_bypass, unnest
+from repro.sql import parse, translate
+from repro.storage.schema import Schema
+from tests.conftest import make_rst_catalog
+
+
+def scan_r():
+    return L.Scan("r", Schema(["A1", "A2"]))
+
+
+def scan_s():
+    return L.Scan("s", Schema(["B1", "B2"]))
+
+
+class TestValidDetection:
+    def test_simple_plan_valid(self):
+        validate_plan(L.Select(scan_r(), E.eq("A1", "A2")))
+
+    def test_unbound_attribute_rejected(self):
+        plan = L.Select(scan_r(), E.eq("A1", "ZZZ"))
+        with pytest.raises(PlanInvariantError, match="unbound free attributes"):
+            validate_plan(plan)
+
+    def test_correlated_subplan_accepted_with_outer_names(self):
+        plan = L.Select(scan_s(), E.eq("A1", "B2"))
+        validate_plan(plan, outer_names=frozenset(["A1"]))
+
+    def test_nested_plan_attributes_scoped(self):
+        sub = L.ScalarAggregate(
+            L.Select(scan_s(), E.eq("A1", "B2")), [("g", AggSpec("count", STAR))]
+        )
+        plan = L.Select(scan_r(), E.Comparison("=", E.col("A2"), E.ScalarSubquery(sub)))
+        validate_plan(plan)
+
+    def test_bad_outer_join_default_rejected(self):
+        join = L.LeftOuterJoin(scan_r(), scan_s(), E.eq("A1", "B1"))
+        join.defaults["A1"] = 0  # sneak past the constructor check
+        with pytest.raises(PlanInvariantError, match="right-side"):
+            validate_plan(join)
+
+    def test_projection_of_unknown_column(self):
+        plan = L.Project(scan_r(), ["A1"])
+        object.__setattr__  # (Project is not frozen; mutate directly)
+        plan.names = ("A1", "GONE")
+        with pytest.raises(PlanInvariantError, match="unknown column"):
+            validate_plan(plan)
+
+
+class TestGeneratedPlansValidate:
+    @pytest.fixture(scope="class")
+    def rst(self):
+        return make_rst_catalog(seed=2)
+
+    @pytest.mark.parametrize("sql", [Q1, Q2, Q3, Q4], ids=["Q1", "Q2", "Q3", "Q4"])
+    def test_canonical_plans(self, rst, sql):
+        validate_plan(translate(parse(sql), rst).plan)
+
+    @pytest.mark.parametrize("sql", [Q1, Q2, Q3, Q4], ids=["Q1", "Q2", "Q3", "Q4"])
+    def test_unnested_plans(self, rst, sql):
+        validate_plan(unnest(translate(parse(sql), rst).plan))
+
+    @pytest.mark.parametrize("sql", [Q1, Q2], ids=["Q1", "Q2"])
+    def test_eqv5_plans(self, rst, sql):
+        validate_plan(
+            unnest(translate(parse(sql), rst).plan, UnnestOptions(enable_eqv4=False))
+        )
+
+    @pytest.mark.parametrize("sql", [Q1, Q2, Q4], ids=["Q1", "Q2", "Q4"])
+    def test_debypassed_plans(self, rst, sql):
+        validate_plan(remove_bypass(unnest(translate(parse(sql), rst).plan)))
+
+    def test_planner_output_all_strategies(self, rst):
+        for strategy in ("canonical", "unnested", "auto", "s2", "s3"):
+            validate_plan(plan_query(Q1, rst, strategy).logical)
+
+    def test_query_2d_plans(self):
+        catalog = tpch_catalog(TpchConfig(scale_factor=0.002, include_order_pipeline=False))
+        validate_plan(plan_query(QUERY_2D, catalog, "canonical").logical)
+        validate_plan(plan_query(QUERY_2D, catalog, "unnested").logical)

@@ -1,0 +1,100 @@
+"""Property-based soundness for the optimizer passes.
+
+* join ordering + pushdown never changes results;
+* bypass removal never changes results;
+* the full planner pipeline agrees across all strategies.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.engine import execute_plan
+from repro.optimizer import plan_query
+from repro.optimizer.joins import optimize_joins
+from repro.rewrite import remove_bypass, unnest
+from repro.sql import parse, translate
+from repro.storage import Catalog, Schema, Table
+from tests.conftest import assert_bag_equal
+
+value = st.one_of(st.none(), st.integers(min_value=0, max_value=4))
+row = st.tuples(value, value)
+rows = st.lists(row, max_size=10)
+
+
+@st.composite
+def catalogs(draw):
+    catalog = Catalog()
+    catalog.register(Table(Schema(["A1", "A2"]), draw(rows), name="r"))
+    catalog.register(Table(Schema(["B1", "B2"]), draw(rows), name="s"))
+    catalog.register(Table(Schema(["C1", "C2"]), draw(rows), name="t"))
+    return catalog
+
+
+join_conditions = st.sampled_from(
+    ["A2 = B2", "A1 = B1", "A2 = B2 AND B1 = 1", "A1 < B1"]
+)
+third_conditions = st.sampled_from(["B2 = C2", "B1 = C1", "C1 = 2"])
+filters = st.sampled_from(["A1 > 1", "A2 = 2", "B1 <> 0", "C2 IS NOT NULL"])
+
+
+@st.composite
+def flat_queries(draw):
+    shape = draw(st.sampled_from(["two", "three", "filtered"]))
+    if shape == "two":
+        return f"SELECT * FROM r, s WHERE {draw(join_conditions)}"
+    if shape == "three":
+        return (
+            f"SELECT * FROM r, s, t WHERE {draw(join_conditions)} "
+            f"AND {draw(third_conditions)}"
+        )
+    return (
+        f"SELECT * FROM r, s, t WHERE {draw(join_conditions)} "
+        f"AND {draw(third_conditions)} AND {draw(filters)}"
+    )
+
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@RELAXED
+@given(catalog=catalogs(), sql=flat_queries())
+def test_join_optimizer_preserves_results(catalog, sql):
+    plan = translate(parse(sql), catalog).plan
+    optimized = optimize_joins(plan, catalog)
+    assert_bag_equal(execute_plan(plan, catalog), execute_plan(optimized, catalog), sql)
+
+
+nested_queries = st.sampled_from(
+    [
+        "SELECT * FROM r WHERE A1 = (SELECT COUNT(*) FROM s WHERE A2 = B2) OR A1 = 0",
+        "SELECT * FROM r WHERE A1 = (SELECT COUNT(*) FROM s WHERE A2 = B2 OR B1 = 1)",
+        "SELECT DISTINCT * FROM r WHERE A1 = (SELECT MIN(B1) FROM s WHERE A2 = B2) OR A2 > 2",
+        "SELECT * FROM r WHERE A1 IN (SELECT B1 FROM s WHERE A2 = B2) OR A2 = 1",
+    ]
+)
+
+
+@RELAXED
+@given(catalog=catalogs(), sql=nested_queries)
+def test_bypass_removal_preserves_results(catalog, sql):
+    plan = unnest(translate(parse(sql), catalog).plan)
+    tagged = remove_bypass(plan)
+    assert_bag_equal(execute_plan(plan, catalog), execute_plan(tagged, catalog), sql)
+
+
+@RELAXED
+@given(catalog=catalogs(), sql=nested_queries)
+def test_all_strategies_agree(catalog, sql):
+    reference = None
+    for strategy in ("canonical", "unnested", "auto", "s2", "s3"):
+        table = plan_query(sql, catalog, strategy).execute(catalog)
+        if reference is None:
+            reference = table
+        else:
+            assert_bag_equal(reference, table, f"{strategy}: {sql}")

@@ -1,0 +1,226 @@
+"""Quantified table subqueries (the technical-report extension).
+
+EXISTS / NOT EXISTS / IN / NOT IN / θ ANY / θ ALL — in conjunctive and
+disjunctive positions, with and without correlation, with NULLs in every
+role.  Every unnested plan must produce the same bag as the canonical
+nested evaluation, and strict mode must confirm the correlated blocks
+were actually removed.
+"""
+
+import pytest
+
+from repro.algebra.explain import count_operators
+from repro.engine import execute_plan
+from repro.rewrite import UnnestOptions, unnest
+from repro.sql import parse, translate
+from tests.conftest import assert_bag_equal, make_rst_catalog
+
+
+@pytest.fixture(scope="module")
+def rst():
+    return make_rst_catalog(n_r=35, n_s=30, n_t=25, seed=31)
+
+
+@pytest.fixture(scope="module")
+def rst_nulls():
+    return make_rst_catalog(n_r=35, n_s=30, n_t=25, seed=77, null_rate=0.2)
+
+
+def check(sql, catalog, options=None):
+    plan = translate(parse(sql), catalog).plan
+    rewritten = unnest(plan, options or UnnestOptions(strict=True))
+    canonical = execute_plan(plan, catalog)
+    unnested = execute_plan(rewritten, catalog)
+    assert_bag_equal(canonical, unnested, sql)
+    return rewritten
+
+
+class TestExists:
+    def test_conjunctive(self, rst):
+        check("SELECT * FROM r WHERE EXISTS (SELECT * FROM s WHERE A2 = B2)", rst)
+
+    def test_disjunctive(self, rst):
+        check(
+            "SELECT * FROM r WHERE EXISTS (SELECT * FROM s WHERE A2 = B2) OR A4 > 2000",
+            rst,
+        )
+
+    def test_not_exists(self, rst):
+        check("SELECT * FROM r WHERE NOT EXISTS (SELECT * FROM s WHERE A2 = B2)", rst)
+
+    def test_not_exists_disjunctive(self, rst):
+        check(
+            """SELECT * FROM r
+               WHERE NOT EXISTS (SELECT * FROM s WHERE A2 = B2) OR A4 > 2500""",
+            rst,
+        )
+
+    def test_exists_with_local_filter(self, rst):
+        check(
+            """SELECT * FROM r
+               WHERE EXISTS (SELECT * FROM s WHERE A2 = B2 AND B4 > 1000)""",
+            rst,
+        )
+
+    def test_exists_with_inner_disjunction(self, rst):
+        check(
+            """SELECT * FROM r
+               WHERE EXISTS (SELECT * FROM s WHERE A2 = B2 OR B4 > 2500)""",
+            rst,
+        )
+
+    def test_exists_unnested_has_no_subqueries(self, rst):
+        rewritten = check(
+            "SELECT * FROM r WHERE EXISTS (SELECT * FROM s WHERE A2 = B2)", rst
+        )
+        counts = count_operators(rewritten)
+        assert counts.get("GroupBy") == 1  # count-reduction then Eqv. 1
+
+    def test_exists_nulls(self, rst_nulls):
+        check(
+            "SELECT * FROM r WHERE EXISTS (SELECT * FROM s WHERE A2 = B2) OR A4 > 2000",
+            rst_nulls,
+        )
+
+
+class TestIn:
+    def test_conjunctive(self, rst):
+        check("SELECT * FROM r WHERE A1 IN (SELECT B1 FROM s)", rst)
+
+    def test_correlated(self, rst):
+        check("SELECT * FROM r WHERE A1 IN (SELECT B1 FROM s WHERE A2 = B2)", rst)
+
+    def test_disjunctive(self, rst):
+        check(
+            "SELECT * FROM r WHERE A1 IN (SELECT B1 FROM s WHERE A2 = B2) OR A4 > 2000",
+            rst,
+        )
+
+    def test_in_with_nulls_everywhere(self, rst_nulls):
+        check("SELECT * FROM r WHERE A1 IN (SELECT B1 FROM s WHERE A2 = B2)", rst_nulls)
+
+    def test_in_distinct_select(self, rst):
+        check("SELECT * FROM r WHERE A1 IN (SELECT DISTINCT B1 FROM s)", rst)
+
+
+class TestNotIn:
+    def test_uncorrelated(self, rst):
+        check("SELECT * FROM r WHERE A1 NOT IN (SELECT B1 FROM s WHERE B4 > 1500)", rst)
+
+    def test_correlated(self, rst):
+        check("SELECT * FROM r WHERE A1 NOT IN (SELECT B1 FROM s WHERE A2 = B2)", rst)
+
+    def test_null_trap_inner_nulls(self, rst_nulls):
+        """Inner NULLs make NOT IN UNKNOWN — the classic trap."""
+        check("SELECT * FROM r WHERE A1 NOT IN (SELECT B1 FROM s)", rst_nulls)
+
+    def test_null_trap_operand_null(self, rst_nulls):
+        check(
+            "SELECT * FROM r WHERE A1 NOT IN (SELECT B1 FROM s WHERE B1 IS NOT NULL)",
+            rst_nulls,
+        )
+
+    def test_disjunctive(self, rst_nulls):
+        check(
+            """SELECT * FROM r
+               WHERE A1 NOT IN (SELECT B1 FROM s WHERE A2 = B2) OR A4 > 2500""",
+            rst_nulls,
+        )
+
+
+class TestQuantifiedComparisons:
+    @pytest.mark.parametrize("op", ["=", "<>", "<", "<=", ">", ">="])
+    def test_any_all_operators(self, rst, op):
+        for quant in ("ANY", "ALL"):
+            check(
+                f"""SELECT * FROM r
+                    WHERE A1 {op} {quant} (SELECT B1 FROM s WHERE A2 = B2)""",
+                rst,
+            )
+
+    @pytest.mark.parametrize("op", ["<", ">="])
+    def test_any_all_with_nulls(self, rst_nulls, op):
+        for quant in ("ANY", "ALL"):
+            check(
+                f"""SELECT * FROM r
+                    WHERE A1 {op} {quant} (SELECT B1 FROM s WHERE A2 = B2)""",
+                rst_nulls,
+            )
+
+    def test_some_is_any(self, rst):
+        check("SELECT * FROM r WHERE A1 = SOME (SELECT B1 FROM s WHERE A2 = B2)", rst)
+
+    def test_any_disjunctive(self, rst):
+        check(
+            """SELECT * FROM r
+               WHERE A1 < ANY (SELECT B1 FROM s WHERE A2 = B2) OR A4 > 2000""",
+            rst,
+        )
+
+    def test_all_empty_subquery_is_true(self, rst):
+        rewritten = check(
+            "SELECT * FROM r WHERE A1 > ALL (SELECT B1 FROM s WHERE B4 > 2999)", rst
+        )
+        assert rewritten is not None
+
+
+class TestNegationNormalForm:
+    def test_not_over_exists(self, rst):
+        check(
+            "SELECT * FROM r WHERE NOT (EXISTS (SELECT * FROM s WHERE A2 = B2))",
+            rst,
+        )
+
+    def test_not_over_disjunction(self, rst):
+        check(
+            """SELECT * FROM r
+               WHERE NOT (A1 = (SELECT COUNT(*) FROM s WHERE A2 = B2) OR A4 > 2000)""",
+            rst,
+        )
+
+    def test_not_over_in(self, rst_nulls):
+        check(
+            "SELECT * FROM r WHERE NOT (A1 IN (SELECT B1 FROM s WHERE A2 = B2))",
+            rst_nulls,
+        )
+
+    def test_double_negation(self, rst):
+        check(
+            "SELECT * FROM r WHERE NOT (NOT (EXISTS (SELECT * FROM s WHERE A2 = B2)))",
+            rst,
+        )
+
+    def test_not_over_quantified(self, rst_nulls):
+        check(
+            "SELECT * FROM r WHERE NOT (A1 < ANY (SELECT B1 FROM s WHERE A2 = B2))",
+            rst_nulls,
+        )
+
+
+class TestMixedForms:
+    def test_exists_and_scalar_in_one_disjunction(self, rst):
+        check(
+            """SELECT * FROM r
+               WHERE A1 = (SELECT COUNT(*) FROM s WHERE A2 = B2)
+                  OR EXISTS (SELECT * FROM t WHERE A4 = C2)""",
+            rst,
+        )
+
+    def test_in_inside_inner_block(self, rst):
+        check(
+            """SELECT * FROM r
+               WHERE A1 = (SELECT COUNT(*) FROM s
+                           WHERE A2 = B2 AND B1 IN (SELECT C1 FROM t))""",
+            rst,
+        )
+
+    def test_quantified_disabled_falls_back(self, rst):
+        options = UnnestOptions(enable_quantified=False)
+        plan = translate(
+            parse("SELECT * FROM r WHERE EXISTS (SELECT * FROM s WHERE A2 = B2)"),
+            rst,
+        ).plan
+        rewritten = unnest(plan, options)
+        canonical = execute_plan(plan, rst)
+        nested = execute_plan(rewritten, rst)
+        assert_bag_equal(canonical, nested)

@@ -1,0 +1,96 @@
+"""Tests for Slagle-rank disjunct ordering (Eqv. 2 vs. Eqv. 3)."""
+
+from repro.algebra import expr as E
+from repro.algebra import ops as L
+from repro.algebra.aggregates import STAR, AggSpec
+from repro.rewrite.rank import Estimator, order_disjuncts, rank_of
+from repro.storage.schema import Schema
+
+
+def subquery_disjunct():
+    plan = L.ScalarAggregate(
+        L.Select(L.Scan("s", Schema(["B2"])), E.eq("A2", "B2")),
+        [("g", AggSpec("count", STAR))],
+    )
+    return E.Comparison("=", E.col("A1"), E.ScalarSubquery(plan))
+
+
+SIMPLE = E.Comparison(">", E.col("A4"), E.lit(1500))
+
+
+class TestRank:
+    def test_rank_formula(self):
+        class Fixed(Estimator):
+            def selectivity(self, predicate):
+                return 0.25
+
+            def cost(self, predicate):
+                return 2.0
+
+        assert rank_of(SIMPLE, Fixed()) == (0.25 - 1.0) / 2.0
+
+    def test_cheap_predicate_ranks_lower_than_subquery(self):
+        assert rank_of(SIMPLE) < rank_of(subquery_disjunct())
+
+    def test_equality_more_selective_than_range(self):
+        eq_pred = E.Comparison("=", E.col("a"), E.lit(1))
+        range_pred = E.Comparison("<", E.col("a"), E.lit(1))
+        estimator = Estimator()
+        assert estimator.selectivity(eq_pred) < estimator.selectivity(range_pred)
+
+    def test_and_multiplies_selectivity(self):
+        estimator = Estimator()
+        single = E.Comparison("=", E.col("a"), E.lit(1))
+        double = E.And((single, single))
+        assert estimator.selectivity(double) < estimator.selectivity(single)
+
+    def test_or_inclusion_exclusion(self):
+        estimator = Estimator()
+        single = E.Comparison("=", E.col("a"), E.lit(1))
+        either = E.Or((single, single))
+        sel = estimator.selectivity(either)
+        assert abs(sel - (1 - 0.9 * 0.9)) < 1e-9
+
+    def test_not_complements(self):
+        estimator = Estimator()
+        pred = E.Comparison("=", E.col("a"), E.lit(1))
+        assert abs(estimator.selectivity(E.Not(pred)) - 0.9) < 1e-9
+
+    def test_subquery_cost_dominates(self):
+        estimator = Estimator()
+        assert estimator.cost(subquery_disjunct()) == Estimator.SUBQUERY_COST
+        assert estimator.cost(SIMPLE) < Estimator.SUBQUERY_COST
+
+
+class TestOrdering:
+    def test_default_order_simple_first(self):
+        ordered = order_disjuncts([subquery_disjunct(), SIMPLE])
+        assert ordered[0] is SIMPLE
+
+    def test_expensive_simple_predicate_flips_order(self):
+        """An estimator that makes the simple predicate terrible chooses
+        Eqv. 3 (subquery first), per the paper's remark in §3.1."""
+
+        class ExpensiveSimple(Estimator):
+            def cost(self, predicate):
+                if predicate.contains_subquery():
+                    return 10.0
+                return 1_000_000.0
+
+            def selectivity(self, predicate):
+                if predicate.contains_subquery():
+                    return 0.01
+                return 0.99
+
+        sub = subquery_disjunct()
+        ordered = order_disjuncts([SIMPLE, sub], ExpensiveSimple())
+        assert ordered[0] is sub
+
+    def test_custom_key(self):
+        ordered = order_disjuncts([SIMPLE, subquery_disjunct()], key=lambda d: -rank_of(d))
+        assert ordered[-1] is SIMPLE
+
+    def test_stable_for_equal_ranks(self):
+        a = E.Comparison(">", E.col("x"), E.lit(1))
+        b = E.Comparison(">", E.col("y"), E.lit(1))
+        assert order_disjuncts([a, b]) == [a, b]

@@ -1,0 +1,64 @@
+"""Catalog-backed rank estimation (cost-based Eqv. 2 vs. Eqv. 3)."""
+
+import pytest
+
+from repro.algebra import expr as E
+from repro.bench.queries import Q1
+from repro.optimizer import plan_query
+from repro.optimizer.rank_estimator import CatalogEstimator
+from repro.rewrite.rank import rank_of
+from repro.sql import parse, translate
+from tests.conftest import make_rst_catalog
+
+
+@pytest.fixture(scope="module")
+def rst():
+    return make_rst_catalog(n_r=50, n_s=50, seed=23)
+
+
+def q1_disjuncts(catalog):
+    """The two disjuncts of Q1 as bound expressions."""
+    from repro.algebra import ops as L
+
+    plan = translate(parse(Q1), catalog).plan
+    select = plan
+    while not isinstance(select, L.Select):
+        select = select.child
+    return E.disjuncts(select.predicate)
+
+
+class TestCatalogEstimator:
+    def test_subquery_cost_scales_with_inner_size(self):
+        small = make_rst_catalog(n_r=20, n_s=20, seed=1)
+        large = make_rst_catalog(n_r=20, n_s=2000, seed=1)
+        small_sub = [d for d in q1_disjuncts(small) if d.contains_subquery()][0]
+        large_sub = [d for d in q1_disjuncts(large) if d.contains_subquery()][0]
+        assert CatalogEstimator(large).cost(large_sub) > CatalogEstimator(small).cost(small_sub)
+
+    def test_simple_predicate_ranks_first(self, rst):
+        estimator = CatalogEstimator(rst)
+        disjuncts = q1_disjuncts(rst)
+        simple = [d for d in disjuncts if not d.contains_subquery()][0]
+        nested = [d for d in disjuncts if d.contains_subquery()][0]
+        assert rank_of(simple, estimator) < rank_of(nested, estimator)
+
+    def test_selectivity_uses_statistics(self, rst):
+        estimator = CatalogEstimator(rst)
+        disjuncts = q1_disjuncts(rst)
+        simple = [d for d in disjuncts if not d.contains_subquery()][0]
+        # A4 > 1500 over uniform [0, 3000): statistics give roughly half.
+        assert 0.3 < estimator.selectivity(simple) < 0.7
+
+    def test_planner_installs_catalog_estimator(self, rst):
+        planned = plan_query(Q1, rst, "unnested")
+        # Default rank ordering with real stats still yields Eqv. 2 for
+        # Q1 (cheap simple predicate first).
+        from repro.algebra.explain import explain
+
+        text = explain(planned.logical)
+        assert "BypassSelect±[q1.A4 > 1500]" in text
+
+    def test_results_unchanged(self, rst):
+        reference = plan_query(Q1, rst, "canonical").execute(rst)
+        unnested = plan_query(Q1, rst, "unnested").execute(rst)
+        assert reference.bag_equals(unnested)

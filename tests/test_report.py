@@ -1,0 +1,53 @@
+"""Tests for the markdown benchmark reporter."""
+
+from repro.bench.harness import BenchResult, GridResult
+from repro.bench.report import grid_to_markdown, speedup_summary
+
+
+def sample_grid():
+    grid = GridResult("Fig. test")
+    for key, canonical, unnested in [((1, 1), 1.0, 0.1), ((5, 5), 10.0, 0.2)]:
+        grid.record(key, BenchResult("canonical", canonical, 5))
+        grid.record(key, BenchResult("unnested", unnested, 5))
+    return grid
+
+
+class TestMarkdown:
+    def test_table_layout(self):
+        text = grid_to_markdown(sample_grid())
+        lines = text.strip().splitlines()
+        assert lines[0] == "| system | 1×1 | 5×5 |"
+        assert lines[1].startswith("|---")
+        assert any("Natix canonical" in line for line in lines)
+        assert any("Natix unnested" in line for line in lines)
+
+    def test_na_cells(self):
+        grid = GridResult("g")
+        grid.record("x", BenchResult("canonical", None, None))
+        assert "n/a" in grid_to_markdown(grid)
+
+    def test_missing_cells_dash(self):
+        grid = GridResult("g")
+        grid.record("x", BenchResult("canonical", 1.0, 1))
+        grid.record("y", BenchResult("unnested", 1.0, 1))
+        text = grid_to_markdown(grid)
+        assert "—" in text
+
+
+class TestSpeedupSummary:
+    def test_range(self):
+        summary = speedup_summary(sample_grid())
+        assert "10.0x" in summary
+        assert "50.0x" in summary
+        assert "2 cells" in summary
+
+    def test_budget_exceeded_counted(self):
+        grid = sample_grid()
+        grid.record((9, 9), BenchResult("canonical", None, None))
+        grid.record((9, 9), BenchResult("unnested", 0.5, 5))
+        summary = speedup_summary(grid)
+        assert "exceeded its budget" in summary
+
+    def test_no_cells(self):
+        grid = GridResult("empty")
+        assert "no comparable cells" in speedup_summary(grid)

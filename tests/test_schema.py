@@ -1,0 +1,111 @@
+"""Unit tests for repro.storage.schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.schema import Column, ColumnType, Schema
+
+
+class TestColumnType:
+    def test_python_types(self):
+        assert ColumnType.INT.python_type() is int
+        assert ColumnType.FLOAT.python_type() is float
+        assert ColumnType.STRING.python_type() is str
+        assert ColumnType.BOOL.python_type() is bool
+        assert ColumnType.ANY.python_type() is None
+
+    def test_parse_int(self):
+        assert ColumnType.INT.parse("42") == 42
+
+    def test_parse_float(self):
+        assert ColumnType.FLOAT.parse("1.5") == 1.5
+
+    def test_parse_empty_is_null(self):
+        assert ColumnType.INT.parse("") is None
+        assert ColumnType.STRING.parse("") is None
+
+    def test_parse_bool(self):
+        assert ColumnType.BOOL.parse("true") is True
+        assert ColumnType.BOOL.parse("0") is False
+
+    def test_parse_string_identity(self):
+        assert ColumnType.STRING.parse("hello") == "hello"
+
+
+class TestSchema:
+    def test_from_strings(self):
+        schema = Schema(["a", "b"])
+        assert schema.names == ("a", "b")
+        assert len(schema) == 2
+
+    def test_from_columns(self):
+        schema = Schema([Column("a", ColumnType.INT)])
+        assert schema[0].type is ColumnType.INT
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"])
+
+    def test_position(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.position("b") == 1
+
+    def test_position_unknown_raises(self):
+        with pytest.raises(SchemaError, match="unknown column"):
+            Schema(["a"]).position("zz")
+
+    def test_positions_ordered(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.positions(["c", "a"]) == (2, 0)
+
+    def test_contains(self):
+        schema = Schema(["a"])
+        assert "a" in schema
+        assert "b" not in schema
+
+    def test_getitem_by_name_and_index(self):
+        schema = Schema(["a", "b"])
+        assert schema["b"].name == "b"
+        assert schema[0].name == "a"
+
+    def test_concat(self):
+        combined = Schema(["a"]).concat(Schema(["b", "c"]))
+        assert combined.names == ("a", "b", "c")
+
+    def test_concat_collision_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).concat(Schema(["a"]))
+
+    def test_project_reorders(self):
+        schema = Schema(["a", "b", "c"]).project(["c", "a"])
+        assert schema.names == ("c", "a")
+
+    def test_extend(self):
+        schema = Schema(["a"]).extend("g")
+        assert schema.names == ("a", "g")
+
+    def test_rename(self):
+        schema = Schema(["a", "b"]).rename({"a": "x"})
+        assert schema.names == ("x", "b")
+
+    def test_qualify(self):
+        schema = Schema(["a", "b"]).qualify("q1")
+        assert schema.names == ("q1.a", "q1.b")
+
+    def test_unqualified_names(self):
+        schema = Schema(["q1.a", "q2.b", "plain"])
+        assert schema.unqualified_names() == ("a", "b", "plain")
+
+    def test_equality_is_name_based(self):
+        assert Schema([Column("a", ColumnType.INT)]) == Schema([Column("a", ColumnType.STRING)])
+        assert Schema(["a"]) != Schema(["b"])
+
+    def test_hashable(self):
+        assert hash(Schema(["a"])) == hash(Schema(["a"]))
+
+    def test_iteration(self):
+        assert [col.name for col in Schema(["a", "b"])] == ["a", "b"]
+
+    def test_column_type_lookup(self):
+        schema = Schema([Column("a", ColumnType.INT)])
+        assert schema.column_type("a") is ColumnType.INT

@@ -1,0 +1,173 @@
+"""Nesting in the SELECT clause (paper: "the generalization ... is
+straightforward"; spelled out in the technical report).
+
+A scalar subquery in the select list becomes a map operator whose
+subscript holds the nested plan; the rewriter attaches the aggregate to
+the stream (cardinality-preserving) and the map reads the attached
+column instead.
+"""
+
+import pytest
+
+from repro.algebra.explain import count_operators
+from repro.engine import execute_plan
+from repro.rewrite import UnnestOptions, unnest
+from repro.sql import parse, translate
+from repro.storage import Catalog, Schema, Table
+from tests.conftest import assert_bag_equal, make_rst_catalog
+
+
+@pytest.fixture(scope="module")
+def rst():
+    return make_rst_catalog(n_r=30, n_s=25, seed=21)
+
+
+def check(sql, catalog, options=None):
+    plan = translate(parse(sql), catalog).plan
+    rewritten = unnest(plan, options or UnnestOptions())
+    canonical = execute_plan(plan, catalog)
+    unnested = execute_plan(rewritten, catalog)
+    assert_bag_equal(canonical, unnested, sql)
+    return rewritten, unnested
+
+
+class TestSelectClauseSubqueries:
+    def test_correlated_count(self, rst):
+        rewritten, result = check(
+            "SELECT A1, (SELECT COUNT(*) FROM s WHERE A2 = B2) AS cnt FROM r", rst
+        )
+        counts = count_operators(rewritten)
+        assert counts.get("ScalarAggregate") is None  # fully unnested
+        assert counts.get("LeftOuterJoin") == 1
+        assert len(result) == len(rst.table("r"))  # cardinality preserved
+
+    def test_correlated_min_disjunctive(self, rst):
+        check(
+            "SELECT A1, (SELECT MIN(B1) FROM s WHERE A2 = B2 OR B4 > 2000) AS m FROM r",
+            rst,
+        )
+
+    def test_empty_group_yields_null_or_zero(self):
+        catalog = Catalog()
+        catalog.register(Table(Schema(["A1", "A2"]), [(1, 999)], name="r"))
+        catalog.register(Table(Schema(["B1", "B2"]), [(5, 1)], name="s"))
+        _, count_result = check(
+            "SELECT A1, (SELECT COUNT(*) FROM s WHERE A2 = B2) AS c FROM r", catalog
+        )
+        assert count_result.rows == [(1, 0)]
+        _, min_result = check(
+            "SELECT A1, (SELECT MIN(B1) FROM s WHERE A2 = B2) AS m FROM r", catalog
+        )
+        assert min_result.rows == [(1, None)]
+
+    def test_two_subqueries_in_select_list(self, rst):
+        check(
+            """SELECT A1,
+                      (SELECT COUNT(*) FROM s WHERE A2 = B2) AS c,
+                      (SELECT MAX(B4) FROM s WHERE A3 = B3) AS m
+               FROM r""",
+            rst,
+        )
+
+    def test_select_subquery_plus_where_subquery(self, rst):
+        check(
+            """SELECT A1, (SELECT COUNT(*) FROM s WHERE A2 = B2) AS c
+               FROM r
+               WHERE A1 = (SELECT COUNT(*) FROM s WHERE A3 = B3) OR A4 > 2000""",
+            rst,
+        )
+
+    def test_uncorrelated_select_subquery(self, rst):
+        _, result = check("SELECT A1, (SELECT MAX(B1) FROM s) AS m FROM r", rst)
+        max_b1 = max(v for v in rst.table("s").column_values("B1"))
+        assert all(row[1] == max_b1 for row in result.rows)
+
+    def test_subquery_in_arithmetic(self, rst):
+        check(
+            "SELECT A1 + (SELECT COUNT(*) FROM s WHERE A2 = B2) AS v FROM r", rst
+        )
+
+    def test_duplicates_preserved(self):
+        catalog = Catalog()
+        catalog.register(Table(Schema(["A1", "A2"]), [(1, 1), (1, 1)], name="r"))
+        catalog.register(Table(Schema(["B1", "B2"]), [(5, 1)], name="s"))
+        _, result = check(
+            "SELECT A1, (SELECT COUNT(*) FROM s WHERE A2 = B2) AS c FROM r", catalog
+        )
+        assert result.rows == [(1, 1), (1, 1)]
+
+
+class TestDerivedTables:
+    def test_simple_derived_table(self, rst):
+        check("SELECT * FROM (SELECT A1, A2 FROM r WHERE A4 > 1000) x", rst)
+
+    def test_alias_scoping(self, rst):
+        _, result = check(
+            "SELECT x.A1 FROM (SELECT A1 FROM r WHERE A1 > 3) x WHERE x.A1 < 5", rst
+        )
+        assert all(row[0] == 4 for row in result.rows)
+
+    def test_grouped_derived_table(self, rst):
+        _, result = check(
+            """SELECT x.B2, x.c
+               FROM (SELECT B2, COUNT(*) AS c FROM s GROUP BY B2) x
+               WHERE x.c > 1""",
+            rst,
+        )
+        assert all(row[1] > 1 for row in result.rows)
+
+    def test_nested_query_over_derived_table(self, rst):
+        rewritten, _ = check(
+            """SELECT * FROM (SELECT A1, A2, A4 FROM r) x
+               WHERE x.A1 = (SELECT COUNT(*) FROM s WHERE x.A2 = B2)
+                  OR x.A4 > 1500""",
+            rst,
+            UnnestOptions(strict=True),
+        )
+        assert count_operators(rewritten).get("BypassSelect") == 1
+
+    def test_derived_table_of_derived_table(self, rst):
+        check(
+            """SELECT * FROM (SELECT * FROM (SELECT A1 FROM r) y WHERE y.A1 > 1) x""",
+            rst,
+        )
+
+    def test_join_base_with_derived(self, rst):
+        check(
+            """SELECT r.A1, x.c
+               FROM r, (SELECT B2, COUNT(*) AS c FROM s GROUP BY B2) x
+               WHERE A2 = x.B2""",
+            rst,
+        )
+
+    def test_derived_requires_alias(self, rst):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError, match="alias"):
+            parse("SELECT * FROM (SELECT A1 FROM r)")
+
+
+class TestIndirectCorrelation:
+    SQL = """SELECT * FROM r WHERE A1 = (
+               SELECT COUNT(*) FROM s WHERE B1 = (
+                 SELECT MAX(C1) FROM t WHERE A2 = C1))"""
+
+    def test_canonical_equals_unnested_fallback(self, rst):
+        check(self.SQL, rst)
+
+    def test_strict_mode_reports_leftover(self, rst):
+        from repro.errors import NotUnnestableError
+
+        plan = translate(parse(self.SQL), rst).plan
+        with pytest.raises(NotUnnestableError):
+            unnest(plan, UnnestOptions(strict=True))
+
+    def test_values_correct_by_hand(self):
+        catalog = Catalog()
+        catalog.register(Table(Schema(["A1", "A2"]), [(1, 7), (0, 99)], name="r"))
+        catalog.register(Table(Schema(["B1", "B2"]), [(7, 0), (8, 0)], name="s"))
+        catalog.register(Table(Schema(["C1", "C2"]), [(7, 0), (5, 0)], name="t"))
+        _, result = check(self.SQL, catalog)
+        # Row (1, 7): max(C1 | C1 = 7) = 7 → count(B1 = 7) = 1 = A1 ✓
+        # Row (0, 99): max over ∅ = NULL → count = 0 = A1 ✓
+        assert sorted(result.rows) == [(0, 99), (1, 7)]

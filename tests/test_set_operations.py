@@ -1,0 +1,99 @@
+"""Statement-level UNION / UNION ALL / INTERSECT / EXCEPT."""
+
+import pytest
+
+from repro import Database
+from repro.errors import TranslationError
+from repro.sql import parse
+from repro.sql.ast import SetOpStmt
+from repro.sql.render import render
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("a", ["x", "y"], [(1, "p"), (2, "q"), (2, "q"), (3, "r")])
+    database.create_table("b", ["u", "v"], [(2, "q"), (4, "s")])
+    return database
+
+
+class TestParsing:
+    def test_union(self):
+        stmt = parse("SELECT x FROM a UNION SELECT u FROM b")
+        assert isinstance(stmt, SetOpStmt)
+        assert stmt.op == "union" and not stmt.all
+
+    def test_union_all(self):
+        assert parse("SELECT x FROM a UNION ALL SELECT u FROM b").all
+
+    def test_left_associative_chain(self):
+        stmt = parse(
+            "SELECT x FROM a UNION SELECT u FROM b EXCEPT SELECT x FROM a"
+        )
+        assert stmt.op == "except"
+        assert isinstance(stmt.left, SetOpStmt)
+
+    def test_roundtrip(self):
+        for sql in [
+            "SELECT x FROM a UNION ALL SELECT u FROM b",
+            "SELECT x FROM a INTERSECT SELECT u FROM b",
+            "SELECT x FROM a EXCEPT SELECT u FROM b WHERE u > 1",
+        ]:
+            tree = parse(sql)
+            assert parse(render(tree)) == tree
+
+
+class TestExecution:
+    def test_union_dedups(self, db):
+        result = db.execute("SELECT x FROM a UNION SELECT u FROM b")
+        assert sorted(result.rows) == [(1,), (2,), (3,), (4,)]
+
+    def test_union_all_keeps_duplicates(self, db):
+        result = db.execute("SELECT x FROM a UNION ALL SELECT u FROM b")
+        assert len(result) == 6
+
+    def test_intersect(self, db):
+        result = db.execute("SELECT x, y FROM a INTERSECT SELECT u, v FROM b")
+        assert result.rows == [(2, "q")]
+
+    def test_except(self, db):
+        result = db.execute("SELECT x FROM a EXCEPT SELECT u FROM b")
+        assert sorted(result.rows) == [(1,), (3,)]
+
+    def test_output_names_from_left(self, db):
+        result = db.execute("SELECT x AS k FROM a UNION SELECT u FROM b")
+        assert result.schema.names == ("k",)
+
+    def test_set_op_in_derived_table(self, db):
+        result = db.execute(
+            "SELECT * FROM (SELECT x FROM a UNION SELECT u FROM b) z WHERE z.x > 2"
+        )
+        assert sorted(result.rows) == [(3,), (4,)]
+
+    def test_set_op_in_in_subquery(self, db):
+        result = db.execute(
+            "SELECT x FROM a WHERE x IN (SELECT u FROM b UNION SELECT 1 AS w FROM b)"
+        )
+        assert sorted(result.rows) == [(1,), (2,), (2,)]
+
+    def test_set_op_in_cte(self, db):
+        result = db.execute(
+            "WITH all_keys AS (SELECT x FROM a UNION SELECT u FROM b) "
+            "SELECT COUNT(*) FROM all_keys"
+        )
+        assert result.rows == [(4,)]
+
+    def test_nested_query_with_union_inner(self, db):
+        db.create_table("r", ["A1"], [(1,), (0,)])  # intersect count = 1
+        sql = """SELECT * FROM r
+                 WHERE A1 = (SELECT COUNT(*) FROM
+                             (SELECT x FROM a INTERSECT SELECT u FROM b) z)"""
+        reference = db.execute(sql, "canonical")
+        assert db.execute(sql, "unnested").bag_equals(reference)
+        assert reference.rows != []
+
+
+class TestErrors:
+    def test_arity_mismatch(self, db):
+        with pytest.raises(TranslationError, match="arity mismatch"):
+            db.execute("SELECT x, y FROM a UNION SELECT u FROM b")

@@ -1,0 +1,248 @@
+"""Golden end-to-end SQL tests: small fixed data, hand-computed answers.
+
+Unlike the property tests (which compare strategies against each other),
+these pin absolute results, so a bug that breaks canonical and unnested
+evaluation *identically* still gets caught.
+"""
+
+import pytest
+
+from repro import Database
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = Database()
+    database.create_table(
+        "emp",
+        ["eid", "name", "dept", "salary", "boss"],
+        [
+            (1, "ann", "eng", 120, None),
+            (2, "bob", "eng", 95, 1),
+            (3, "cat", "eng", 95, 1),
+            (4, "dan", "ops", 70, 1),
+            (5, "eve", "ops", 80, 4),
+            (6, "fay", "sales", None, 4),
+        ],
+    )
+    database.create_table(
+        "dept",
+        ["dname", "budget"],
+        [("eng", 1000), ("ops", 500), ("sales", 300), ("empty", 100)],
+    )
+    return database
+
+
+def rows(db, sql, strategy="auto"):
+    return db.execute(sql, strategy).rows
+
+
+class TestProjectionsAndFilters:
+    def test_projection_order(self, db):
+        assert rows(db, "SELECT name, eid FROM emp WHERE eid = 1") == [("ann", 1)]
+
+    def test_null_filtered_by_comparison(self, db):
+        assert len(rows(db, "SELECT * FROM emp WHERE salary > 0")) == 5
+
+    def test_is_null(self, db):
+        assert rows(db, "SELECT name FROM emp WHERE salary IS NULL") == [("fay",)]
+
+    def test_arithmetic_projection(self, db):
+        result = rows(db, "SELECT salary * 2 AS double FROM emp WHERE eid = 2")
+        assert result == [(190,)]
+
+    def test_between(self, db):
+        names = rows(db, "SELECT name FROM emp WHERE salary BETWEEN 80 AND 100 ORDER BY name")
+        assert names == [("bob",), ("cat",), ("eve",)]
+
+    def test_in_list(self, db):
+        assert len(rows(db, "SELECT * FROM emp WHERE dept IN ('eng', 'ops')")) == 5
+
+    def test_like(self, db):
+        assert rows(db, "SELECT name FROM emp WHERE name LIKE '_a%' ORDER BY name") == [
+            ("cat",), ("dan",), ("fay",),
+        ]
+
+    def test_case_projection(self, db):
+        result = rows(
+            db,
+            """SELECT name, CASE WHEN salary >= 100 THEN 'high'
+                                 WHEN salary >= 80 THEN 'mid'
+                                 ELSE 'low' END AS band
+               FROM emp WHERE eid <= 3 ORDER BY eid""",
+        )
+        assert result == [("ann", "high"), ("bob", "mid"), ("cat", "mid")]
+
+    def test_case_null_salary_falls_to_else(self, db):
+        result = rows(
+            db,
+            """SELECT CASE WHEN salary > 0 THEN 'paid' ELSE 'unpaid' END AS s
+               FROM emp WHERE name = 'fay'""",
+        )
+        assert result == [("unpaid",)]
+
+
+class TestAggregation:
+    def test_scalar_aggregates(self, db):
+        assert rows(db, "SELECT COUNT(*), COUNT(salary), MIN(salary), MAX(salary) FROM emp") == [
+            (6, 5, 70, 120)
+        ]
+
+    def test_avg_ignores_nulls(self, db):
+        assert rows(db, "SELECT AVG(salary) FROM emp") == [(92.0,)]
+
+    def test_group_by_having(self, db):
+        result = rows(
+            db,
+            """SELECT dept, COUNT(*) AS n, SUM(salary) AS total
+               FROM emp GROUP BY dept HAVING dept <> 'sales' ORDER BY dept""",
+        )
+        assert result == [("eng", 3, 310), ("ops", 2, 150)]
+
+    def test_count_distinct(self, db):
+        assert rows(db, "SELECT COUNT(DISTINCT salary) FROM emp") == [(4,)]
+
+    def test_empty_group_sum_null(self, db):
+        assert rows(db, "SELECT SUM(salary) FROM emp WHERE dept = 'legal'") == [(None,)]
+
+
+class TestJoinsAndSubqueries:
+    def test_join(self, db):
+        result = rows(
+            db,
+            """SELECT name, budget FROM emp, dept
+               WHERE dept = dname AND budget >= 500 AND salary >= 95
+               ORDER BY name""",
+        )
+        assert result == [("ann", 1000), ("bob", 1000), ("cat", 1000)]
+
+    def test_self_join_boss(self, db):
+        result = rows(
+            db,
+            """SELECT e.name, b.name FROM emp e, emp b
+               WHERE e.boss = b.eid AND b.dept = 'ops' ORDER BY e.name""",
+        )
+        assert result == [("eve", "dan"), ("fay", "dan")]
+
+    @pytest.mark.parametrize("strategy", ["canonical", "unnested"])
+    def test_scalar_subquery_per_department(self, db, strategy):
+        result = rows(
+            db,
+            """SELECT name FROM emp
+               WHERE salary = (SELECT MAX(salary) FROM emp x WHERE x.dept = emp.dept)
+               ORDER BY name""",
+            strategy,
+        )
+        # ann (eng max 120), eve (ops max 80); sales max is NULL.
+        assert result == [("ann",), ("eve",)]
+
+    @pytest.mark.parametrize("strategy", ["canonical", "unnested"])
+    def test_disjunctive_linking_golden(self, db, strategy):
+        result = rows(
+            db,
+            """SELECT name FROM emp
+               WHERE 2 = (SELECT COUNT(*) FROM emp x
+                          WHERE x.boss = emp.eid)
+                  OR salary > 100
+               ORDER BY name""",
+            strategy,
+        )
+        # ann: salary 120 > 100 (also boss of 3); dan: boss of exactly 2.
+        assert result == [("ann",), ("dan",)]
+
+    @pytest.mark.parametrize("strategy", ["canonical", "unnested"])
+    def test_disjunctive_correlation_golden(self, db, strategy):
+        result = rows(
+            db,
+            """SELECT name FROM emp
+               WHERE 3 = (SELECT COUNT(*) FROM emp x
+                          WHERE x.boss = emp.eid OR x.salary > 100)
+               ORDER BY name""",
+            strategy,
+        )
+        # ann: {bob, cat, dan} bossed + {ann} high-paid = 4 distinct... count
+        # is over rows satisfying the disjunction: bob, cat, dan (boss=1)
+        # plus ann (salary 120) = 4 → not ann.
+        # dan: {eve, fay} + {ann} = 3 ✓.  Everyone else: 0 + 1 = 1.
+        assert result == [("dan",)]
+
+    @pytest.mark.parametrize("strategy", ["canonical", "unnested"])
+    def test_exists_golden(self, db, strategy):
+        result = rows(
+            db,
+            """SELECT dname FROM dept
+               WHERE EXISTS (SELECT * FROM emp WHERE dept = dname)
+               ORDER BY dname""",
+            strategy,
+        )
+        assert result == [("eng",), ("ops",), ("sales",)]
+
+    @pytest.mark.parametrize("strategy", ["canonical", "unnested"])
+    def test_not_exists_golden(self, db, strategy):
+        result = rows(
+            db,
+            """SELECT dname FROM dept
+               WHERE NOT EXISTS (SELECT * FROM emp WHERE dept = dname)""",
+            strategy,
+        )
+        assert result == [("empty",)]
+
+    @pytest.mark.parametrize("strategy", ["canonical", "unnested"])
+    def test_not_in_with_null_golden(self, db, strategy):
+        # boss column contains NULL → eid NOT IN (bosses) is never TRUE
+        # for non-bosses... actually NULL poisons the whole NOT IN.
+        result = rows(
+            db,
+            "SELECT name FROM emp WHERE eid NOT IN (SELECT boss FROM emp)",
+            strategy,
+        )
+        assert result == []
+
+    @pytest.mark.parametrize("strategy", ["canonical", "unnested"])
+    def test_not_in_null_filtered_golden(self, db, strategy):
+        result = rows(
+            db,
+            """SELECT name FROM emp
+               WHERE eid NOT IN (SELECT boss FROM emp WHERE boss IS NOT NULL)
+               ORDER BY name""",
+            strategy,
+        )
+        assert result == [("bob",), ("cat",), ("eve",), ("fay",)]
+
+    @pytest.mark.parametrize("strategy", ["canonical", "unnested"])
+    def test_all_quantifier_golden(self, db, strategy):
+        result = rows(
+            db,
+            """SELECT name FROM emp
+               WHERE salary >= ALL (SELECT salary FROM emp
+                                    WHERE salary IS NOT NULL)""",
+            strategy,
+        )
+        assert result == [("ann",)]
+
+    def test_select_clause_subquery_golden(self, db):
+        result = rows(
+            db,
+            """SELECT name, (SELECT COUNT(*) FROM emp x WHERE x.boss = emp.eid) AS reports
+               FROM emp WHERE dept = 'eng' ORDER BY eid""",
+            "unnested",
+        )
+        assert result == [("ann", 3), ("bob", 0), ("cat", 0)]
+
+
+class TestOrderingAndLimits:
+    def test_order_by_desc_nulls_first(self, db):
+        salaries = [r[0] for r in rows(db, "SELECT salary FROM emp ORDER BY salary DESC")]
+        assert salaries == [None, 120, 95, 95, 80, 70]
+
+    def test_multi_key_order(self, db):
+        result = rows(db, "SELECT dept, name FROM emp ORDER BY dept, name DESC")
+        assert result[0] == ("eng", "cat")
+
+    def test_limit_after_order(self, db):
+        assert rows(db, "SELECT name FROM emp ORDER BY eid LIMIT 2") == [("ann",), ("bob",)]
+
+    def test_distinct_then_order(self, db):
+        assert rows(db, "SELECT DISTINCT dept FROM emp ORDER BY dept") == [
+            ("eng",), ("ops",), ("sales",),
+        ]

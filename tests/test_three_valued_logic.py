@@ -1,0 +1,201 @@
+"""SQL 3-valued logic in the expression evaluator.
+
+Evaluated through the engine (a one-row table + a Map operator), so the
+tests exercise exactly the code path queries use.
+"""
+
+import pytest
+
+from repro.algebra import expr as E
+from repro.algebra import ops as L
+from repro.engine import execute_plan
+from repro.storage import Catalog, Schema, Table
+
+
+@pytest.fixture(scope="module")
+def one_row():
+    catalog = Catalog()
+    catalog.register(Table(Schema(["x"]), [(1,)], name="unit"))
+    return catalog
+
+
+def evaluate(expression: E.Expr, catalog) -> object:
+    plan = L.Project(
+        L.Map(L.Scan("unit", Schema(["x"])), "v", expression), ["v"]
+    )
+    return execute_plan(plan, catalog).rows[0][0]
+
+
+N = E.lit(None)
+T = E.lit(True)
+F = E.lit(False)
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("=", 1, 1, True), ("=", 1, 2, False),
+            ("<>", 1, 2, True), ("<>", 2, 2, False),
+            ("<", 1, 2, True), ("<=", 2, 2, True),
+            (">", 3, 2, True), (">=", 1, 2, False),
+        ],
+    )
+    def test_two_valued(self, one_row, op, left, right, expected):
+        assert evaluate(E.Comparison(op, E.lit(left), E.lit(right)), one_row) is expected
+
+    @pytest.mark.parametrize("op", ["=", "<>", "<", "<=", ">", ">="])
+    def test_null_propagates(self, one_row, op):
+        assert evaluate(E.Comparison(op, N, E.lit(1)), one_row) is None
+        assert evaluate(E.Comparison(op, E.lit(1), N), one_row) is None
+        assert evaluate(E.Comparison(op, N, N), one_row) is None
+
+    def test_string_comparison(self, one_row):
+        assert evaluate(E.Comparison("=", E.lit("a"), E.lit("a")), one_row) is True
+
+
+class TestKleeneConnectives:
+    def test_and_truth_table(self, one_row):
+        cases = [
+            ((T, T), True), ((T, F), False), ((F, F), False),
+            ((T, N), None), ((F, N), False), ((N, N), None),
+        ]
+        for (a, b), expected in cases:
+            assert evaluate(E.And((a, b)), one_row) is expected
+            assert evaluate(E.And((b, a)), one_row) is expected
+
+    def test_or_truth_table(self, one_row):
+        cases = [
+            ((T, T), True), ((T, F), True), ((F, F), False),
+            ((T, N), True), ((F, N), None), ((N, N), None),
+        ]
+        for (a, b), expected in cases:
+            assert evaluate(E.Or((a, b)), one_row) is expected
+            assert evaluate(E.Or((b, a)), one_row) is expected
+
+    def test_not_truth_table(self, one_row):
+        assert evaluate(E.Not(T), one_row) is False
+        assert evaluate(E.Not(F), one_row) is True
+        assert evaluate(E.Not(N), one_row) is None
+
+
+class TestArithmetic:
+    def test_basic(self, one_row):
+        assert evaluate(E.Arithmetic("+", E.lit(2), E.lit(3)), one_row) == 5
+        assert evaluate(E.Arithmetic("*", E.lit(2), E.lit(3)), one_row) == 6
+        assert evaluate(E.Arithmetic("/", E.lit(7), E.lit(2)), one_row) == 3.5
+
+    def test_null_propagates(self, one_row):
+        assert evaluate(E.Arithmetic("+", N, E.lit(1)), one_row) is None
+
+    def test_negate(self, one_row):
+        assert evaluate(E.Negate(E.lit(5)), one_row) == -5
+        assert evaluate(E.Negate(N), one_row) is None
+
+
+class TestPredicates:
+    def test_like(self, one_row):
+        assert evaluate(E.Like(E.lit("EURO BRASS"), "%BRASS"), one_row) is True
+        assert evaluate(E.Like(E.lit("BRASS EURO"), "%BRASS"), one_row) is False
+        assert evaluate(E.Like(E.lit("abc"), "a_c"), one_row) is True
+        assert evaluate(E.Like(N, "%"), one_row) is None
+
+    def test_like_negated(self, one_row):
+        assert evaluate(E.Like(E.lit("x"), "y%", negated=True), one_row) is True
+
+    def test_like_escapes_regex_chars(self, one_row):
+        assert evaluate(E.Like(E.lit("a.c"), "a.c"), one_row) is True
+        assert evaluate(E.Like(E.lit("abc"), "a.c"), one_row) is False
+
+    def test_is_null(self, one_row):
+        assert evaluate(E.IsNull(N), one_row) is True
+        assert evaluate(E.IsNull(E.lit(1)), one_row) is False
+        assert evaluate(E.IsNull(N, negated=True), one_row) is False
+
+    def test_in_list(self, one_row):
+        expr = E.InList(E.lit(2), (E.lit(1), E.lit(2)))
+        assert evaluate(expr, one_row) is True
+
+    def test_in_list_null_semantics(self, one_row):
+        # 3 IN (1, NULL) is UNKNOWN; 1 IN (1, NULL) is TRUE.
+        assert evaluate(E.InList(E.lit(3), (E.lit(1), N)), one_row) is None
+        assert evaluate(E.InList(E.lit(1), (E.lit(1), N)), one_row) is True
+        assert evaluate(E.InList(N, (E.lit(1),)), one_row) is None
+
+    def test_not_in_list_null_semantics(self, one_row):
+        assert evaluate(E.InList(E.lit(3), (E.lit(1), N), negated=True), one_row) is None
+        assert evaluate(E.InList(E.lit(3), (E.lit(1),), negated=True), one_row) is True
+
+    def test_case(self, one_row):
+        expr = E.Case(
+            ((E.Comparison("=", E.lit(1), E.lit(2)), E.lit("a")),
+             (E.Comparison("=", E.lit(1), E.lit(1)), E.lit("b"))),
+            E.lit("c"),
+        )
+        assert evaluate(expr, one_row) == "b"
+
+    def test_case_unknown_condition_skipped(self, one_row):
+        expr = E.Case(((N, E.lit("a")),), E.lit("dflt"))
+        assert evaluate(expr, one_row) == "dflt"
+
+    def test_function_coalesce(self, one_row):
+        expr = E.FunctionCall("coalesce", (N, E.lit(7)))
+        assert evaluate(expr, one_row) == 7
+
+    def test_function_abs_lower(self, one_row):
+        assert evaluate(E.FunctionCall("abs", (E.lit(-3),)), one_row) == 3
+        assert evaluate(E.FunctionCall("lower", (E.lit("AbC"),)), one_row) == "abc"
+        assert evaluate(E.FunctionCall("abs", (N,)), one_row) is None
+
+
+class TestSubqueryExpressions:
+    @pytest.fixture(scope="class")
+    def catalog(self):
+        catalog = Catalog()
+        catalog.register(Table(Schema(["x"]), [(1,)], name="unit"))
+        catalog.register(Table(Schema(["v"]), [(1,), (2,), (None,)], name="vals"))
+        catalog.register(Table(Schema(["w"]), [], name="empty"))
+        return catalog
+
+    def scan(self, name, cols):
+        return L.Scan(name, Schema(cols))
+
+    def test_scalar_subquery_empty_is_null(self, catalog):
+        sub = E.ScalarSubquery(self.scan("empty", ["w"]))
+        assert evaluate(sub, catalog) is None
+
+    def test_scalar_subquery_multirow_raises(self, catalog):
+        from repro.errors import ExecutionError
+
+        sub = E.ScalarSubquery(self.scan("vals", ["v"]))
+        with pytest.raises(ExecutionError, match="more than one row"):
+            evaluate(sub, catalog)
+
+    def test_exists(self, catalog):
+        assert evaluate(E.Exists(self.scan("vals", ["v"])), catalog) is True
+        assert evaluate(E.Exists(self.scan("empty", ["w"])), catalog) is False
+        assert evaluate(E.Exists(self.scan("empty", ["w"]), negated=True), catalog) is True
+
+    def test_in_subquery_null_semantics(self, catalog):
+        vals = self.scan("vals", ["v"])
+        assert evaluate(E.InSubquery(E.lit(1), vals), catalog) is True
+        assert evaluate(E.InSubquery(E.lit(9), vals), catalog) is None  # NULL present
+        assert evaluate(E.InSubquery(E.lit(9), self.scan("empty", ["w"])), catalog) is False
+
+    def test_not_in_subquery(self, catalog):
+        vals = self.scan("vals", ["v"])
+        assert evaluate(E.InSubquery(E.lit(9), vals, negated=True), catalog) is None
+        assert evaluate(E.InSubquery(E.lit(1), vals, negated=True), catalog) is False
+
+    def test_quantified_any(self, catalog):
+        vals = self.scan("vals", ["v"])
+        assert evaluate(E.QuantifiedComparison(E.lit(2), ">", "any", vals), catalog) is True
+        assert evaluate(E.QuantifiedComparison(E.lit(0), ">", "any", vals), catalog) is None
+
+    def test_quantified_all(self, catalog):
+        vals = self.scan("vals", ["v"])
+        assert evaluate(E.QuantifiedComparison(E.lit(0), "<", "all", vals), catalog) is None
+        assert evaluate(E.QuantifiedComparison(E.lit(2), "<", "all", vals), catalog) is False
+        empty = self.scan("empty", ["w"])
+        assert evaluate(E.QuantifiedComparison(E.lit(2), "<", "all", empty), catalog) is True
+        assert evaluate(E.QuantifiedComparison(E.lit(2), "<", "any", empty), catalog) is False

@@ -1,0 +1,151 @@
+"""A broader TPC-H workload through the full pipeline.
+
+Beyond Query 2d, exercise the customer/orders/lineitem pipeline with
+classic query shapes (joins, grouping, quantified and scalar subqueries)
+and check canonical vs. unnested agreement plus hand-computed answers.
+"""
+
+import pytest
+
+from repro.datagen import TpchConfig, generate_tpch
+from repro.optimizer import plan_query
+from repro.storage import Catalog
+from tests.conftest import assert_bag_equal
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return generate_tpch(TpchConfig(scale_factor=0.0005))
+
+
+@pytest.fixture(scope="module")
+def catalog(tables):
+    cat = Catalog()
+    for table in tables.values():
+        cat.register(table)
+    return cat
+
+
+def both(sql, catalog):
+    canonical = plan_query(sql, catalog, "canonical").execute(catalog)
+    unnested = plan_query(sql, catalog, "unnested").execute(catalog)
+    assert_bag_equal(canonical, unnested, sql)
+    return unnested
+
+
+class TestJoinQueries:
+    def test_supplier_nation_region(self, catalog, tables):
+        result = both(
+            """SELECT s_name, n_name
+               FROM supplier, nation, region
+               WHERE s_nationkey = n_nationkey AND n_regionkey = r_regionkey
+                 AND r_name = 'ASIA'""",
+            catalog,
+        )
+        asia_regions = {k for k, n in tables["region"].rows if n == "ASIA"}
+        asia_nations = {
+            k for k, n, r in tables["nation"].rows if r in asia_regions
+        }
+        expected = sum(1 for s in tables["supplier"].rows if s[3] in asia_nations)
+        assert len(result) == expected
+
+    def test_order_lineitem_join(self, catalog, tables):
+        result = both(
+            """SELECT o_orderkey, l_linenumber
+               FROM orders, lineitem
+               WHERE o_orderkey = l_orderkey AND o_orderstatus = 'O'
+                 AND l_quantity > 45""",
+            catalog,
+        )
+        open_orders = {row[0] for row in tables["orders"].rows if row[2] == "O"}
+        expected = sum(
+            1 for li in tables["lineitem"].rows
+            if li[0] in open_orders and li[4] > 45
+        )
+        assert len(result) == expected
+
+    def test_grouped_revenue(self, catalog):
+        result = both(
+            """SELECT l_orderkey, SUM(l_extendedprice), COUNT(*)
+               FROM lineitem GROUP BY l_orderkey HAVING l_orderkey < 10""",
+            catalog,
+        )
+        assert all(row[0] < 10 for row in result.rows)
+
+
+class TestNestedShapes:
+    def test_customers_with_large_orders(self, catalog, tables):
+        result = both(
+            """SELECT c_name FROM customer
+               WHERE EXISTS (SELECT * FROM orders
+                             WHERE o_custkey = c_custkey AND o_totalprice > 20000)
+                  OR c_acctbal > 9000""",
+            catalog,
+        )
+        big_customers = {
+            o[1] for o in tables["orders"].rows if o[3] > 20000
+        }
+        expected = sum(
+            1 for c in tables["customer"].rows
+            if c[0] in big_customers or c[5] > 9000
+        )
+        assert len(result) == expected
+
+    def test_parts_above_average_supply_cost(self, catalog):
+        both(
+            """SELECT ps_partkey, ps_suppkey FROM partsupp
+               WHERE ps_supplycost > (SELECT AVG(ps_supplycost) FROM partsupp)""",
+            catalog,
+        )
+
+    def test_disjunctive_correlated_order_count(self, catalog):
+        both(
+            """SELECT c_custkey FROM customer
+               WHERE 2 = (SELECT COUNT(*) FROM orders
+                          WHERE o_custkey = c_custkey OR o_totalprice > 90000)""",
+            catalog,
+        )
+
+    def test_min_cost_supplier_per_part(self, catalog, tables):
+        # The outer reference must be qualified: an unqualified
+        # ps_partkey inside the subquery resolves to ps2 (innermost-first).
+        result = both(
+            """SELECT ps_partkey, ps_suppkey FROM partsupp
+               WHERE ps_supplycost = (SELECT MIN(ps_supplycost) FROM partsupp ps2
+                                      WHERE partsupp.ps_partkey = ps2.ps_partkey)""",
+            catalog,
+        )
+        min_cost = {}
+        for part, supp, qty, cost in tables["partsupp"].rows:
+            if part not in min_cost or cost < min_cost[part]:
+                min_cost[part] = cost
+        expected = sum(
+            1 for part, supp, qty, cost in tables["partsupp"].rows
+            if cost == min_cost[part]
+        )
+        assert len(result) == expected
+
+    def test_orders_not_in_lineitem_sample(self, catalog):
+        both(
+            """SELECT o_orderkey FROM orders
+               WHERE o_orderkey NOT IN (SELECT l_orderkey FROM lineitem
+                                        WHERE l_quantity > 10)
+                 AND o_orderkey < 200""",
+            catalog,
+        )
+
+
+class TestDerivedTpch:
+    def test_top_nations_by_supplier_count(self, catalog):
+        result = both(
+            """SELECT x.n_name, x.cnt
+               FROM (SELECT n_name, COUNT(*) AS cnt
+                     FROM supplier, nation
+                     WHERE s_nationkey = n_nationkey
+                     GROUP BY n_name) x
+               WHERE x.cnt > 0
+               ORDER BY cnt DESC, n_name""",
+            catalog,
+        )
+        counts = [row[1] for row in result.rows]
+        assert counts == sorted(counts, reverse=True)

@@ -1,0 +1,196 @@
+"""Unit tests for the binder / canonical translator."""
+
+import pytest
+
+from repro.algebra import expr as E
+from repro.algebra import ops as L
+from repro.engine import execute_plan
+from repro.errors import BindError, TranslationError
+from repro.sql import parse, translate
+from repro.storage import Catalog, Schema, Table
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.register(Table(Schema(["A1", "A2"]), [(1, 2), (3, 4)], name="r"))
+    cat.register(Table(Schema(["B1", "B2"]), [(1, 5), (3, 6), (3, 7)], name="s"))
+    cat.register(Table(Schema(["C1", "X"]), [(9, 9)], name="t"))
+    return cat
+
+
+def run(sql, catalog):
+    result = translate(parse(sql), catalog)
+    return execute_plan(result.plan, catalog), result
+
+
+class TestBinding:
+    def test_unqualified_resolution(self, catalog):
+        table, _ = run("SELECT A1 FROM r", catalog)
+        assert sorted(table.rows) == [(1,), (3,)]
+
+    def test_qualified_resolution(self, catalog):
+        table, _ = run("SELECT r.A1 FROM r", catalog)
+        assert len(table) == 2
+
+    def test_alias_resolution(self, catalog):
+        table, _ = run("SELECT x.A1 FROM r x", catalog)
+        assert len(table) == 2
+
+    def test_unknown_column(self, catalog):
+        with pytest.raises(BindError, match="unknown column"):
+            run("SELECT nope FROM r", catalog)
+
+    def test_unknown_table_in_qualifier(self, catalog):
+        with pytest.raises(BindError):
+            run("SELECT zz.A1 FROM r", catalog)
+
+    def test_ambiguous_self_join(self, catalog):
+        with pytest.raises(BindError, match="ambiguous"):
+            run("SELECT A1 FROM r, r x", catalog)
+
+    def test_self_join_with_qualifiers(self, catalog):
+        table, _ = run("SELECT a.A1, b.A1 FROM r a, r b WHERE a.A1 = b.A1", catalog)
+        assert sorted(table.rows) == [(1, 1), (3, 3)]
+
+    def test_duplicate_binding_rejected(self, catalog):
+        with pytest.raises(BindError, match="duplicate table binding"):
+            run("SELECT * FROM r, r", catalog)
+
+    def test_case_insensitive_columns(self, catalog):
+        table, _ = run("SELECT a1 FROM r", catalog)
+        assert len(table) == 2
+
+
+class TestStarExpansion:
+    def test_star_all_tables(self, catalog):
+        _, result = run("SELECT * FROM r, s WHERE A1 = B1", catalog)
+        assert result.output_names == ("A1", "A2", "B1", "B2")
+
+    def test_qualified_star(self, catalog):
+        _, result = run("SELECT s.* FROM r, s WHERE A1 = B1", catalog)
+        assert result.output_names == ("B1", "B2")
+
+    def test_output_name_dedup(self, catalog):
+        _, result = run("SELECT a.A1, b.A1 FROM r a, r b", catalog)
+        assert result.output_names == ("A1", "A1_2")
+
+
+class TestCorrelation:
+    def test_direct_correlation_free_attr(self, catalog):
+        result = translate(
+            parse("SELECT * FROM r WHERE A1 = (SELECT COUNT(*) FROM s WHERE A2 = B2)"),
+            catalog,
+        )
+        select = result.plan
+        while not isinstance(select, L.Select):
+            select = select.child
+        (sub,) = [n for n in select.predicate.walk() if isinstance(n, E.ScalarSubquery)]
+        assert sub.plan.free_attrs() == {"q1.A2"}
+
+    def test_indirect_correlation_evaluates_canonically(self, catalog):
+        # A2 in the innermost block skips a level (indirect correlation).
+        # The unnesting equivalences do not cover this (paper §1,
+        # Limitations) but canonical evaluation must still be correct:
+        # chained environments bind the outer value two blocks down.
+        sql = """SELECT * FROM r WHERE A1 = (
+                   SELECT COUNT(*) FROM s WHERE B1 = (
+                     SELECT MAX(C1) FROM t WHERE A2 = C1))"""
+        table, _ = run(sql, catalog)
+        # r = (1,2),(3,4); inner-most: max(C1 | C1=A2); t has C1=9 only,
+        # so the max is NULL for both rows, B1 = NULL never holds,
+        # count = 0, and A1 = 0 matches nothing.
+        assert table.rows == []
+
+    def test_inner_block_shadows_outer(self, catalog):
+        # B1 in the subquery refers to the inner s, not anything outer.
+        table, _ = run(
+            "SELECT * FROM s WHERE B1 = (SELECT COUNT(*) FROM s x WHERE x.B2 = 5)",
+            catalog,
+        )
+        assert len(table) == 1  # count = 1, matching row (1, 5)
+
+
+class TestAggregates:
+    def test_scalar_aggregate_block(self, catalog):
+        table, _ = run("SELECT COUNT(*), MIN(B2), MAX(B2) FROM s", catalog)
+        assert table.rows == [(3, 5, 7)]
+
+    def test_scalar_aggregate_on_empty_input(self, catalog):
+        table, _ = run("SELECT COUNT(*), SUM(B2) FROM s WHERE B1 = 999", catalog)
+        assert table.rows == [(0, None)]
+
+    def test_group_by(self, catalog):
+        table, _ = run("SELECT B1, COUNT(*) FROM s GROUP BY B1", catalog)
+        assert sorted(table.rows) == [(1, 1), (3, 2)]
+
+    def test_group_by_having(self, catalog):
+        table, _ = run("SELECT B1, COUNT(*) FROM s GROUP BY B1 HAVING B1 > 1", catalog)
+        assert table.rows == [(3, 2)]
+
+    def test_ungrouped_column_rejected(self, catalog):
+        with pytest.raises(TranslationError, match="GROUP BY"):
+            run("SELECT B1, COUNT(*) FROM s", catalog)
+
+    def test_aggregate_in_where_rejected(self, catalog):
+        with pytest.raises(TranslationError):
+            run("SELECT * FROM s WHERE COUNT(*) > 1", catalog)
+
+    def test_star_only_for_count(self, catalog):
+        with pytest.raises(Exception):
+            run("SELECT SUM(*) FROM s", catalog)
+
+    def test_aggregate_output_names(self, catalog):
+        _, result = run("SELECT COUNT(*) AS n, MIN(B2) FROM s", catalog)
+        assert result.output_names == ("n", "min")
+
+
+class TestClauses:
+    def test_order_by_column(self, catalog):
+        table, _ = run("SELECT B2 FROM s ORDER BY B2 DESC", catalog)
+        assert table.rows == [(7,), (6,), (5,)]
+
+    def test_order_by_alias(self, catalog):
+        table, _ = run("SELECT B2 AS v FROM s ORDER BY v", catalog)
+        assert table.rows == [(5,), (6,), (7,)]
+
+    def test_order_by_non_projected_column(self, catalog):
+        table, _ = run("SELECT B1 FROM s ORDER BY B2 DESC", catalog)
+        assert table.rows == [(3,), (3,), (1,)]
+
+    def test_limit(self, catalog):
+        table, _ = run("SELECT B2 FROM s ORDER BY B2 LIMIT 2", catalog)
+        assert table.rows == [(5,), (6,)]
+
+    def test_distinct(self, catalog):
+        table, _ = run("SELECT DISTINCT B1 FROM s", catalog)
+        assert sorted(table.rows) == [(1,), (3,)]
+
+    def test_computed_select_item(self, catalog):
+        table, result = run("SELECT B2 + 10 AS v FROM s ORDER BY v", catalog)
+        assert table.rows == [(15,), (16,), (17,)]
+        assert result.output_names == ("v",)
+
+    def test_where_with_like(self, catalog):
+        cat = Catalog()
+        cat.register(Table(Schema(["name"]), [("BRASS x",), ("y BRASS",)], name="p"))
+        table, _ = run("SELECT * FROM p WHERE name LIKE '%BRASS'", cat)
+        assert table.rows == [("y BRASS",)]
+
+
+class TestErrors:
+    def test_empty_from_rejected(self, catalog):
+        with pytest.raises(Exception):
+            run("SELECT 1 FROM", catalog)
+
+    def test_multi_column_scalar_subquery_rejected(self, catalog):
+        with pytest.raises(TranslationError, match="exactly one column"):
+            run("SELECT * FROM r WHERE A1 = (SELECT B1, B2 FROM s)", catalog)
+
+    def test_order_by_expression_rejected(self, catalog):
+        with pytest.raises(TranslationError):
+            run("SELECT B1 FROM s ORDER BY B1 + 1", catalog)
+
+    def test_distinct_aggregate_block_rejected(self, catalog):
+        with pytest.raises(TranslationError):
+            run("SELECT DISTINCT COUNT(*) FROM s", catalog)

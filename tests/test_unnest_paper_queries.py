@@ -1,0 +1,232 @@
+"""The paper's running examples: correctness and plan shape (Figs. 2-6).
+
+Every test compares the canonical (nested-loop) evaluation with the
+unnested bypass plan as bags, and the figure tests additionally pin the
+operator inventory of the generated DAGs to the paper's drawings.
+"""
+
+import pytest
+
+from repro.algebra import ops as L
+from repro.algebra.explain import count_operators, explain
+from repro.bench.queries import Q1, Q2, Q3, Q4
+from repro.engine import execute_plan
+from repro.rewrite import UnnestOptions, unnest
+from repro.sql import parse, translate
+from tests.conftest import assert_bag_equal, make_rst_catalog
+
+
+@pytest.fixture(scope="module")
+def rst():
+    return make_rst_catalog(n_r=40, n_s=35, n_t=30, seed=7)
+
+
+def canonical_plan(sql, catalog):
+    return translate(parse(sql), catalog).plan
+
+
+def check_equivalent(sql, catalog, options=None):
+    plan = canonical_plan(sql, catalog)
+    rewritten = unnest(plan, options or UnnestOptions(strict=True))
+    canonical = execute_plan(plan, catalog)
+    unnested = execute_plan(rewritten, catalog)
+    assert_bag_equal(canonical, unnested, f"for {sql!r}")
+    return rewritten
+
+
+class TestQ1DisjunctiveLinking:
+    def test_equivalent(self, rst):
+        check_equivalent(Q1, rst)
+
+    def test_plan_shape_matches_fig_2c(self, rst):
+        rewritten = check_equivalent(Q1, rst)
+        counts = count_operators(rewritten)
+        # Fig. 2(c): one bypass selection, a grouped inner relation, a
+        # leftouterjoin with defaults, and the final disjoint union.
+        assert counts.get("BypassSelect") == 1
+        assert counts.get("GroupBy") == 1
+        assert counts.get("LeftOuterJoin") == 1
+        assert counts.get("UnionAll") == 1
+        # No nested evaluation left anywhere.
+        assert counts.get("ScalarAggregate") is None
+
+    def test_default_order_is_eqv2(self, rst):
+        """The cheap simple predicate feeds the bypass selection."""
+        rewritten = check_equivalent(Q1, rst)
+        text = explain(rewritten)
+        assert "BypassSelect±[q1.A4 > 1500]" in text
+
+    def test_subquery_first_is_eqv3(self, rst):
+        """Forcing the subquery first bypasses on the linking predicate."""
+        options = UnnestOptions(strict=True, disjunct_order="subquery_first")
+        rewritten = check_equivalent(Q1, rst, options)
+        text = explain(rewritten)
+        # The bypass predicate now tests the attached aggregate column.
+        assert "BypassSelect±[q1.A1 = u1.g]" in text
+
+    def test_count_defaults_fix_count_bug(self, rst):
+        rewritten = check_equivalent(Q1, rst)
+        outer_joins = [
+            node for node in rewritten.iter_dag() if isinstance(node, L.LeftOuterJoin)
+        ]
+        assert outer_joins and all(0 in oj.defaults.values() for oj in outer_joins)
+
+
+class TestQ2DisjunctiveCorrelation:
+    def test_equivalent(self, rst):
+        check_equivalent(Q2, rst)
+
+    def test_plan_shape_matches_fig_3b(self, rst):
+        rewritten = check_equivalent(Q2, rst)
+        counts = count_operators(rewritten)
+        # Fig. 3(b): bypass selection on the inner relation, grouping of
+        # the negative stream, outer join, recombining map.
+        assert counts.get("BypassSelect") == 1
+        assert counts.get("GroupBy") == 1
+        assert counts.get("LeftOuterJoin") == 1
+        assert counts.get("Map") == 1
+        # g2 = fI(σp+(S)) is a scalar aggregation over the positive stream.
+        assert counts.get("ScalarAggregate") == 1
+
+    def test_eqv4_shares_the_bypass_streams(self, rst):
+        """σp+(S) and σp−(S) must come from one bypass operator (a DAG)."""
+        rewritten = check_equivalent(Q2, rst)
+        bypasses = [
+            node for node in _all_nodes(rewritten) if isinstance(node, L.BypassSelect)
+        ]
+        assert len(set(map(id, bypasses))) == 1
+
+    def test_eqv5_fallback_equivalent(self, rst):
+        options = UnnestOptions(strict=True, enable_eqv4=False)
+        rewritten = check_equivalent(Q2, rst, options)
+        counts = count_operators(rewritten)
+        # Eqv. 5 shape: numbering, bypass join, binary grouping.
+        assert counts.get("Numbering") == 1
+        assert counts.get("BypassJoin") == 1
+        assert counts.get("BinaryGroupBy") == 1
+
+    def test_non_decomposable_aggregate_uses_eqv5(self, rst):
+        sql = """SELECT DISTINCT * FROM r
+                 WHERE A1 = (SELECT COUNT(DISTINCT B1) FROM s
+                             WHERE A2 = B2 OR B4 > 1500)"""
+        rewritten = check_equivalent(sql, rst)
+        counts = count_operators(rewritten)
+        assert counts.get("BinaryGroupBy") == 1  # footnote 1: Eqv. 5
+
+
+class TestQ3TreeQuery:
+    def test_equivalent(self, rst):
+        check_equivalent(Q3, rst)
+
+    def test_plan_shape_matches_fig_5b(self, rst):
+        rewritten = check_equivalent(Q3, rst)
+        counts = count_operators(rewritten)
+        # Both subqueries unnested: two groupings, two outer joins, one
+        # bypass selection (first stage), one union.
+        assert counts.get("GroupBy") == 2
+        assert counts.get("LeftOuterJoin") == 2
+        assert counts.get("BypassSelect") == 1
+        assert counts.get("UnionAll") == 1
+
+    def test_three_disjuncts_tree(self, rst):
+        sql = """SELECT DISTINCT * FROM r
+                 WHERE A1 = (SELECT COUNT(*) FROM s WHERE A2 = B2)
+                    OR A3 = (SELECT COUNT(*) FROM t WHERE A4 = C2)
+                    OR A4 > 2500"""
+        rewritten = check_equivalent(sql, rst)
+        assert count_operators(rewritten).get("BypassSelect") == 2
+
+
+class TestQ4LinearQuery:
+    def test_equivalent(self, rst):
+        check_equivalent(Q4, rst)
+
+    def test_plan_shape_matches_fig_6c(self, rst):
+        rewritten = check_equivalent(Q4, rst)
+        counts = count_operators(rewritten)
+        # Fig. 6(c): ν + bypass join + binary grouping for the outer
+        # disjunctive correlation; Γ + outer join (Eqv. 1) for the inner
+        # block on the negative stream.
+        assert counts.get("Numbering") == 1
+        assert counts.get("BypassJoin") == 1
+        assert counts.get("BinaryGroupBy") == 1
+        assert counts.get("GroupBy") == 1
+        assert counts.get("LeftOuterJoin") == 1
+        assert counts.get("ScalarAggregate") is None  # fully unnested
+
+    def test_three_level_linear(self, rst):
+        sql = """SELECT DISTINCT * FROM r
+                 WHERE A1 = (SELECT COUNT(*) FROM s
+                             WHERE A2 = B2
+                                OR B3 = (SELECT COUNT(*) FROM t
+                                         WHERE B4 = C2 OR C4 > 2000))"""
+        check_equivalent(sql, rst)
+
+
+class TestCombinedDisjunctiveLinkingAndCorrelation:
+    """The paper's outlook item (1), handled by composing the machinery."""
+
+    def test_equivalent(self, rst):
+        sql = """SELECT DISTINCT * FROM r
+                 WHERE A1 = (SELECT COUNT(*) FROM s WHERE A2 = B2 OR B4 > 1500)
+                    OR A4 > 2000"""
+        rewritten = check_equivalent(sql, rst)
+        counts = count_operators(rewritten)
+        assert counts.get("BypassSelect") == 2  # outer chain + Eqv. 4 inner
+
+    def test_with_min_aggregate(self, rst):
+        sql = """SELECT DISTINCT * FROM r
+                 WHERE A1 = (SELECT MIN(B1) FROM s WHERE A2 = B2 OR B4 > 2500)
+                    OR A4 > 2500"""
+        check_equivalent(sql, rst)
+
+
+class TestAggregateVariants:
+    @pytest.mark.parametrize(
+        "agg",
+        ["COUNT(*)", "COUNT(B1)", "COUNT(DISTINCT B1)", "SUM(B1)",
+         "SUM(DISTINCT B1)", "AVG(B1)", "MIN(B1)", "MAX(B1)",
+         "MIN(DISTINCT B1)"],
+    )
+    def test_disjunctive_linking_all_aggregates(self, rst, agg):
+        sql = f"""SELECT DISTINCT * FROM r
+                  WHERE A2 = (SELECT {agg} FROM s WHERE A2 = B2) OR A4 > 1500"""
+        check_equivalent(sql, rst)
+
+    @pytest.mark.parametrize(
+        "agg",
+        ["COUNT(*)", "COUNT(DISTINCT B1)", "SUM(B1)", "AVG(B1)", "MIN(B1)", "MAX(B1)"],
+    )
+    def test_disjunctive_correlation_all_aggregates(self, rst, agg):
+        sql = f"""SELECT DISTINCT * FROM r
+                  WHERE A2 = (SELECT {agg} FROM s WHERE A2 = B2 OR B4 > 2000)"""
+        check_equivalent(sql, rst)
+
+    @pytest.mark.parametrize("op", ["=", "<>", "<", "<=", ">", ">="])
+    def test_all_linking_operators(self, rst, op):
+        sql = f"""SELECT DISTINCT * FROM r
+                  WHERE A1 {op} (SELECT COUNT(*) FROM s WHERE A2 = B2) OR A4 > 2500"""
+        check_equivalent(sql, rst)
+
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">=", "<>"])
+    def test_non_equality_correlation_via_eqv5(self, rst, op):
+        sql = f"""SELECT DISTINCT * FROM r
+                  WHERE A1 = (SELECT COUNT(*) FROM s WHERE A2 {op} B2)"""
+        rewritten = check_equivalent(sql, rst)
+        assert count_operators(rewritten).get("BinaryGroupBy") == 1
+
+
+def _all_nodes(plan):
+    seen = set()
+
+    def visit(node):
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        yield node
+        for sub in node.subquery_plans():
+            yield from visit(sub)
+        for child in node.children():
+            yield from visit(child)
+
+    return list(visit(plan))

@@ -1,0 +1,95 @@
+"""Views: named queries inlined as derived tables."""
+
+import pytest
+
+from repro import Database
+from repro.errors import CatalogError, TranslationError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table(
+        "s", ["B1", "B2", "B4"],
+        [(1, 1, 100), (2, 1, 2000), (3, 2, 50), (4, 2, 1800)],
+    )
+    database.create_table("r", ["A1", "A2"], [(2, 1), (0, 9)])
+    return database
+
+
+class TestViews:
+    def test_simple_view(self, db):
+        db.create_view("counts", "SELECT B2, COUNT(*) AS c FROM s GROUP BY B2")
+        result = db.execute("SELECT * FROM counts ORDER BY B2")
+        assert result.rows == [(1, 2), (2, 2)]
+
+    def test_view_with_filter_applied_on_top(self, db):
+        db.create_view("expensive", "SELECT B1, B4 FROM s WHERE B4 > 1000")
+        result = db.execute("SELECT B1 FROM expensive WHERE B4 < 1900")
+        assert result.rows == [(4,)]
+
+    def test_view_over_view(self, db):
+        db.create_view("counts", "SELECT B2, COUNT(*) AS c FROM s GROUP BY B2")
+        db.create_view("big", "SELECT * FROM counts WHERE c > 1")
+        assert len(db.execute("SELECT * FROM big")) == 2
+
+    def test_view_joined_with_base_table(self, db):
+        db.create_view("counts", "SELECT B2, COUNT(*) AS c FROM s GROUP BY B2")
+        result = db.execute(
+            "SELECT A1, c FROM r, counts WHERE A2 = B2"
+        )
+        assert result.rows == [(2, 2)]
+
+    def test_nested_query_over_view(self, db):
+        db.create_view("svals", "SELECT B1, B2 FROM s")
+        result = db.execute(
+            """SELECT * FROM r
+               WHERE A1 = (SELECT COUNT(*) FROM svals WHERE A2 = B2) OR A1 = 0""",
+            strategy="unnested",
+        )
+        assert sorted(result.rows) == [(0, 9), (2, 1)]
+
+    def test_view_alias(self, db):
+        db.create_view("svals", "SELECT B1 FROM s")
+        result = db.execute("SELECT v.B1 FROM svals v WHERE v.B1 = 1")
+        assert result.rows == [(1,)]
+
+    def test_strategies_agree_over_views(self, db):
+        db.create_view("svals", "SELECT B1, B2 FROM s WHERE B1 > 1")
+        sql = """SELECT * FROM r
+                 WHERE A1 = (SELECT COUNT(*) FROM svals WHERE A2 = B2)"""
+        reference = db.execute(sql, "canonical")
+        for strategy in ("unnested", "auto", "s2", "s3"):
+            assert db.execute(sql, strategy).bag_equals(reference)
+
+    def test_duplicate_name_rejected(self, db):
+        with pytest.raises(CatalogError, match="already in use"):
+            db.create_view("s", "SELECT * FROM s")
+        db.create_view("v", "SELECT * FROM s")
+        with pytest.raises(CatalogError):
+            db.create_view("v", "SELECT * FROM s")
+
+    def test_invalid_definition_rejected_eagerly(self, db):
+        with pytest.raises(Exception):
+            db.create_view("bad", "SELECT nope FROM s")
+        assert "bad" not in db.view_names()
+
+    def test_self_reference_rejected(self, db):
+        db.create_view("a", "SELECT * FROM s")
+        db.drop_view("a")
+        # A view cannot reference itself (checked at validation time).
+        with pytest.raises(TranslationError, match="cyclic"):
+            db.create_view("a", "SELECT * FROM a")
+
+    def test_drop_view(self, db):
+        db.create_view("v", "SELECT * FROM s")
+        db.drop_view("v")
+        assert db.view_names() == []
+        with pytest.raises(CatalogError):
+            db.drop_view("v")
+
+    def test_drop_then_query_fails(self, db):
+        db.create_view("v", "SELECT * FROM s")
+        db.drop_view("v")
+        with pytest.raises(CatalogError):
+            db.execute("SELECT * FROM v")
