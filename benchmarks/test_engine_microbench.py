@@ -108,6 +108,7 @@ class TestBypassOverhead:
         )
         run_bench(benchmark, plan, catalog)
 
+    @pytest.mark.timing
     def test_bypass_no_slower_than_double_scan(self, catalog):
         import time
 

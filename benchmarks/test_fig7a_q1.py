@@ -27,6 +27,7 @@ def test_fig7a_q1(benchmark, rst_catalogs, sf, strategy):
     bench_query(benchmark, Q1, catalog, strategy, rounds=rounds)
 
 
+@pytest.mark.timing
 class TestShape:
     """Paper findings, asserted (skipped under --benchmark-only)."""
 

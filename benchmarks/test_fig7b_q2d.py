@@ -26,6 +26,7 @@ def test_fig7b_q2d(benchmark, tpch_catalogs, sf, strategy):
     bench_query(benchmark, QUERY_2D, catalog, strategy, rounds=rounds)
 
 
+@pytest.mark.timing
 class TestShape:
     def test_all_strategies_agree(self, tpch_catalogs):
         catalog = tpch_catalogs(0.005)

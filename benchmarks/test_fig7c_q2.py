@@ -24,6 +24,7 @@ def test_fig7c_q2(benchmark, rst_catalogs, sf, strategy):
     bench_query(benchmark, Q2, catalog, strategy, rounds=rounds)
 
 
+@pytest.mark.timing
 class TestShape:
     def test_unnested_dominates_everything(self, rst_catalogs):
         catalog = rst_catalogs(10, 10)

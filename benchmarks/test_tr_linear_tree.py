@@ -34,6 +34,7 @@ def test_tr_linear_q4(benchmark, rst_catalogs, sf, strategy):
     bench_query(benchmark, Q4, catalog, strategy, rounds=rounds, budget=300)
 
 
+@pytest.mark.timing
 class TestShape:
     def test_tree_gains_exceed_simple_gains(self, rst_catalogs):
         """Two subqueries unnested → at least the simple-query gain."""

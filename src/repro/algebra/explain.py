@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import io
 
-from repro.algebra.expr import SubqueryExpr
 from repro.algebra.ops import BypassJoin, BypassSelect, Operator, StreamTap
 
 

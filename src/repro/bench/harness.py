@@ -53,10 +53,15 @@ def run_cell(
     strategy: str,
     budget_seconds: float | None = 30.0,
     collect_stats: bool = False,
+    vectorized: bool = False,
 ) -> BenchResult:
     """Plan once, execute once, report wall-clock seconds (or n/a)."""
     planned = plan_query(sql, catalog, strategy)
-    options = EvalOptions(budget_seconds=budget_seconds, collect_stats=collect_stats)
+    options = EvalOptions(
+        budget_seconds=budget_seconds,
+        collect_stats=collect_stats,
+        vectorized=vectorized,
+    )
     start = time.perf_counter()
     try:
         table, ctx = planned.execute(catalog, options, with_context=True)
@@ -112,6 +117,7 @@ def run_grid(
     strategies,
     budget_seconds: float | None = 30.0,
     progress=None,
+    vectorized: bool = False,
 ) -> GridResult:
     """Sweep a (scale × strategy) grid.
 
@@ -125,7 +131,7 @@ def run_grid(
         catalog = catalog_for_scale(scale_key)
         sql = sql_for_scale(scale_key)
         for strategy in strategies:
-            result = run_cell(sql, catalog, strategy, budget_seconds)
+            result = run_cell(sql, catalog, strategy, budget_seconds, vectorized=vectorized)
             grid.record(scale_key, result)
             if progress is not None:
                 progress(scale_key, result)

@@ -54,12 +54,19 @@ def build_parser() -> argparse.ArgumentParser:
             help="generated dataset: rst[:SF] or tpch[:SF]",
         )
 
+    def add_engine_arg(p):
+        p.add_argument(
+            "--engine", choices=("row", "vectorized"), default="row",
+            help="execution backend: tuple-at-a-time (row) or columnar batches",
+        )
+
     run = sub.add_parser("run", help="execute a query")
     add_dataset_args(run)
     run.add_argument("sql", nargs="?", help="SQL text (or use --paper-query)")
     run.add_argument("--paper-query", choices=sorted(PAPER_QUERIES), help="a built-in paper query")
     run.add_argument("--strategy", default="auto")
     run.add_argument("--limit", type=int, default=20, help="rows to display")
+    add_engine_arg(run)
 
     explain = sub.add_parser("explain", help="show the plan")
     add_dataset_args(explain)
@@ -81,6 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated strategy list",
     )
     compare.add_argument("--budget", type=float, default=60.0)
+    add_engine_arg(compare)
 
     generate = sub.add_parser("generate", help="write a dataset as CSV")
     generate.add_argument("--dataset", required=True, metavar="NAME[:SF]")
@@ -89,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
     shell = sub.add_parser("shell", help="interactive query loop")
     add_dataset_args(shell)
     shell.add_argument("--strategy", default="auto")
+    add_engine_arg(shell)
 
     return parser
 
@@ -189,14 +198,23 @@ def resolve_sql(args) -> str:
 # ---------------------------------------------------------------------------
 
 
+def eval_options(args) -> "EvalOptions":
+    from repro.engine import EvalOptions
+
+    return EvalOptions(vectorized=getattr(args, "engine", "row") == "vectorized")
+
+
 def cmd_run(args, out) -> int:
     db = load_database(args)
     sql = resolve_sql(args)
     start = time.perf_counter()
-    result = db.execute(sql, args.strategy)
+    result = db.execute(sql, args.strategy, options=eval_options(args))
     elapsed = time.perf_counter() - start
     out.write(result.pretty(limit=args.limit))
-    out.write(f"({len(result)} rows in {elapsed:.4f}s, strategy {args.strategy})\n")
+    out.write(
+        f"({len(result)} rows in {elapsed:.4f}s, "
+        f"strategy {args.strategy}, engine {args.engine})\n"
+    )
     return 0
 
 
@@ -229,7 +247,10 @@ def cmd_compare(args, out) -> int:
     out.write(f"{'strategy':<12} {'seconds':>10} {'rows':>8}\n")
     for strategy in args.strategies.split(","):
         strategy = strategy.strip()
-        cell = run_cell(sql, db.catalog, strategy, args.budget)
+        cell = run_cell(
+            sql, db.catalog, strategy, args.budget,
+            vectorized=args.engine == "vectorized",
+        )
         rows = "-" if cell.rows is None else cell.rows
         out.write(f"{strategy:<12} {cell.display:>10} {rows:>8}\n")
     return 0
@@ -295,7 +316,7 @@ def cmd_shell(args, out) -> int:
         buffer = []
         try:
             start = time.perf_counter()
-            result = db.execute(sql, strategy)
+            result = db.execute(sql, strategy, options=eval_options(args))
             elapsed = time.perf_counter() - start
             out.write(result.pretty())
             out.write(f"({len(result)} rows in {elapsed:.4f}s)\n")

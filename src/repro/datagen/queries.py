@@ -12,7 +12,7 @@ The generator is seeded and purely functional: the same
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 AGGREGATES = [
     "COUNT(*)", "COUNT(B1)", "COUNT(DISTINCT B1)", "SUM(B1)", "AVG(B1)",

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 from repro.algebra import expr as E
 from repro.algebra import ops as L
-from repro.engine import EvalOptions, execute_plan
+from repro.engine import execute_plan
 from repro.errors import TranslationError
 from repro.optimizer import execute_sql
 from repro.optimizer.simplify import simplify_expr
@@ -163,6 +163,7 @@ def _execute_delete(stmt: ast.DeleteStmt, catalog: Catalog, views) -> DmlResult:
     if stmt.where is None:
         affected = len(table)
         table.rows.clear()
+        table.invalidate()
         catalog.analyze(stmt.table)
         return DmlResult("delete", stmt.table, affected)
 
@@ -172,6 +173,7 @@ def _execute_delete(stmt: ast.DeleteStmt, catalog: Catalog, views) -> DmlResult:
     keep = execute_plan(bypass.negative, catalog).rows
     affected = len(table) - len(keep)
     table.rows[:] = keep
+    table.invalidate()
     catalog.analyze(stmt.table)
     return DmlResult("delete", stmt.table, affected)
 
@@ -220,5 +222,6 @@ def _execute_update(stmt: ast.UpdateStmt, catalog: Catalog, views) -> DmlResult:
     merged.sort(key=lambda pair: pair[0])
 
     table.rows[:] = [row for _, row in merged]
+    table.invalidate()
     catalog.analyze(stmt.table)
     return DmlResult("update", stmt.table, len(updated_rows))

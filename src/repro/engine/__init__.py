@@ -12,6 +12,15 @@ The engine is a materialising, pull-based evaluator over Python tuples:
 * :mod:`repro.engine.compile` — logical→physical lowering, including
   equi-key extraction for hash variants and DAG sharing detection;
 * :mod:`repro.engine.executor` — the public entry point.
+
+An opt-in vectorized backend (``EvalOptions(vectorized=True)``) swaps
+the tuple-at-a-time interpreter for columnar batch execution:
+
+* :mod:`repro.engine.vector_kernels` — batched 3VL predicate/expression
+  kernels producing truth-pair masks and column arrays;
+* :mod:`repro.engine.vector_ops` — batch physical operators, with bypass
+  selection expressed as complementary selection vectors;
+* :mod:`repro.engine.vector_compile` — the fallback-aware lowering.
 """
 
 from repro.engine.context import EvalOptions, ExecContext, ExecStats

@@ -30,9 +30,26 @@ from repro.storage.catalog import Catalog
 from repro.storage.schema import Schema
 
 
-def compile_plan(plan: L.Operator, catalog: Catalog) -> P.PhysicalOperator:
-    """Compile a logical plan DAG into a physical plan DAG."""
-    compiler = _Compiler(catalog)
+def compile_plan(
+    plan: L.Operator, catalog: Catalog, vectorized: bool = False
+) -> P.PhysicalOperator:
+    """Compile a logical plan DAG into a physical plan DAG.
+
+    With ``vectorized=True`` the batch compiler is used: operators the
+    columnar runtime covers become batch operators, everything else
+    falls back per-node to the row interpreter.  Requires numpy.
+    """
+    if vectorized:
+        try:
+            from repro.engine.vector_compile import VectorCompiler
+        except ImportError as exc:  # numpy missing: the row engine still works
+            raise PlanningError(
+                f"the vectorized engine requires numpy ({exc}); "
+                "re-run without vectorized mode"
+            ) from exc
+        compiler: _Compiler = VectorCompiler(catalog)
+    else:
+        compiler = _Compiler(catalog)
     compiler.count_references(plan)
     return compiler.compile(plan)
 

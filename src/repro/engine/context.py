@@ -37,11 +37,17 @@ class EvalOptions:
     ``collect_stats``
         Count rows produced per physical operator class (used by tests
         and the ablation benchmarks; tiny overhead).
+    ``vectorized``
+        Compile to the columnar batch engine (numpy-backed selection
+        vectors) with per-operator fallback to the row interpreter.
+        Results are identical to the row engine; see
+        ``docs/vectorized-engine.md``.
     """
 
     subquery_memo: bool = False
     budget_seconds: float | None = None
     collect_stats: bool = False
+    vectorized: bool = False
 
 
 @dataclass

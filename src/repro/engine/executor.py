@@ -36,8 +36,9 @@ def execute_plan(
         When true, return ``(table, context)`` so callers can inspect
         :class:`~repro.engine.context.ExecStats`.
     """
-    physical = compile_plan(plan, catalog)
-    ctx = ExecContext(options)
+    opts = options or EvalOptions()
+    physical = compile_plan(plan, catalog, vectorized=opts.vectorized)
+    ctx = ExecContext(opts)
     rows = physical.execute(ctx, {})
     table = Table(plan.schema, rows)
     if with_context:
@@ -63,7 +64,7 @@ def explain_analyze(
 
     base = options or EvalOptions()
     run_options = dc_replace(base, collect_stats=True)
-    physical = compile_plan(plan, catalog)
+    physical = compile_plan(plan, catalog, vectorized=base.vectorized)
     ctx = ExecContext(run_options)
     start = time.perf_counter()
     rows = physical.execute(ctx, {})

@@ -1,0 +1,200 @@
+"""Logical → vectorized-physical lowering with per-operator fallback.
+
+:class:`VectorCompiler` subclasses the row compiler and overrides each
+``_compile_<Node>`` hook to *try* the vectorized implementation first.
+Anything the batch runtime cannot express — subquery expressions,
+function calls, bypass joins, binary grouping, non-equi joins — raises
+:class:`~repro.engine.vector_kernels.VectorizeError` at compile time, and
+the hook delegates to ``super()`` so the row interpreter picks up that
+one operator.  Mixed plans work in both directions:
+
+* a row parent over a vectorized child: :class:`VecOperator.execute`
+  materialises the batch into row tuples;
+* a vectorized parent over a row child: :class:`VFromRows` pivots the
+  row output into a batch at the boundary.
+
+All of the row compiler's analysis machinery (reference counting for
+DAG-sharing memoisation, the Eqv. 5 negative-stream filter fusion) is
+inherited unchanged, so vectorized plans keep the same sharing and
+fusion structure as row plans.
+"""
+
+from __future__ import annotations
+
+from repro.algebra import ops as L
+from repro.algebra.aggregates import STAR, AggSpec
+from repro.engine import operators as P
+from repro.engine import vector_ops as V
+from repro.engine.compile import _Compiler
+from repro.engine.vector_kernels import (
+    VectorizeError,
+    compile_predicate,
+    compile_value,
+)
+from repro.storage.schema import Schema
+
+
+class VectorCompiler(_Compiler):
+    """Compiler that prefers batch operators and falls back per node."""
+
+    def _vec(self, child: P.PhysicalOperator) -> V.VecOperator:
+        """Adapt any compiled child into a batch source."""
+        if isinstance(child, V.VecOperator):
+            return child
+        return V.VFromRows(child)
+
+    # -- leaves -------------------------------------------------------------
+
+    def _compile_Scan(self, node: L.Scan) -> P.PhysicalOperator:
+        table = self.catalog.table(node.table_name)
+        if len(table.schema) != len(node.schema):
+            return super()._compile_Scan(node)  # let the row path raise
+        return V.VScan(node.schema, table)
+
+    # -- unary --------------------------------------------------------------
+
+    def _compile_Select(self, node: L.Select) -> P.PhysicalOperator:
+        if id(node) in self.fused_selects:
+            return self.compile(node.child)
+        child = self.compile(node.child)
+        try:
+            kernel = compile_predicate(node.predicate, node.child.schema)
+        except VectorizeError:
+            return super()._compile_Select(node)
+        return V.VFilter(self._vec(child), kernel, ())
+
+    def _compile_BypassSelect(self, node: L.BypassSelect) -> P.PhysicalOperator:
+        child = self.compile(node.child)
+        try:
+            kernel = compile_predicate(node.predicate, node.child.schema)
+        except VectorizeError:
+            return super()._compile_BypassSelect(node)
+        return V.VBypassFilter(self._vec(child), kernel, ())
+
+    def _compile_StreamTap(self, node: L.StreamTap) -> P.PhysicalOperator:
+        source = self.compile(node.child)
+        if isinstance(source, V.VBypassFilter):
+            return V.VStreamTap(source, node.positive_stream)
+        return super()._compile_StreamTap(node)
+
+    def _compile_Project(self, node: L.Project) -> P.PhysicalOperator:
+        child = self.compile(node.child)
+        positions = node.child.schema.positions(node.names)
+        return V.VProject(self._vec(child), node.schema, positions)
+
+    def _compile_Distinct(self, node: L.Distinct) -> P.PhysicalOperator:
+        return V.VDistinct(self._vec(self.compile(node.child)))
+
+    def _compile_Rename(self, node: L.Rename) -> P.PhysicalOperator:
+        return V.VRename(self._vec(self.compile(node.child)), node.schema)
+
+    def _compile_Map(self, node: L.Map) -> P.PhysicalOperator:
+        child = self.compile(node.child)
+        try:
+            kernel = compile_value(node.expression, node.child.schema)
+        except VectorizeError:
+            return super()._compile_Map(node)
+        return V.VMap(self._vec(child), node.schema, kernel, ())
+
+    def _compile_Numbering(self, node: L.Numbering) -> P.PhysicalOperator:
+        return V.VNumber(self._vec(self.compile(node.child)), node.schema)
+
+    def _compile_Sort(self, node: L.Sort) -> P.PhysicalOperator:
+        child = self.compile(node.child)
+        keys = [(node.child.schema.position(name), asc) for name, asc in node.keys]
+        return V.VSort(self._vec(child), keys)
+
+    def _compile_Limit(self, node: L.Limit) -> P.PhysicalOperator:
+        return V.VLimit(self._vec(self.compile(node.child)), node.count)
+
+    # -- aggregation --------------------------------------------------------
+
+    def _vec_agg_column(
+        self, spec: AggSpec, input_schema: Schema, star_names=None
+    ) -> V.VAggColumn:
+        if spec.arg is STAR:
+            positions = input_schema.positions(star_names) if star_names else None
+            return V.VAggColumn(spec, None, positions)
+        kernel = compile_value(spec.arg, input_schema)
+        return V.VAggColumn(spec, kernel)
+
+    def _compile_GroupBy(self, node: L.GroupBy) -> P.PhysicalOperator:
+        child = self.compile(node.child)
+        try:
+            columns = [
+                self._vec_agg_column(spec, node.child.schema)
+                for _, spec in node.aggregates
+            ]
+        except VectorizeError:
+            return super()._compile_GroupBy(node)
+        key_positions = node.child.schema.positions(node.keys)
+        return V.VHashGroupBy(self._vec(child), node.schema, key_positions, columns, ())
+
+    def _compile_ScalarAggregate(self, node: L.ScalarAggregate) -> P.PhysicalOperator:
+        child = self.compile(node.child)
+        try:
+            columns = [
+                self._vec_agg_column(spec, node.child.schema)
+                for _, spec in node.aggregates
+            ]
+        except VectorizeError:
+            return super()._compile_ScalarAggregate(node)
+        return V.VScalarAgg(self._vec(child), node.schema, columns, ())
+
+    # BinaryGroupBy and BypassJoin stay on the row implementations
+    # (inherited hooks).
+
+    # -- joins --------------------------------------------------------------
+
+    def _compile_join_family(
+        self, node, kind: str, defaults: dict | None = None
+    ) -> P.PhysicalOperator:
+        lkeys, rkeys, residual = self._split_equi_keys(
+            node.predicate, node.left.schema, node.right.schema
+        )
+        if not lkeys:
+            return super()._compile_join_family(node, kind, defaults)
+        combined = node.left.schema.concat(node.right.schema)
+        residual_kernel = None
+        if residual is not None:
+            try:
+                residual_kernel = compile_predicate(residual, combined)
+            except VectorizeError:
+                return super()._compile_join_family(node, kind, defaults)
+        left = self.compile(node.left)
+        right = self.compile(node.right)
+        default_row = None
+        if kind == "left_outer":
+            default_row = tuple(
+                (defaults or {}).get(col.name) for col in node.right.schema
+            )
+        return V.VHashJoin(
+            self._vec(left),
+            self._vec(right),
+            node.schema,
+            lkeys,
+            rkeys,
+            residual_kernel,
+            kind,
+            (),
+            default_row,
+        )
+
+    def _compile_CrossProduct(self, node: L.CrossProduct) -> P.PhysicalOperator:
+        left = self.compile(node.left)
+        right = self.compile(node.right)
+        return V.VCrossJoin(self._vec(left), self._vec(right), node.schema)
+
+    # -- set operations -----------------------------------------------------
+
+    def _compile_UnionAll(self, node: L.UnionAll) -> P.PhysicalOperator:
+        left = self.compile(node.left)
+        right = self.compile(node.right)
+        return V.VUnionAll(self._vec(left), self._vec(right))
+
+    def _compile_Union(self, node: L.Union) -> P.PhysicalOperator:
+        left = self.compile(node.left)
+        right = self.compile(node.right)
+        return V.VUnion(self._vec(left), self._vec(right))
+
+    # Intersect / Difference stay row-based (inherited hooks).

@@ -1,0 +1,480 @@
+"""Batched 3VL expression kernels for the vectorized engine.
+
+Mirrors :mod:`repro.engine.evaluate`'s two-stage design at batch
+granularity: ``compile_value(expr, schema)`` / ``compile_predicate(expr,
+schema)`` produce ``bind(ctx, env) -> fn(batch)``.  Binding resolves
+correlation values and constants once per operator invocation; the bound
+``fn`` evaluates the whole batch with numpy primitives.
+
+Value kernels return ``(data, valid)`` — a data array plus a validity
+mask (``None`` = no NULLs) aligned with the batch's current selection.
+Predicate kernels return a *truth pair* ``(is_true, is_false)`` of
+boolean arrays; UNKNOWN is "neither", so the Kleene connectives and the
+bypass split come out as plain mask algebra (following the tagged /
+selection-vector execution model of Kim & Madden, arXiv:2404.09109).
+NULL masks propagate through comparisons and arithmetic exactly as the
+row engine's 3VL does.
+
+Kernels exist only for the expression forms that vectorise profitably;
+:class:`VectorizeError` signals "compile this operator with the row
+interpreter instead" and is raised at *compile* time, so runtime batches
+never hit an unsupported expression.  Subqueries in particular are never
+vectorised — plans containing them fall back per-operator.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+import numpy as np
+
+from repro.algebra import expr as E
+from repro.engine.evaluate import _like_to_regex
+from repro.errors import ExecutionError
+
+#: bind(ctx, env) -> fn(batch) -> (data, valid) or (is_true, is_false).
+Compiled = Callable
+
+
+class VectorizeError(Exception):
+    """Internal signal: expression/operator has no vectorized form.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: it never
+    escapes the compiler — it only routes compilation to the row engine.
+    """
+
+
+def compile_value(expression: E.Expr, schema) -> Compiled:
+    return _KernelCompiler(schema).value(expression)
+
+
+def compile_predicate(expression: E.Expr, schema) -> Compiled:
+    return _KernelCompiler(schema).predicate(expression)
+
+
+# ---------------------------------------------------------------------------
+# mask helpers
+# ---------------------------------------------------------------------------
+
+
+def _valid_and(left: np.ndarray | None, right: np.ndarray | None) -> np.ndarray | None:
+    if left is None:
+        return right
+    if right is None:
+        return left
+    return left & right
+
+
+def _valid_array(valid: np.ndarray | None, n: int) -> np.ndarray:
+    return np.ones(n, dtype=bool) if valid is None else valid
+
+
+def _const_column(value, n: int) -> tuple[np.ndarray, np.ndarray | None]:
+    """Broadcast one Python constant to a column of length ``n``."""
+    if value is None:
+        return np.zeros(n, dtype=np.int64), np.zeros(n, dtype=bool)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        data = np.empty(n, dtype=object)
+        data[:] = value
+        return data, None
+    dtype = np.int64 if isinstance(value, int) else np.float64
+    return np.full(n, value, dtype=dtype), None
+
+
+_NUMPY_CMP = {
+    "=": np.equal,
+    "<>": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+_PY_CMP = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_PY_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+def _elementwise_compare(op: str, ld, rd, valid: np.ndarray | None, n: int) -> np.ndarray:
+    """Comparison result over the valid positions (False elsewhere)."""
+    if ld.dtype != object and rd.dtype != object:
+        result = _NUMPY_CMP[op](ld, rd)
+        return result if valid is None else result & valid
+    if op in ("=", "<>"):
+        # Object __eq__ is total (no TypeError on mixed types), so the
+        # elementwise form is safe even at masked positions.
+        result = np.asarray(ld == rd, dtype=bool)
+        if op == "<>":
+            result = ~result
+        return result if valid is None else result & valid
+    # Ordering on the object layout: compare only the valid pairs.
+    func = _PY_CMP[op]
+    result = np.zeros(n, dtype=bool)
+    indices = np.arange(n) if valid is None else np.nonzero(valid)[0]
+    lv = ld[indices].tolist()
+    rv = rd[indices].tolist()
+    result[indices] = [func(a, b) for a, b in zip(lv, rv)]
+    return result
+
+
+# ---------------------------------------------------------------------------
+# the compiler
+# ---------------------------------------------------------------------------
+
+
+class _KernelCompiler:
+    def __init__(self, schema):
+        self.schema = schema
+
+    # -- dispatch ---------------------------------------------------------
+
+    def value(self, node: E.Expr) -> Compiled:
+        method = getattr(self, "_value_" + type(node).__name__, None)
+        if method is None:
+            raise VectorizeError(f"no value kernel for {type(node).__name__}")
+        return method(node)
+
+    def predicate(self, node: E.Expr) -> Compiled:
+        method = getattr(self, "_pred_" + type(node).__name__, None)
+        if method is None:
+            raise VectorizeError(f"no predicate kernel for {type(node).__name__}")
+        return method(node)
+
+    # -- value kernels ----------------------------------------------------
+
+    def _value_Literal(self, node: E.Literal) -> Compiled:
+        value = node.value
+
+        def bind(ctx, env):
+            return lambda batch: _const_column(value, len(batch))
+
+        return bind
+
+    def _value_ColumnRef(self, node: E.ColumnRef) -> Compiled:
+        if node.name in self.schema:
+            position = self.schema.position(node.name)
+
+            def bind(ctx, env, position=position):
+                return lambda batch: batch.column(position)
+
+            return bind
+
+        name = node.name
+
+        def bind_env(ctx, env, name=name):
+            try:
+                value = env[name]
+            except KeyError:
+                raise ExecutionError(
+                    f"unbound attribute {name!r}: not in schema and not in "
+                    "the correlation environment"
+                ) from None
+            return lambda batch: _const_column(value, len(batch))
+
+        return bind_env
+
+    def _value_Arithmetic(self, node: E.Arithmetic) -> Compiled:
+        left = self.value(node.left)
+        right = self.value(node.right)
+        op = node.op
+
+        def bind(ctx, env):
+            lf = left(ctx, env)
+            rf = right(ctx, env)
+
+            def fn(batch):
+                ld, lv = lf(batch)
+                rd, rv = rf(batch)
+                valid = _valid_and(lv, rv)
+                n = len(batch)
+                if ld.dtype == object or rd.dtype == object:
+                    func = _PY_ARITH[op]
+                    out = np.empty(n, dtype=object)
+                    indices = np.arange(n) if valid is None else np.nonzero(valid)[0]
+                    la = ld[indices].tolist()
+                    ra = rd[indices].tolist()
+                    out[indices] = [func(a, b) for a, b in zip(la, ra)]
+                    return out, valid
+                if op == "/":
+                    zero = rd == 0
+                    if valid is not None:
+                        zero = zero & valid
+                    if zero.any():
+                        raise ZeroDivisionError("division by zero")
+                    # Avoid 0/0 noise at masked positions.
+                    divisor = np.where(rd == 0, 1, rd)
+                    return np.true_divide(ld, divisor), valid
+                if op == "+":
+                    return ld + rd, valid
+                if op == "-":
+                    return ld - rd, valid
+                return ld * rd, valid
+
+            return fn
+
+        return bind
+
+    def _value_Negate(self, node: E.Negate) -> Compiled:
+        operand = self.value(node.operand)
+
+        def bind(ctx, env):
+            of = operand(ctx, env)
+
+            def fn(batch):
+                data, valid = of(batch)
+                if data.dtype == object:
+                    n = len(batch)
+                    out = np.empty(n, dtype=object)
+                    indices = np.arange(n) if valid is None else np.nonzero(valid)[0]
+                    out[indices] = [-v for v in data[indices].tolist()]
+                    return out, valid
+                return -data, valid
+
+            return fn
+
+        return bind
+
+    def _value_Case(self, node: E.Case) -> Compiled:
+        branches = [(self.predicate(c), self.value(v)) for c, v in node.branches]
+        default = self.value(node.default)
+
+        def bind(ctx, env):
+            bound = [(c(ctx, env), v(ctx, env)) for c, v in branches]
+            df = default(ctx, env)
+
+            def fn(batch):
+                n = len(batch)
+                unset = np.ones(n, dtype=bool)
+                pieces = []
+                for cond, value in bound:
+                    is_true, _ = cond(batch)
+                    mask = unset & is_true
+                    unset = unset & ~mask
+                    if mask.any():
+                        pieces.append((mask, value(batch)))
+                if unset.any():
+                    pieces.append((unset, df(batch)))
+                if not pieces:
+                    return np.empty(n, dtype=object), np.zeros(n, dtype=bool)
+                dtypes = {data.dtype for _, (data, _) in pieces}
+                dtype = dtypes.pop() if len(dtypes) == 1 else np.dtype(object)
+                out = np.zeros(n, dtype=dtype)
+                out_valid = np.zeros(n, dtype=bool)
+                for mask, (data, valid) in pieces:
+                    out[mask] = data[mask]
+                    out_valid[mask] = True if valid is None else valid[mask]
+                return out, out_valid
+
+            return fn
+
+        return bind
+
+    # -- predicate kernels -------------------------------------------------
+
+    def _pred_Literal(self, node: E.Literal) -> Compiled:
+        value = node.value
+
+        def bind(ctx, env):
+            def fn(batch):
+                n = len(batch)
+                is_true = np.full(n, value is True, dtype=bool)
+                is_false = np.full(n, value is False, dtype=bool)
+                return is_true, is_false
+
+            return fn
+
+        return bind
+
+    def _pred_Comparison(self, node: E.Comparison) -> Compiled:
+        left = self.value(node.left)
+        right = self.value(node.right)
+        op = node.op
+
+        def bind(ctx, env):
+            lf = left(ctx, env)
+            rf = right(ctx, env)
+
+            def fn(batch):
+                ld, lv = lf(batch)
+                rd, rv = rf(batch)
+                n = len(batch)
+                valid = _valid_and(lv, rv)
+                result = _elementwise_compare(op, ld, rd, valid, n)
+                valid_arr = _valid_array(valid, n)
+                return result & valid_arr, ~result & valid_arr
+
+            return fn
+
+        return bind
+
+    def _pred_IsNull(self, node: E.IsNull) -> Compiled:
+        operand = self.value(node.operand)
+        negated = node.negated
+
+        def bind(ctx, env):
+            of = operand(ctx, env)
+
+            def fn(batch):
+                _, valid = of(batch)
+                valid_arr = _valid_array(valid, len(batch))
+                if negated:  # IS NOT NULL
+                    return valid_arr, ~valid_arr
+                return ~valid_arr, valid_arr
+
+            return fn
+
+        return bind
+
+    def _pred_Like(self, node: E.Like) -> Compiled:
+        operand = self.value(node.operand)
+        regex = re.compile(_like_to_regex(node.pattern), re.DOTALL)
+        negated = node.negated
+
+        def bind(ctx, env):
+            of = operand(ctx, env)
+
+            def fn(batch):
+                data, valid = of(batch)
+                n = len(batch)
+                valid_arr = _valid_array(valid, n)
+                matched = np.zeros(n, dtype=bool)
+                indices = np.nonzero(valid_arr)[0]
+                matched[indices] = [
+                    regex.match(value) is not None for value in data[indices].tolist()
+                ]
+                if negated:
+                    matched = ~matched & valid_arr
+                    return matched, valid_arr & ~matched
+                return matched & valid_arr, valid_arr & ~matched
+
+            return fn
+
+        return bind
+
+    def _pred_InList(self, node: E.InList) -> Compiled:
+        operand = self.value(node.operand)
+        items = [self._constant_item(item) for item in node.items]
+        negated = node.negated
+
+        def bind(ctx, env):
+            of = operand(ctx, env)
+            candidates = [item(ctx, env) for item in items]
+            saw_null = any(candidate is None for candidate in candidates)
+            concrete = [candidate for candidate in candidates if candidate is not None]
+
+            def fn(batch):
+                data, valid = of(batch)
+                n = len(batch)
+                valid_arr = _valid_array(valid, n)
+                matched = np.zeros(n, dtype=bool)
+                numeric = data.dtype != object
+                for candidate in concrete:
+                    if numeric and not (
+                        isinstance(candidate, (int, float))
+                        and not isinstance(candidate, bool)
+                    ):
+                        continue  # incomparable with a numeric layout: no match
+                    matched |= np.asarray(data == candidate, dtype=bool)
+                matched &= valid_arr
+                if not candidates:
+                    # IN () — FALSE even for NULL operands (row-engine parity).
+                    is_true = np.zeros(n, dtype=bool)
+                    is_false = np.ones(n, dtype=bool)
+                elif saw_null:
+                    is_true, is_false = matched, np.zeros(n, dtype=bool)
+                else:
+                    is_true, is_false = matched, valid_arr & ~matched
+                if negated:
+                    return is_false, is_true
+                return is_true, is_false
+
+            return fn
+
+        return bind
+
+    def _constant_item(self, item: E.Expr) -> Callable:
+        """IN-list items must bind to scalars (literals or correlation values)."""
+        if isinstance(item, E.Literal):
+            value = item.value
+            return lambda ctx, env: value
+        if isinstance(item, E.ColumnRef) and item.name not in self.schema:
+            name = item.name
+
+            def lookup(ctx, env, name=name):
+                try:
+                    return env[name]
+                except KeyError:
+                    raise ExecutionError(
+                        f"unbound attribute {name!r}: not in schema and not in "
+                        "the correlation environment"
+                    ) from None
+
+            return lookup
+        raise VectorizeError("IN list item is not a bindable constant")
+
+    def _pred_And(self, node: E.And) -> Compiled:
+        parts = [self.predicate(item) for item in node.items]
+
+        def bind(ctx, env):
+            fns = [part(ctx, env) for part in parts]
+
+            def fn(batch):
+                n = len(batch)
+                all_true = np.ones(n, dtype=bool)
+                any_false = np.zeros(n, dtype=bool)
+                for item in fns:
+                    is_true, is_false = item(batch)
+                    all_true &= is_true
+                    any_false |= is_false
+                return all_true & ~any_false, any_false
+
+            return fn
+
+        return bind
+
+    def _pred_Or(self, node: E.Or) -> Compiled:
+        parts = [self.predicate(item) for item in node.items]
+
+        def bind(ctx, env):
+            fns = [part(ctx, env) for part in parts]
+
+            def fn(batch):
+                n = len(batch)
+                any_true = np.zeros(n, dtype=bool)
+                all_false = np.ones(n, dtype=bool)
+                for item in fns:
+                    is_true, is_false = item(batch)
+                    any_true |= is_true
+                    all_false &= is_false
+                return any_true, all_false & ~any_true
+
+            return fn
+
+        return bind
+
+    def _pred_Not(self, node: E.Not) -> Compiled:
+        operand = self.predicate(node.operand)
+
+        def bind(ctx, env):
+            of = operand(ctx, env)
+
+            def fn(batch):
+                is_true, is_false = of(batch)
+                return is_false, is_true
+
+            return fn
+
+        return bind

@@ -1,0 +1,788 @@
+"""Vectorized physical operators: batch-at-a-time runtime algebra.
+
+Every operator here is a :class:`~repro.engine.operators.PhysicalOperator`
+whose native unit of work is a :class:`~repro.storage.batch.Batch`
+(column arrays + validity masks + selection vector) instead of a Python
+row list.  ``execute_batch(ctx, env)`` is the batched entry point;
+``execute`` materialises the batch, so a row operator can consume a
+vectorized child transparently.  The reverse boundary is
+:class:`VFromRows`, which pivots a row child's output into a batch —
+together the two directions give the per-operator fallback the compiler
+relies on.
+
+Bypass semantics are selection vectors: :class:`VBypassFilter` evaluates
+its 3VL predicate kernel once and *splits* the input batch into the TRUE
+stream and its complement (FALSE ∪ UNKNOWN) — two selection vectors over
+one set of shared column arrays, no row copying.
+
+Joins and grouping are hash-style but expressed with numpy: keys are
+factorised into dense integer codes (NULL keys get a reserved code and
+never match), matches are found by sorting/searching the code space, and
+the Eqv. 1–5 pre-aggregations (COUNT/SUM/MIN/MAX/AVG) have closed-form
+``bincount``/``ufunc.at`` fast paths with a per-group fallback to
+:func:`~repro.algebra.aggregates.evaluate_spec` for DISTINCT, partial
+mode, and non-numeric layouts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.algebra.aggregates import AggSpec, evaluate_spec
+from repro.engine import operators as P
+from repro.storage.batch import Batch, build_column, column_to_pylist
+from repro.storage.schema import Schema
+
+
+class VecOperator(P.PhysicalOperator):
+    """Base class: batch execution, batch memoisation, row materialisation."""
+
+    __slots__ = ()
+
+    def execute(self, ctx, env: dict) -> list:
+        if not self.memoize:
+            return self.execute_batch(ctx, env).to_rows()
+        key = (id(self), self.env_signature(env), "rows")
+        hit = ctx.memo.get(key)
+        if hit is not None:
+            return hit
+        rows = self.execute_batch(ctx, env).to_rows()
+        ctx.memo[key] = rows
+        return rows
+
+    def execute_batch(self, ctx, env: dict) -> Batch:
+        if self.memoize:
+            key = (id(self), self.env_signature(env), "batch")
+            hit = ctx.memo.get(key)
+            if hit is not None:
+                return hit
+            batch = self._run_batch(ctx, env)
+            ctx.memo[key] = batch
+        else:
+            batch = self._run_batch(ctx, env)
+        if ctx.options.collect_stats:
+            ctx.stats.record_rows(type(self).__name__, len(batch))
+            ctx.stats.record_node(id(self), len(batch))
+        return batch
+
+    def _run_batch(self, ctx, env: dict) -> Batch:
+        raise NotImplementedError
+
+    def _run(self, ctx, env: dict) -> list:  # pragma: no cover - execute() bypasses
+        return self.execute_batch(ctx, env).to_rows()
+
+
+# ---------------------------------------------------------------------------
+# Leaves and adapters
+# ---------------------------------------------------------------------------
+
+
+class VScan(VecOperator):
+    """Base-table scan: pivot the row store into a batch once per *table*.
+
+    The pivot is the single most expensive step of a cold vectorized
+    query, and plans are recompiled per execution, so the column arrays
+    are cached on the table itself, keyed on ``Table.version`` (bumped
+    by every mutation).  Each scan instance only rewraps the shared
+    arrays with its own (possibly qualified) schema.
+    """
+
+    __slots__ = ("table", "_batch", "_version")
+
+    def __init__(self, schema: Schema, table):
+        super().__init__(schema)
+        self.table = table
+        self._batch: Batch | None = None
+        self._version: int = -1
+
+    def _run_batch(self, ctx, env):
+        table = self.table
+        ctx.tick(len(table.rows))
+        if self._batch is not None and self._version == table.version:
+            return self._batch
+        cached = table.batch_cache
+        if cached is None or cached[0] != table.version:
+            base = Batch.from_rows(table.schema, table.rows)
+            table.batch_cache = (table.version, base)
+        else:
+            base = cached[1]
+        self._batch = Batch(self.schema, base.data, base.valid, base.base_length, base.sel)
+        self._version = table.version
+        return self._batch
+
+
+class VFromRows(VecOperator):
+    """Row → batch boundary: wraps any row operator as a batch source."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: P.PhysicalOperator):
+        super().__init__(child.schema, child.free_names)
+        self.child = child
+
+    def _run_batch(self, ctx, env):
+        return Batch.from_rows(self.schema, self.child.execute(ctx, env))
+
+
+# ---------------------------------------------------------------------------
+# Selection and bypass selection
+# ---------------------------------------------------------------------------
+
+
+class VFilter(VecOperator):
+    """Selection: keep the rows whose predicate kernel is TRUE."""
+
+    __slots__ = ("child", "kernel")
+
+    def __init__(self, child: VecOperator, kernel: Callable, free_names):
+        super().__init__(child.schema, free_names)
+        self.child = child
+        self.kernel = kernel
+
+    def _run_batch(self, ctx, env):
+        batch = self.child.execute_batch(ctx, env)
+        ctx.tick(len(batch))
+        is_true, _ = self.kernel(ctx, env)(batch)
+        return batch.filter(is_true)
+
+
+class VBypassFilter(P.PBypassBase):
+    """Bypass selection σ±: one predicate evaluation, two selection vectors.
+
+    The positive stream is the TRUE mask, the negative stream is its
+    complement (FALSE ∪ UNKNOWN); both alias the input batch's column
+    arrays — the split copies no rows.
+    """
+
+    __slots__ = ("child", "kernel")
+
+    def __init__(self, child: VecOperator, kernel: Callable, free_names):
+        super().__init__(child.schema, free_names)
+        self.child = child
+        self.kernel = kernel
+
+    def pair_batches(self, ctx, env) -> tuple[Batch, Batch]:
+        key = (id(self), self.env_signature(env), "vpair")
+        hit = ctx.memo.get(key)
+        if hit is not None:
+            return hit
+        batch = self.child.execute_batch(ctx, env)
+        ctx.tick(len(batch))
+        is_true, _ = self.kernel(ctx, env)(batch)
+        result = batch.split(is_true)
+        ctx.memo[key] = result
+        if ctx.options.collect_stats:
+            ctx.stats.record_rows(type(self).__name__, len(batch))
+            ctx.stats.record_node(id(self), len(batch))
+        return result
+
+    def _run_pair(self, ctx, env):
+        positive, negative = self.pair_batches(ctx, env)
+        return positive.to_rows(), negative.to_rows()
+
+
+class VStreamTap(VecOperator):
+    """One stream of a vectorized bypass operator."""
+
+    __slots__ = ("source", "positive")
+
+    def __init__(self, source: VBypassFilter, positive: bool):
+        super().__init__(source.schema, source.free_names)
+        self.source = source
+        self.positive = positive
+
+    def describe(self) -> str:
+        return type(self).__name__ + (" [+]" if self.positive else " [−]")
+
+    def _run_batch(self, ctx, env):
+        positive, negative = self.source.pair_batches(ctx, env)
+        return positive if self.positive else negative
+
+
+# ---------------------------------------------------------------------------
+# Stateless unary operators
+# ---------------------------------------------------------------------------
+
+
+class VProject(VecOperator):
+    """Projection: column subset; shares arrays and selection (zero copy)."""
+
+    __slots__ = ("child", "positions")
+
+    def __init__(self, child: VecOperator, schema: Schema, positions: Sequence[int]):
+        super().__init__(schema, ())
+        self.child = child
+        self.positions = tuple(positions)
+
+    def _run_batch(self, ctx, env):
+        batch = self.child.execute_batch(ctx, env)
+        ctx.tick(len(batch))
+        return batch.project(self.positions, self.schema)
+
+
+class VRename(VecOperator):
+    """Renaming is schema-only."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: VecOperator, schema: Schema):
+        super().__init__(schema, ())
+        self.child = child
+
+    def _run_batch(self, ctx, env):
+        return self.child.execute_batch(ctx, env).rename(self.schema)
+
+
+class VMap(VecOperator):
+    """Map χ: append one kernel-computed column."""
+
+    __slots__ = ("child", "kernel")
+
+    def __init__(self, child: VecOperator, schema: Schema, kernel: Callable, free_names):
+        super().__init__(schema, free_names)
+        self.child = child
+        self.kernel = kernel
+
+    def _run_batch(self, ctx, env):
+        batch = self.child.execute_batch(ctx, env)
+        ctx.tick(len(batch))
+        data, valid = self.kernel(ctx, env)(batch)
+        return batch.with_column(self.schema, data, valid)
+
+
+class VNumber(VecOperator):
+    """Numbering ν: append 1-based sequence numbers."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: VecOperator, schema: Schema):
+        super().__init__(schema, ())
+        self.child = child
+
+    def _run_batch(self, ctx, env):
+        batch = self.child.execute_batch(ctx, env)
+        ctx.tick(len(batch))
+        numbers = np.arange(1, len(batch) + 1, dtype=np.int64)
+        return batch.with_column(self.schema, numbers, None)
+
+
+class VDistinct(VecOperator):
+    """Stable duplicate elimination: first-occurrence selection vector."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: VecOperator):
+        super().__init__(child.schema, ())
+        self.child = child
+
+    def _run_batch(self, ctx, env):
+        batch = self.child.execute_batch(ctx, env)
+        ctx.tick(len(batch))
+        return _dedupe(batch)
+
+
+class VLimit(VecOperator):
+    """Keep the first N rows (selection-vector slice)."""
+
+    __slots__ = ("child", "count")
+
+    def __init__(self, child: VecOperator, count: int):
+        super().__init__(child.schema, ())
+        self.child = child
+        self.count = count
+
+    def _run_batch(self, ctx, env):
+        return self.child.execute_batch(ctx, env).head(self.count)
+
+
+class VSort(VecOperator):
+    """Stable multi-key sort via an index permutation (PSort semantics:
+    NULLs last ascending, first descending)."""
+
+    __slots__ = ("child", "keys")
+
+    def __init__(self, child: VecOperator, keys: Sequence[tuple[int, bool]]):
+        super().__init__(child.schema, ())
+        self.child = child
+        self.keys = tuple(keys)
+
+    def _run_batch(self, ctx, env):
+        batch = self.child.execute_batch(ctx, env)
+        ctx.tick(len(batch))
+        indices = list(range(len(batch)))
+        for position, ascending in reversed(self.keys):
+            values = batch.column_values(position)
+            indices.sort(
+                key=lambda i, vs=values: ((vs[i] is None), vs[i] if vs[i] is not None else 0),
+                reverse=not ascending,
+            )
+        return batch.take(np.asarray(indices, dtype=np.int64))
+
+
+# ---------------------------------------------------------------------------
+# Set operations
+# ---------------------------------------------------------------------------
+
+
+class VUnionAll(VecOperator):
+    """Bag concatenation (disjoint union ∪̇)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: VecOperator, right: VecOperator):
+        super().__init__(left.schema, ())
+        self.left = left
+        self.right = right
+
+    def _run_batch(self, ctx, env):
+        left = self.left.execute_batch(ctx, env)
+        right = self.right.execute_batch(ctx, env)
+        ctx.tick(len(left) + len(right))
+        return Batch.concat(self.schema, [left, right])
+
+
+class VUnion(VecOperator):
+    """Set union (dedup, SQL UNION)."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: VecOperator, right: VecOperator):
+        super().__init__(left.schema, ())
+        self.left = left
+        self.right = right
+
+    def _run_batch(self, ctx, env):
+        left = self.left.execute_batch(ctx, env)
+        right = self.right.execute_batch(ctx, env)
+        ctx.tick(len(left) + len(right))
+        return _dedupe(Batch.concat(self.schema, [left, right]))
+
+
+def _dedupe(batch: Batch) -> Batch:
+    seen: set = set()
+    keep: list[int] = []
+    for index, row in enumerate(batch.to_rows()):
+        if row not in seen:
+            seen.add(row)
+            keep.append(index)
+    if len(keep) == len(batch):
+        return batch
+    return batch.take(np.asarray(keep, dtype=np.int64))
+
+
+# ---------------------------------------------------------------------------
+# Key factorisation (shared by joins and grouping)
+# ---------------------------------------------------------------------------
+
+
+def _factorize(columns: Sequence[tuple[np.ndarray, np.ndarray | None]], n: int):
+    """Combine key columns into dense int codes; NULL keys get ``ok=False``.
+
+    Returns ``(codes, ok)``: ``codes`` is an int64 array where equal rows
+    have equal codes, and ``ok`` marks the rows with no NULL key field.
+    """
+    codes = np.zeros(n, dtype=np.int64)
+    ok = np.ones(n, dtype=bool)
+    for data, valid in columns:
+        col_codes, cardinality = _factorize_one(data, valid, n)
+        ok &= col_codes > 0
+        codes = codes * np.int64(cardinality + 1) + col_codes
+    return codes, ok
+
+
+def _factorize_one(data: np.ndarray, valid: np.ndarray | None, n: int):
+    """Codes for one column: 0 = NULL, 1..k = distinct non-NULL values."""
+    try:
+        if valid is None:
+            _, inverse = np.unique(data, return_inverse=True)
+            return inverse.astype(np.int64) + 1, int(inverse.max(initial=-1)) + 1
+        codes = np.zeros(n, dtype=np.int64)
+        subset = data[valid]
+        if len(subset):
+            _, inverse = np.unique(subset, return_inverse=True)
+            codes[valid] = inverse.astype(np.int64) + 1
+            return codes, int(inverse.max()) + 1
+        return codes, 0
+    except TypeError:
+        # Mixed un-orderable types in an object column: dict factorisation.
+        mapping: dict = {}
+        codes = np.zeros(n, dtype=np.int64)
+        values = data.tolist()
+        valid_list = [True] * n if valid is None else valid.tolist()
+        for index, (value, is_valid) in enumerate(zip(values, valid_list)):
+            if not is_valid:
+                continue
+            code = mapping.get(value)
+            if code is None:
+                code = len(mapping) + 1
+                mapping[value] = code
+            codes[index] = code
+        return codes, len(mapping)
+
+
+def _shared_codes(
+    left_cols, right_cols, n_left: int, n_right: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Factorise equi-join keys into one shared code space."""
+    merged = []
+    for (ld, lv), (rd, rv) in zip(left_cols, right_cols):
+        if ld.dtype != rd.dtype:
+            ld, rd = ld.astype(object), rd.astype(object)
+        data = np.concatenate([ld, rd])
+        if lv is None and rv is None:
+            valid = None
+        else:
+            valid = np.concatenate(
+                [
+                    np.ones(n_left, dtype=bool) if lv is None else lv,
+                    np.ones(n_right, dtype=bool) if rv is None else rv,
+                ]
+            )
+        merged.append((data, valid))
+    codes, ok = _factorize(merged, n_left + n_right)
+    return codes[:n_left], codes[n_left:], ok[:n_left], ok[n_left:]
+
+
+# ---------------------------------------------------------------------------
+# Joins
+# ---------------------------------------------------------------------------
+
+
+class VHashJoin(VecOperator):
+    """Equi-join on factorised key codes; ``kind`` ∈ inner/semi/anti/left_outer.
+
+    Matching is sort-and-search over the code space: right codes are
+    sorted once, left codes probe with ``searchsorted``, and the match
+    pairs materialise as two index vectors (``np.repeat`` over per-probe
+    match counts).  NULL keys never match.
+    """
+
+    __slots__ = ("left", "right", "left_keys", "right_keys", "residual", "kind", "default_row")
+
+    def __init__(
+        self,
+        left: VecOperator,
+        right: VecOperator,
+        schema: Schema,
+        left_keys,
+        right_keys,
+        residual: Callable | None,
+        kind: str,
+        free_names,
+        default_row: tuple | None = None,
+    ):
+        super().__init__(schema, free_names)
+        self.left = left
+        self.right = right
+        self.left_keys = tuple(left_keys)
+        self.right_keys = tuple(right_keys)
+        self.residual = residual
+        self.kind = kind
+        self.default_row = default_row
+
+    def _run_batch(self, ctx, env):
+        left = self.left.execute_batch(ctx, env).compact()
+        right = self.right.execute_batch(ctx, env).compact()
+        n_left, n_right = len(left), len(right)
+        ctx.tick(n_left + n_right)
+        lcodes, rcodes, l_ok, r_ok = _shared_codes(
+            [left.column(p) for p in self.left_keys],
+            [right.column(p) for p in self.right_keys],
+            n_left,
+            n_right,
+        )
+        left_idx, right_idx = _match_pairs(lcodes, rcodes, l_ok, r_ok)
+        ctx.tick(len(left_idx))
+
+        joined = None
+        if self.residual is not None and len(left_idx):
+            joined = _paired_batch(self.schema, left, right, left_idx, right_idx)
+            is_true, _ = self.residual(ctx, env)(joined)
+            keep = np.nonzero(is_true)[0]
+            left_idx, right_idx = left_idx[keep], right_idx[keep]
+            joined = joined.take(keep)
+
+        kind = self.kind
+        if kind == "inner":
+            if joined is not None:
+                return joined
+            return _paired_batch(self.schema, left, right, left_idx, right_idx)
+        matched = np.unique(left_idx)
+        if kind == "semi":
+            return left.take(matched).rename(self.schema)
+        if kind == "anti":
+            keep_mask = np.ones(n_left, dtype=bool)
+            keep_mask[matched] = False
+            return left.filter(keep_mask).rename(self.schema)
+        # left_outer: matched pairs plus unmatched left rows padded with
+        # the f(∅) defaults (the count-bug fix).
+        inner = joined
+        if inner is None:
+            inner = _paired_batch(self.schema, left, right, left_idx, right_idx)
+        unmatched_mask = np.ones(n_left, dtype=bool)
+        unmatched_mask[matched] = False
+        unmatched = left.filter(unmatched_mask).compact()
+        padded = _pad_with_defaults(self.schema, unmatched, self.default_row, len(right.schema))
+        return Batch.concat(self.schema, [inner, padded])
+
+
+class VCrossJoin(VecOperator):
+    """Cross product via index repetition."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: VecOperator, right: VecOperator, schema: Schema):
+        super().__init__(schema, ())
+        self.left = left
+        self.right = right
+
+    def _run_batch(self, ctx, env):
+        left = self.left.execute_batch(ctx, env).compact()
+        right = self.right.execute_batch(ctx, env).compact()
+        n_left, n_right = len(left), len(right)
+        ctx.tick(n_left * n_right)
+        left_idx = np.repeat(np.arange(n_left, dtype=np.int64), n_right)
+        right_idx = np.tile(np.arange(n_right, dtype=np.int64), n_left)
+        return _paired_batch(self.schema, left, right, left_idx, right_idx)
+
+
+def _match_pairs(lcodes, rcodes, l_ok, r_ok) -> tuple[np.ndarray, np.ndarray]:
+    """All (left, right) index pairs with equal codes, both sides non-NULL."""
+    r_indices = np.nonzero(r_ok)[0]
+    empty = np.empty(0, dtype=np.int64)
+    if not len(r_indices) or not l_ok.any():
+        return empty, empty
+    r_subset = rcodes[r_indices]
+    order = np.argsort(r_subset, kind="stable")
+    r_sorted = r_subset[order]
+    unique_codes, starts = np.unique(r_sorted, return_index=True)
+    counts = np.diff(np.append(starts, len(r_sorted)))
+    pos = np.searchsorted(unique_codes, lcodes)
+    pos_clipped = np.minimum(pos, len(unique_codes) - 1)
+    found = l_ok & (pos < len(unique_codes)) & (unique_codes[pos_clipped] == lcodes)
+    match_counts = np.where(found, counts[pos_clipped], 0)
+    total = int(match_counts.sum())
+    if total == 0:
+        return empty, empty
+    left_idx = np.repeat(np.arange(len(lcodes), dtype=np.int64), match_counts)
+    cumulative = np.cumsum(match_counts)
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        cumulative - match_counts, match_counts
+    )
+    start_per_pair = np.repeat(np.where(found, starts[pos_clipped], 0), match_counts)
+    right_idx = r_indices[order[start_per_pair + within]]
+    return left_idx, right_idx
+
+
+def _paired_batch(schema: Schema, left: Batch, right: Batch, left_idx, right_idx) -> Batch:
+    """Materialise the concatenated (x ∘ y) batch for matched index pairs."""
+    data, valid = [], []
+    for source, indices in ((left, left_idx), (right, right_idx)):
+        for position in range(len(source.schema)):
+            d, v = source.column(position)
+            data.append(d[indices])
+            valid.append(None if v is None else v[indices])
+    return Batch(schema, data, valid, len(left_idx))
+
+
+def _pad_with_defaults(
+    schema: Schema, left: Batch, default_row: tuple | None, right_arity: int
+) -> Batch:
+    """Left rows extended with constant default values for the right side."""
+    n = len(left)
+    defaults = default_row if default_row is not None else (None,) * right_arity
+    data = list(left.data)
+    valid = list(left.valid)
+    for value in defaults:
+        column, mask = build_column([value] * n if n else [])
+        data.append(column)
+        valid.append(mask)
+    return Batch(schema, data, valid, n)
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+class VAggColumn:
+    """One aggregate column: spec + vectorized argument extraction.
+
+    ``kernel`` is a compiled value kernel (``bind → fn(batch)``) or
+    ``None`` for STAR arguments, in which case the aggregated values are
+    whole row tuples (optionally projected onto ``star_positions``).
+    """
+
+    __slots__ = ("spec", "kernel", "star_positions")
+
+    def __init__(self, spec: AggSpec, kernel: Callable | None, star_positions=None):
+        self.spec = spec
+        self.kernel = kernel
+        self.star_positions = tuple(star_positions) if star_positions is not None else None
+
+    def values(self, ctx, env, batch: Batch):
+        """``(data, valid)`` arrays, or a Python list for STAR arguments."""
+        if self.kernel is not None:
+            return self.kernel(ctx, env)(batch)
+        rows = batch.to_rows()
+        if self.star_positions is not None:
+            positions = self.star_positions
+            rows = [tuple(row[p] for p in positions) for row in rows]
+        return rows
+
+
+def _group_fast_path(spec: AggSpec, data, valid, inverse, n_groups: int):
+    """Closed-form per-group aggregates; ``None`` → use the generic path."""
+    if spec.distinct or data.dtype == object:
+        return None
+    name = spec.resolved_name()
+    # Partial mode: count/sum/min/max have identity finalize, so the
+    # partial state *is* the value below.  AVG's partial is a
+    # (sum, count) pair — only the generic path builds that.
+    if spec.as_partial and name == "avg":
+        return None
+    valid_arr = None if valid is None else valid
+    if name == "count":
+        if valid_arr is None:
+            counts = np.bincount(inverse, minlength=n_groups)
+        else:
+            counts = np.bincount(inverse[valid_arr], minlength=n_groups)
+        return counts.astype(np.int64), None
+    if name not in ("sum", "avg", "min", "max"):
+        return None
+    if valid_arr is None:
+        counts = np.bincount(inverse, minlength=n_groups)
+    else:
+        counts = np.bincount(inverse[valid_arr], minlength=n_groups)
+    non_empty = counts > 0
+    group_valid = None if non_empty.all() else non_empty
+    if name in ("sum", "avg"):
+        weights = data if valid_arr is None else np.where(valid_arr, data, 0)
+        sums = np.bincount(inverse, weights=weights.astype(np.float64), minlength=n_groups)
+        if name == "avg":
+            return np.true_divide(sums, np.maximum(counts, 1)), group_valid
+        if data.dtype == np.int64:
+            return np.round(sums).astype(np.int64), group_valid
+        return sums, group_valid
+    if data.dtype == np.int64:
+        info = np.iinfo(np.int64)
+        sentinel = info.max if name == "min" else info.min
+        out = np.full(n_groups, sentinel, dtype=np.int64)
+    else:
+        out = np.full(n_groups, np.inf if name == "min" else -np.inf, dtype=np.float64)
+    reducer = np.minimum if name == "min" else np.maximum
+    if valid_arr is None:
+        reducer.at(out, inverse, data)
+    else:
+        reducer.at(out, inverse[valid_arr], data[valid_arr])
+    return out, group_valid
+
+
+def _group_slices(inverse: np.ndarray, n_groups: int) -> list[np.ndarray]:
+    """Row-index arrays per group id (0..n_groups-1)."""
+    order = np.argsort(inverse, kind="stable")
+    boundaries = np.flatnonzero(np.diff(inverse[order])) + 1
+    return np.split(order, boundaries)
+
+
+class VHashGroupBy(VecOperator):
+    """Unary grouping Γ: factorised keys, vectorized aggregate fast paths.
+
+    NULL grouping keys form their own group (SQL GROUP BY semantics),
+    via the reserved NULL code of the factorisation.
+    """
+
+    __slots__ = ("child", "key_positions", "agg_columns")
+
+    def __init__(
+        self,
+        child: VecOperator,
+        schema: Schema,
+        key_positions: Sequence[int],
+        agg_columns: Sequence[VAggColumn],
+        free_names,
+    ):
+        super().__init__(schema, free_names)
+        self.child = child
+        self.key_positions = tuple(key_positions)
+        self.agg_columns = tuple(agg_columns)
+
+    def _run_batch(self, ctx, env):
+        batch = self.child.execute_batch(ctx, env)
+        n = len(batch)
+        ctx.tick(n)
+        if n == 0:
+            return Batch.empty(self.schema)
+        key_cols = [batch.column(p) for p in self.key_positions]
+        codes, _ = _factorize(key_cols, n)
+        _, first_index, inverse = np.unique(codes, return_index=True, return_inverse=True)
+        n_groups = len(first_index)
+
+        data = []
+        valid = []
+        for key_data, key_valid in key_cols:
+            data.append(key_data[first_index])
+            valid.append(None if key_valid is None else key_valid[first_index])
+
+        slices: list[np.ndarray] | None = None
+        for column in self.agg_columns:
+            # COUNT(*) (partial or final — both are the plain count) never
+            # needs the argument values, only the group sizes.
+            if column.spec.resolved_name() == "count_star":
+                counts = np.bincount(inverse, minlength=n_groups)
+                data.append(counts.astype(np.int64))
+                valid.append(None)
+                continue
+            extracted = column.values(ctx, env, batch)
+            if isinstance(extracted, list):  # STAR: Python row tuples
+                result = None
+            else:
+                result = _group_fast_path(column.spec, *extracted, inverse, n_groups)
+                if result is None:
+                    extracted = column_to_pylist(*extracted)
+            if result is None:
+                if slices is None:
+                    slices = _group_slices(inverse, n_groups)
+                per_group = [
+                    evaluate_spec(
+                        column.spec, [extracted[i] for i in group.tolist()]
+                    )
+                    for group in slices
+                ]
+                result = build_column(per_group)
+            data.append(result[0])
+            valid.append(result[1])
+        return Batch(self.schema, data, valid, n_groups)
+
+
+class VScalarAgg(VecOperator):
+    """Aggregation without grouping — exactly one output row, always."""
+
+    __slots__ = ("child", "agg_columns")
+
+    def __init__(
+        self,
+        child: VecOperator,
+        schema: Schema,
+        agg_columns: Sequence[VAggColumn],
+        free_names,
+    ):
+        super().__init__(schema, free_names)
+        self.child = child
+        self.agg_columns = tuple(agg_columns)
+
+    def _run_batch(self, ctx, env):
+        batch = self.child.execute_batch(ctx, env)
+        ctx.tick(len(batch))
+        row = []
+        for column in self.agg_columns:
+            if column.spec.resolved_name() == "count_star":
+                row.append(len(batch))
+                continue
+            extracted = column.values(ctx, env, batch)
+            if not isinstance(extracted, list):
+                extracted = column_to_pylist(*extracted)
+            row.append(evaluate_spec(column.spec, extracted))
+        return Batch.from_rows(self.schema, [tuple(row)])

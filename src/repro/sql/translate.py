@@ -25,7 +25,7 @@ aggregate outputs (``b1.agg0``), keeping those unique too.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.algebra import expr as E
 from repro.algebra import ops as L

@@ -5,6 +5,10 @@ gives positional meaning to the fields.  A :class:`~repro.storage.table.Table`
 is an ordered bag (multiset) of rows, and a
 :class:`~repro.storage.catalog.Catalog` names a collection of tables and
 keeps lightweight statistics used by the cost-based optimizer.
+
+:mod:`repro.storage.batch` (imported lazily; requires numpy) adds the
+columnar :class:`~repro.storage.batch.Batch` representation used by the
+vectorized engine — column arrays, validity masks, selection vectors.
 """
 
 from repro.storage.schema import Column, Schema, ColumnType

@@ -27,7 +27,7 @@ class Table:
     table only stores data and answers simple statistics queries.
     """
 
-    __slots__ = ("schema", "rows", "name")
+    __slots__ = ("schema", "rows", "name", "version", "batch_cache")
 
     def __init__(self, schema: Schema | Sequence[Column | str], rows: Iterable[Row] = (), name: str = ""):
         if not isinstance(schema, Schema):
@@ -35,6 +35,13 @@ class Table:
         self.schema = schema
         self.rows: list[Row] = [tuple(row) for row in rows]
         self.name = name
+        #: Bumped by every mutation (append / DML); consumers that cache a
+        #: derived view of ``rows`` (the vectorized engine's column pivot)
+        #: key it on this counter.  Code that mutates ``rows`` directly must
+        #: call :meth:`invalidate`.
+        self.version = 0
+        #: ``(version, Batch)`` set by the vectorized engine; ignored here.
+        self.batch_cache = None
         arity = len(schema)
         for row in self.rows:
             if len(row) != arity:
@@ -60,10 +67,15 @@ class Table:
                 f"row arity {len(row)} does not match schema arity {len(self.schema)}"
             )
         self.rows.append(row)
+        self.version += 1
 
     def extend(self, rows: Iterable[Sequence]) -> None:
         for row in rows:
             self.append(row)
+
+    def invalidate(self) -> None:
+        """Mark cached derived views stale after an in-place ``rows`` edit."""
+        self.version += 1
 
     # -- bag/set comparisons --------------------------------------------------
 

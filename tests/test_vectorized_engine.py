@@ -1,0 +1,283 @@
+"""Unit tests for the vectorized backend: Batch, kernels, operators.
+
+The differential suite (``test_vectorized_parity.py``) proves
+end-to-end equivalence; these tests pin the load-bearing mechanics —
+column layouts, zero-copy selection-vector splits, 3VL truth pairs,
+fallback routing — at the component level.
+"""
+
+import pytest
+
+from repro.algebra import expr as E
+from repro.engine import EvalOptions
+from repro.engine.compile import compile_plan
+from repro.optimizer import execute_sql, plan_query
+from repro.storage.schema import Schema
+from tests.conftest import assert_bag_equal, make_rst_catalog
+
+np = pytest.importorskip("numpy")
+
+from repro.engine import vector_ops as V  # noqa: E402
+from repro.engine.context import ExecContext  # noqa: E402
+from repro.engine.vector_kernels import compile_predicate  # noqa: E402
+from repro.storage.batch import Batch, build_column  # noqa: E402
+
+
+# ---------------------------------------------------------------------------
+# Batch layout
+# ---------------------------------------------------------------------------
+
+
+class TestBuildColumn:
+    def test_int_layout(self):
+        data, valid = build_column([1, 2, 3])
+        assert data.dtype == np.int64 and valid is None
+
+    def test_float_layout_mixes_ints(self):
+        data, valid = build_column([1, 2.5])
+        assert data.dtype == np.float64 and valid is None
+
+    def test_nulls_only_in_mask(self):
+        data, valid = build_column([1, None, 3])
+        assert data.dtype == np.int64
+        assert valid.tolist() == [True, False, True]
+        assert data[1] == 0  # zero fill, never interpreted
+
+    def test_bools_use_object_layout(self):
+        # int64 cannot distinguish True from 1, and the engine compares
+        # booleans with ``is True``.
+        data, _ = build_column([True, False])
+        assert data.dtype == object and data[0] is True
+
+    def test_strings_use_object_layout(self):
+        data, valid = build_column(["a", None])
+        assert data.dtype == object and valid.tolist() == [True, False]
+
+    def test_huge_ints_fall_back_to_object(self):
+        data, _ = build_column([2**70, 1])
+        assert data.dtype == object and data[0] == 2**70
+
+
+class TestBatch:
+    def test_roundtrip(self):
+        schema = Schema(["x", "y"])
+        rows = [(1, "a"), (None, "b"), (3, None)]
+        assert Batch.from_rows(schema, rows).to_rows() == rows
+
+    def test_split_is_zero_copy_and_complementary(self):
+        schema = Schema(["x"])
+        batch = Batch.from_rows(schema, [(i,) for i in range(6)])
+        mask = np.array([True, False, True, False, False, True])
+        positive, negative = batch.split(mask)
+        # Both streams alias the same base arrays: no rows were copied.
+        assert positive.data[0] is batch.data[0]
+        assert negative.data[0] is batch.data[0]
+        assert positive.to_rows() == [(0,), (2,), (5,)]
+        assert negative.to_rows() == [(1,), (3,), (4,)]
+
+    def test_take_composes_selections(self):
+        schema = Schema(["x"])
+        batch = Batch.from_rows(schema, [(i,) for i in range(10)])
+        view = batch.filter(np.arange(10) % 2 == 0)  # 0 2 4 6 8
+        assert view.take(np.array([1, 3])).to_rows() == [(2,), (6,)]
+
+    def test_concat_promotes_mixed_dtypes(self):
+        schema = Schema(["x"])
+        ints = Batch.from_rows(schema, [(1,)])
+        strs = Batch.from_rows(schema, [("a",)])
+        merged = Batch.concat(schema, [ints, strs])
+        assert merged.to_rows() == [(1,), ("a",)]
+
+    def test_project_shares_selection(self):
+        schema = Schema(["x", "y"])
+        batch = Batch.from_rows(schema, [(1, 10), (2, 20), (3, 30)])
+        view = batch.filter(np.array([True, False, True]))
+        projected = view.project([1], Schema(["y"]))
+        assert projected.to_rows() == [(10,), (30,)]
+
+
+# ---------------------------------------------------------------------------
+# 3VL predicate kernels (truth pairs)
+# ---------------------------------------------------------------------------
+
+
+def run_predicate(expr, schema, rows):
+    kernel = compile_predicate(expr, schema)
+    batch = Batch.from_rows(schema, rows)
+    ctx = ExecContext(EvalOptions(vectorized=True))
+    is_true, is_false = kernel(ctx, {})(batch)
+    return [
+        True if t else (False if f else None)
+        for t, f in zip(is_true.tolist(), is_false.tolist())
+    ]
+
+
+class TestKernels3VL:
+    SCHEMA = Schema(["x", "y"])
+
+    def test_comparison_null_is_unknown(self):
+        expr = E.Comparison("<", E.ColumnRef("x"), E.ColumnRef("y"))
+        got = run_predicate(expr, self.SCHEMA, [(1, 2), (2, 1), (None, 1), (1, None)])
+        assert got == [True, False, None, None]
+
+    def test_kleene_or_salvages_unknown(self):
+        # UNKNOWN OR TRUE = TRUE; UNKNOWN OR FALSE = UNKNOWN.
+        expr = E.Or(
+            (
+                E.Comparison("=", E.ColumnRef("x"), E.Literal(1)),
+                E.Comparison("=", E.ColumnRef("y"), E.Literal(9)),
+            )
+        )
+        got = run_predicate(expr, self.SCHEMA, [(None, 9), (None, 0), (1, None)])
+        assert got == [True, None, True]
+
+    def test_kleene_and(self):
+        # UNKNOWN AND FALSE = FALSE; UNKNOWN AND TRUE = UNKNOWN.
+        expr = E.And(
+            (
+                E.Comparison("=", E.ColumnRef("x"), E.Literal(1)),
+                E.Comparison("=", E.ColumnRef("y"), E.Literal(9)),
+            )
+        )
+        got = run_predicate(expr, self.SCHEMA, [(None, 0), (None, 9), (1, 9)])
+        assert got == [False, None, True]
+
+    def test_not_unknown_is_unknown(self):
+        expr = E.Not(E.Comparison("=", E.ColumnRef("x"), E.Literal(1)))
+        got = run_predicate(expr, self.SCHEMA, [(1, 0), (2, 0), (None, 0)])
+        assert got == [False, True, None]
+
+    def test_in_list_with_null_candidate(self):
+        # 3 IN (1, 2, NULL) = UNKNOWN, 1 IN (1, 2, NULL) = TRUE.
+        expr = E.InList(
+            E.ColumnRef("x"), (E.Literal(1), E.Literal(2), E.Literal(None))
+        )
+        got = run_predicate(expr, self.SCHEMA, [(1, 0), (3, 0), (None, 0)])
+        assert got == [True, None, None]
+
+    def test_is_null(self):
+        expr = E.IsNull(E.ColumnRef("x"))
+        got = run_predicate(expr, self.SCHEMA, [(None, 0), (1, 0)])
+        assert got == [True, False]
+
+    def test_correlated_column_binds_from_env(self):
+        expr = E.Comparison("=", E.ColumnRef("x"), E.ColumnRef("outer_k"))
+        kernel = compile_predicate(expr, self.SCHEMA)
+        batch = Batch.from_rows(self.SCHEMA, [(1, 0), (2, 0)])
+        ctx = ExecContext(EvalOptions(vectorized=True))
+        is_true, _ = kernel(ctx, {"outer_k": 2})(batch)
+        assert is_true.tolist() == [False, True]
+
+
+# ---------------------------------------------------------------------------
+# Compiler: vectorized lowering and fallback routing
+# ---------------------------------------------------------------------------
+
+
+class TestCompilerRouting:
+    def test_simple_plan_is_fully_vectorized(self):
+        catalog = make_rst_catalog(seed=3)
+        planned = plan_query("SELECT A1, A2 FROM r WHERE A4 > 1500", catalog, "canonical")
+        physical = compile_plan(planned.logical, catalog, vectorized=True)
+        assert isinstance(physical, V.VecOperator)
+
+    def test_subquery_predicate_falls_back_to_row_filter(self):
+        catalog = make_rst_catalog(seed=3)
+        planned = plan_query(
+            "SELECT * FROM r WHERE A1 = (SELECT COUNT(*) FROM s WHERE A2 = B2)",
+            catalog,
+            "canonical",
+        )
+        physical = compile_plan(planned.logical, catalog, vectorized=True)
+        names = _operator_names(physical)
+        # The correlated filter stays in the row interpreter, but its
+        # scan child is still vectorized.
+        assert "PFilter" in names and "VScan" in names
+
+    def test_unnested_plan_uses_vectorized_bypass(self):
+        catalog = make_rst_catalog(seed=3)
+        from repro.bench.queries import Q1
+
+        planned = plan_query(Q1, catalog, "unnested")
+        physical = compile_plan(planned.logical, catalog, vectorized=True)
+        names = _operator_names(physical)
+        assert "VBypassFilter" in names
+        assert "VHashGroupBy" in names
+        assert "VHashJoin" in names
+
+    def test_explain_analyze_with_vectorized_engine(self):
+        catalog = make_rst_catalog(seed=3)
+        from repro.engine.executor import explain_analyze
+        from repro.optimizer import plan_query as pq
+
+        planned = pq("SELECT A2, COUNT(*) AS n FROM r GROUP BY A2", catalog, "canonical")
+        report, table = explain_analyze(
+            planned.logical, catalog, EvalOptions(vectorized=True)
+        )
+        assert "VHashGroupBy" in report and len(table) > 0
+
+
+def _operator_names(physical) -> set:
+    out, stack, seen = set(), [physical], set()
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        out.add(type(node).__name__)
+        stack.extend(node.children())
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Operator-level differential checks (targeted SQL)
+# ---------------------------------------------------------------------------
+
+
+TARGETED = {
+    "group_by_all_aggregates": """
+        SELECT B2, COUNT(*), COUNT(B1), SUM(B1), MIN(B4), MAX(B4),
+               AVG(B1), COUNT(DISTINCT B1)
+        FROM s GROUP BY B2""",
+    "group_by_null_keys_form_one_group": "SELECT B2, COUNT(*) FROM s GROUP BY B2",
+    "scalar_aggregate": "SELECT COUNT(*), SUM(B4), MIN(B1) FROM s",
+    "hash_join_with_residual": """
+        SELECT A1, B1 FROM r, s WHERE A2 = B2 AND A4 > B4""",
+    "cross_join": "SELECT A1, C1 FROM r, t WHERE A4 > 2900 AND C4 > 2900",
+    "union": """
+        SELECT A1 FROM r WHERE A4 > 2000
+        UNION SELECT B1 FROM s WHERE B4 > 2000""",
+    "union_all": """
+        SELECT A1 FROM r WHERE A4 > 2000
+        UNION ALL SELECT B1 FROM s WHERE B4 > 2000""",
+    "order_by_with_nulls": "SELECT B1, B4 FROM s ORDER BY B1, B4 DESC",
+    "in_list": "SELECT A1 FROM r WHERE A2 IN (0, 2, 4)",
+    "case_expression": """
+        SELECT A1, CASE WHEN A4 > 2000 THEN 1 WHEN A4 > 1000 THEN 2 ELSE 3 END
+        FROM r""",
+    "arithmetic": "SELECT A1 + A2 * 2, A4 - A3 FROM r",
+    "distinct_limit": "SELECT DISTINCT A2 FROM r ORDER BY A2 LIMIT 3",
+}
+
+
+@pytest.mark.parametrize("name", sorted(TARGETED))
+@pytest.mark.parametrize("nulls", [0.0, 0.3], ids=["dense", "nullheavy"])
+def test_targeted_operator_parity(name, nulls):
+    catalog = make_rst_catalog(n_r=30, n_s=28, n_t=20, seed=42, null_rate=nulls)
+    sql = TARGETED[name]
+    row = execute_sql(sql, catalog, "auto", options=EvalOptions())
+    vec = execute_sql(sql, catalog, "auto", options=EvalOptions(vectorized=True))
+    if "ORDER BY" in sql:
+        assert row.rows == vec.rows, f"ordered results diverge for {name}"
+    else:
+        assert_bag_equal(row, vec, f"for {name}")
+
+
+def test_division_by_zero_raises_in_both_engines():
+    from repro.errors import ReproError
+
+    catalog = make_rst_catalog(seed=5)
+    sql = "SELECT A1 / (A2 - A2) FROM r"
+    for options in (EvalOptions(), EvalOptions(vectorized=True)):
+        with pytest.raises((ZeroDivisionError, ReproError)):
+            execute_sql(sql, catalog, "auto", options=options)
