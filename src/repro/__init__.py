@@ -39,6 +39,8 @@ from repro.errors import ReproError
 from repro.optimizer import plan_query, execute_sql, PlannedQuery, Strategy
 from repro.optimizer.planner import STRATEGIES
 from repro.rewrite import UnnestOptions
+from repro.service.plancache import CacheInfo, PlanCache
+from repro.service.prepared import PreparedStatement
 from repro.sql.classify import QueryClass
 from repro.storage import Catalog, Column, ColumnType, Schema, Table
 
@@ -47,8 +49,11 @@ __version__ = "1.0.0"
 __all__ = [
     "Database",
     "Catalog",
+    "CacheInfo",
     "Column",
     "ColumnType",
+    "PlanCache",
+    "PreparedStatement",
     "Schema",
     "Table",
     "EvalOptions",
@@ -69,9 +74,14 @@ class Database:
     commercial-baseline emulations ``s1``, ``s2``, ``s3``.
     """
 
-    def __init__(self):
+    def __init__(self, plan_cache_capacity: int = 128):
         self.catalog = Catalog()
         self._views: dict[str, object] = {}
+        self._plan_cache = PlanCache(plan_cache_capacity)
+        # View DDL changes what a cached plan means without touching any
+        # table version, so the epoch participates in every cache key;
+        # bumping it orphans old entries, which then age out of the LRU.
+        self._views_epoch = 0
 
     # -- schema management ---------------------------------------------------
 
@@ -91,8 +101,16 @@ class Database:
         self.catalog.register(table, name)
 
     def analyze(self, name: str | None = None) -> None:
-        """Refresh optimizer statistics after bulk loads."""
+        """Refresh optimizer statistics after bulk loads.
+
+        Cached plans depending on the re-analyzed table(s) are evicted so
+        the next execution re-costs against the fresh statistics.
+        """
         self.catalog.analyze(name)
+        if name is None:
+            self._plan_cache.clear()
+        else:
+            self._plan_cache.invalidate_table(name)
 
     def table(self, name: str) -> Table:
         return self.catalog.table(name)
@@ -117,6 +135,7 @@ class Database:
         trial[key] = statement
         translate_sql(statement, self.catalog, trial)  # validate eagerly
         self._views[key] = statement
+        self._views_epoch += 1
 
     def drop_view(self, name: str) -> None:
         from repro.errors import CatalogError
@@ -125,6 +144,7 @@ class Database:
         if key not in self._views:
             raise CatalogError(f"unknown view {name!r}")
         del self._views[key]
+        self._views_epoch += 1
 
     def view_names(self) -> list[str]:
         return sorted(self._views)
@@ -137,22 +157,56 @@ class Database:
         strategy: str = "auto",
         options: EvalOptions | None = None,
         unnest_options: UnnestOptions | None = None,
+        params=None,
     ) -> Table:
         """Run ``sql`` and return the result table.
 
         DML statements (INSERT/DELETE/UPDATE) are executed too; they
-        return a one-row ``rows_affected`` table.
+        return a one-row ``rows_affected`` table.  ``params`` supplies
+        values for ``?`` / ``:name`` placeholders in queries (a sequence
+        or a mapping respectively); parameterized DML is not supported.
         """
         stripped = sql.lstrip().lower()
         if stripped.startswith(("insert", "delete", "update")):
+            if params is not None:
+                from repro.errors import ParameterError
+
+                raise ParameterError(
+                    "parameters are not supported in DML statements"
+                )
             from repro.dml import execute_dml
             from repro.sql.parser import parse_any
 
             statement = parse_any(sql)
             return execute_dml(statement, self.catalog, self._views).as_table()
-        return execute_sql(
-            sql, self.catalog, strategy, options, unnest_options,
+        if unnest_options is not None:
+            return execute_sql(
+                sql, self.catalog, strategy, options, unnest_options,
+                views=self._views, params=params,
+            )
+        engine = "vectorized" if options is not None and options.vectorized else "row"
+        planned = self._cached_plan(sql, strategy, engine=engine)
+        return planned.execute(self.catalog, options, params=params)
+
+    def prepare(self, sql: str, strategy: str = "auto") -> PreparedStatement:
+        """Plan a parameterized query once; execute it many times."""
+        return PreparedStatement(self, sql, strategy)
+
+    def cache_info(self) -> CacheInfo:
+        """Plan-cache counters (hits/misses/invalidations/evictions)."""
+        return self._plan_cache.info()
+
+    def _cached_plan(
+        self, sql: str, strategy: str = "auto", engine: str = "row", statement=None
+    ) -> PlannedQuery:
+        return self._plan_cache.get_or_plan(
+            sql,
+            self.catalog,
+            strategy,
+            engine=engine,
             views=self._views,
+            extra_token=self._views_epoch,
+            statement=statement,
         )
 
     def plan(
@@ -161,8 +215,16 @@ class Database:
         strategy: str = "auto",
         unnest_options: UnnestOptions | None = None,
     ) -> PlannedQuery:
-        """Plan without executing (repeated benchmark runs reuse this)."""
-        return plan_query(sql, self.catalog, strategy, unnest_options, views=self._views)
+        """Plan without executing (repeated benchmark runs reuse this).
+
+        With default ``unnest_options`` the plan comes from (and warms)
+        the plan cache; custom options always plan from scratch.
+        """
+        if unnest_options is not None:
+            return plan_query(
+                sql, self.catalog, strategy, unnest_options, views=self._views
+            )
+        return self._cached_plan(sql, strategy)
 
     def explain(
         self,

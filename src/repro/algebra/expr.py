@@ -129,6 +129,26 @@ class ColumnRef(Expr):
 
 
 @dataclass(frozen=True)
+class Parameter(Expr):
+    """A prepared-statement placeholder bound at execution time.
+
+    ``key`` is the positional index (int) or name (str) assigned by the
+    SQL front-end.  A parameter is a *runtime constant*: it has no free
+    attributes (so correlation analysis and the unnesting equivalences
+    treat it like a literal) but an unknown value, so constant folding
+    leaves it alone and selectivity estimation falls back to defaults.
+    One optimized plan therefore serves every binding of the template.
+    """
+
+    key: object  # int | str
+
+    def sql(self) -> str:
+        if isinstance(self.key, int):
+            return f"?{self.key + 1}"
+        return f":{self.key}"
+
+
+@dataclass(frozen=True)
 class Comparison(Expr):
     """``left op right`` with op ∈ {=, <>, <, <=, >, >=} (3-valued)."""
 

@@ -54,9 +54,15 @@ def run_cell(
     budget_seconds: float | None = 30.0,
     collect_stats: bool = False,
     vectorized: bool = False,
+    planner=None,
 ) -> BenchResult:
-    """Plan once, execute once, report wall-clock seconds (or n/a)."""
-    planned = plan_query(sql, catalog, strategy)
+    """Plan once, execute once, report wall-clock seconds (or n/a).
+
+    ``planner(sql, catalog, strategy)`` overrides how the plan is
+    obtained — the CLI passes a plan-cache-backed planner so repeated
+    compares in one process skip re-planning.
+    """
+    planned = (planner or plan_query)(sql, catalog, strategy)
     options = EvalOptions(
         budget_seconds=budget_seconds,
         collect_stats=collect_stats,

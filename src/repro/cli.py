@@ -99,6 +99,26 @@ def build_parser() -> argparse.ArgumentParser:
     shell.add_argument("--strategy", default="auto")
     add_engine_arg(shell)
 
+    serve = sub.add_parser("serve", help="run the JSON-over-HTTP SQL server")
+    add_dataset_args(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="listening port (0 picks a free ephemeral port)",
+    )
+    serve.add_argument(
+        "--max-in-flight", type=int, default=4,
+        help="queries executing concurrently before admission control queues",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=8,
+        help="admitted-but-waiting requests before fast 429-style rejection",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="default per-query timeout in seconds (requests may override)",
+    )
+
     return parser
 
 
@@ -250,6 +270,7 @@ def cmd_compare(args, out) -> int:
         cell = run_cell(
             sql, db.catalog, strategy, args.budget,
             vectorized=args.engine == "vectorized",
+            planner=lambda sql, _catalog, strategy: db._cached_plan(sql, strategy),
         )
         rows = "-" if cell.rows is None else cell.rows
         out.write(f"{strategy:<12} {cell.display:>10} {rows:>8}\n")
@@ -303,7 +324,7 @@ def cmd_shell(args, out) -> int:
                 try:
                     out.write(db.explain(rest, strategy))
                 except ReproError as error:
-                    out.write(f"error: {error}\n")
+                    out.write(f"error: [{error.code}] {error}\n")
                 continue
             out.write(f"unknown command {command}\n")
             continue
@@ -321,7 +342,29 @@ def cmd_shell(args, out) -> int:
             out.write(result.pretty())
             out.write(f"({len(result)} rows in {elapsed:.4f}s)\n")
         except ReproError as error:
-            out.write(f"error: {error}\n")
+            out.write(f"error: [{error.code}] {error}\n")
+    return 0
+
+
+def cmd_serve(args, out) -> int:
+    from repro.service.server import QueryServer, ServerConfig
+
+    db = load_database(args)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_in_flight=args.max_in_flight,
+        max_queue=args.max_queue,
+        default_timeout=args.timeout,
+    )
+    server = QueryServer(db, config)
+    host, port = server.address
+    out.write(f"serving on http://{host}:{port}\n")
+    out.write(f"tables: {', '.join(db.catalog.table_names()) or '(none)'}\n")
+    if hasattr(out, "flush"):
+        out.flush()  # scripts parse the port line before the first request
+    server.serve_forever()
+    out.write("server stopped\n")
     return 0
 
 
@@ -332,6 +375,7 @@ COMMANDS = {
     "compare": cmd_compare,
     "generate": cmd_generate,
     "shell": cmd_shell,
+    "serve": cmd_serve,
 }
 
 
@@ -341,7 +385,7 @@ def main(argv=None, out=None) -> int:
     try:
         return COMMANDS[args.command](args, out)
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
+        print(f"error: [{error.code}] {error}", file=sys.stderr)
         return 1
 
 

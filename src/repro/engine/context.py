@@ -18,11 +18,17 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Mapping
 
-from repro.errors import BudgetExceeded
+from repro.errors import BudgetExceeded, QueryCancelled
 
 #: How many processed rows between two wall-clock checks.
 TICK_GRANULARITY = 65536
+
+#: Tick cadence while a budget or cancellation event is armed: fine
+#: enough that server timeouts fire promptly even on small inputs, still
+#: cheap (one perf_counter / is_set per few thousand rows).
+ARMED_TICK_GRANULARITY = 4096
 
 
 @dataclass(frozen=True)
@@ -42,12 +48,24 @@ class EvalOptions:
         vectors) with per-operator fallback to the row interpreter.
         Results are identical to the row engine; see
         ``docs/vectorized-engine.md``.
+    ``params``
+        Prepared-statement parameter values, keyed as the SQL front-end
+        keyed the placeholders (0-based int for ``?``, lower-cased str
+        for ``:name``).  Read by both engines' ``Parameter`` kernels;
+        ``None`` means the plan has no placeholders.
+    ``cancel_event``
+        A ``threading.Event``-like object polled cooperatively on the
+        same cadence as the wall-clock budget; when set, both engines
+        abort with :class:`~repro.errors.QueryCancelled`.  The SQL
+        server uses this to drain in-flight queries on shutdown.
     """
 
     subquery_memo: bool = False
     budget_seconds: float | None = None
     collect_stats: bool = False
     vectorized: bool = False
+    params: Mapping | None = None
+    cancel_event: object | None = None
 
 
 @dataclass
@@ -79,8 +97,11 @@ class ExecContext:
         "stats",
         "memo",
         "subquery_cache",
+        "params",
+        "_cancel",
         "_deadline",
         "_tick_budget",
+        "_tick_granularity",
     )
 
     def __init__(self, options: EvalOptions | None = None):
@@ -90,16 +111,27 @@ class ExecContext:
         self.memo: dict[tuple, object] = {}
         #: (plan id, correlation values) -> scalar / rows
         self.subquery_cache: dict[tuple, object] = {}
+        #: Prepared-statement bindings; a fresh context per execution means
+        #: memoised streams can never leak across parameter bindings.
+        self.params = dict(self.options.params) if self.options.params else None
+        self._cancel = self.options.cancel_event
         budget = self.options.budget_seconds
         self._deadline = None if budget is None else time.perf_counter() + budget
-        self._tick_budget = TICK_GRANULARITY
+        self._tick_granularity = (
+            TICK_GRANULARITY
+            if self._deadline is None and self._cancel is None
+            else ARMED_TICK_GRANULARITY
+        )
+        self._tick_budget = self._tick_granularity
 
     def tick(self, rows: int = 1) -> None:
-        """Account for ``rows`` processed rows; enforce the budget."""
-        if self._deadline is None:
+        """Account for ``rows`` processed rows; enforce budget and cancel."""
+        if self._deadline is None and self._cancel is None:
             return
         self._tick_budget -= rows
         if self._tick_budget <= 0:
-            self._tick_budget = TICK_GRANULARITY
-            if time.perf_counter() > self._deadline:
+            self._tick_budget = self._tick_granularity
+            if self._cancel is not None and self._cancel.is_set():
+                raise QueryCancelled()
+            if self._deadline is not None and time.perf_counter() > self._deadline:
                 raise BudgetExceeded(self.options.budget_seconds)

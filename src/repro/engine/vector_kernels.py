@@ -163,6 +163,23 @@ class _KernelCompiler:
 
         return bind
 
+    def _value_Parameter(self, node: E.Parameter) -> Compiled:
+        key = node.key
+
+        def bind(ctx, env, key=key):
+            params = ctx.params
+            if params is None or key not in params:
+                from repro.sql.parameters import format_key
+
+                raise ExecutionError(
+                    f"unbound parameter {format_key(key)}: execute the plan "
+                    "with parameter values"
+                )
+            value = params[key]
+            return lambda batch: _const_column(value, len(batch))
+
+        return bind
+
     def _value_ColumnRef(self, node: E.ColumnRef) -> Compiled:
         if node.name in self.schema:
             position = self.schema.position(node.name)

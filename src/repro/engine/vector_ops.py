@@ -102,12 +102,21 @@ class VScan(VecOperator):
         ctx.tick(len(table.rows))
         if self._batch is not None and self._version == table.version:
             return self._batch
+        # Double-checked locking: the unlocked read sees an immutable
+        # (version, Batch) tuple (or None) — safe to race — while the
+        # pivot itself runs under the table's lock so concurrent server
+        # queries build the column arrays at most once per version.
         cached = table.batch_cache
-        if cached is None or cached[0] != table.version:
-            base = Batch.from_rows(table.schema, table.rows)
-            table.batch_cache = (table.version, base)
-        else:
+        if cached is not None and cached[0] == table.version:
             base = cached[1]
+        else:
+            with table.batch_lock:
+                cached = table.batch_cache
+                if cached is not None and cached[0] == table.version:
+                    base = cached[1]
+                else:
+                    base = Batch.from_rows(table.schema, table.rows)
+                    table.batch_cache = (table.version, base)
         self._batch = Batch(self.schema, base.data, base.valid, base.base_length, base.sel)
         self._version = table.version
         return self._batch

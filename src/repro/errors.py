@@ -3,7 +3,11 @@
 Every error raised by the library derives from :class:`ReproError` so that
 callers can catch a single base class.  The hierarchy mirrors the pipeline
 stages: lexing/parsing, name resolution, translation, rewriting, planning,
-and execution.
+and execution — plus the service layer (parameters, admission, sessions).
+
+Each class carries a stable machine-readable ``code`` used by the SQL
+server's structured error responses and the CLI; ``as_dict()`` renders
+the transport-agnostic ``{"code", "message"}`` shape.
 """
 
 from __future__ import annotations
@@ -12,9 +16,17 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
+    code = "REPRO_ERROR"
+
+    def as_dict(self) -> dict:
+        """The structured wire form used by the SQL server and clients."""
+        return {"code": self.code, "message": str(self)}
+
 
 class SqlError(ReproError):
     """Base class for errors in the SQL front-end."""
+
+    code = "SQL_ERROR"
 
 
 class LexError(SqlError):
@@ -22,6 +34,8 @@ class LexError(SqlError):
 
     Carries the 1-based ``line`` and ``column`` of the offending character.
     """
+
+    code = "LEX_ERROR"
 
     def __init__(self, message: str, line: int, column: int):
         super().__init__(f"{message} (line {line}, column {column})")
@@ -31,6 +45,8 @@ class LexError(SqlError):
 
 class ParseError(SqlError):
     """Raised when the parser encounters an unexpected token."""
+
+    code = "PARSE_ERROR"
 
     def __init__(self, message: str, line: int = 0, column: int = 0):
         location = f" (line {line}, column {column})" if line else ""
@@ -42,13 +58,29 @@ class ParseError(SqlError):
 class BindError(SqlError):
     """Raised during name resolution (unknown table/column, ambiguity)."""
 
+    code = "BIND_ERROR"
+
+
+class ParameterError(SqlError):
+    """Raised when binding prepared-statement parameters fails.
+
+    Covers arity mismatches for positional ``?`` parameters, unknown or
+    missing ``:name`` parameters, and statements mixing both styles.
+    """
+
+    code = "PARAMETER_ERROR"
+
 
 class TranslationError(ReproError):
     """Raised when a bound query cannot be translated into the algebra."""
 
+    code = "TRANSLATION_ERROR"
+
 
 class RewriteError(ReproError):
     """Raised when an unnesting rewrite is applied to a non-matching plan."""
+
+    code = "REWRITE_ERROR"
 
 
 class NotUnnestableError(RewriteError):
@@ -58,30 +90,92 @@ class NotUnnestableError(RewriteError):
     falls back to the canonical (nested-loop) plan instead.
     """
 
+    code = "NOT_UNNESTABLE"
+
 
 class PlanningError(ReproError):
     """Raised when the optimizer cannot produce a physical plan."""
+
+    code = "PLANNING_ERROR"
 
 
 class ExecutionError(ReproError):
     """Raised by the runtime when a plan fails during evaluation."""
 
+    code = "EXECUTION_ERROR"
+
 
 class CatalogError(ReproError):
     """Raised for catalog misuse (duplicate/missing tables, schema drift)."""
+
+    code = "CATALOG_ERROR"
 
 
 class SchemaError(ReproError):
     """Raised when an operator is built over incompatible schemas."""
 
+    code = "SCHEMA_ERROR"
+
 
 class BudgetExceeded(ExecutionError):
-    """Raised when a benchmark cell exceeds its wall-clock budget.
+    """Raised when an execution exceeds its wall-clock budget.
 
     Mirrors the paper's six-hour abort: Figure 7 reports ``n/a`` for such
-    cells, and so does our harness.
+    cells, and so does our harness.  The SQL server reuses the same
+    cooperative check to enforce per-query timeouts, so its structured
+    code reads as a timeout.
     """
 
-    def __init__(self, budget_seconds: float):
-        super().__init__(f"evaluation exceeded budget of {budget_seconds:.1f}s")
+    code = "QUERY_TIMEOUT"
+
+    def __init__(self, budget_seconds: float | None = None, message: str | None = None):
+        if message is None:
+            if budget_seconds is None:
+                message = "evaluation exceeded its wall-clock budget"
+            else:
+                message = f"evaluation exceeded budget of {budget_seconds:.1f}s"
+        super().__init__(message)
         self.budget_seconds = budget_seconds
+
+
+class QueryCancelled(ExecutionError):
+    """Raised when a cooperative cancellation event fires mid-execution.
+
+    Both engines poll :attr:`EvalOptions.cancel_event` on the same tick
+    cadence as the wall-clock budget; the SQL server sets the event on
+    shutdown to drain in-flight queries promptly.
+    """
+
+    code = "QUERY_CANCELLED"
+
+    def __init__(self, message: str = "query cancelled"):
+        super().__init__(message)
+
+
+class ServiceError(ReproError):
+    """Base class for SQL-server errors (sessions, admission, protocol)."""
+
+    code = "SERVICE_ERROR"
+
+
+class AdmissionRejected(ServiceError):
+    """Raised when admission control rejects a request (server saturated).
+
+    The fast-rejection analogue of HTTP 429: raised when the in-flight
+    limit is reached and the bounded wait queue is full (or the queue
+    wait times out), instead of queueing unboundedly.
+    """
+
+    code = "SERVER_OVERLOADED"
+
+
+class SessionError(ServiceError):
+    """Raised for unknown sessions or prepared-statement handles."""
+
+    code = "UNKNOWN_SESSION"
+
+
+class BadRequestError(ServiceError):
+    """Raised for malformed service requests (bad JSON, missing fields)."""
+
+    code = "BAD_REQUEST"

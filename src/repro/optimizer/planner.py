@@ -19,7 +19,7 @@ so measured differences isolate the nested-query evaluation strategy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace as dc_replace
+from dataclasses import dataclass, field as dataclass_field, replace as dc_replace
 
 from repro.algebra import ops as L
 from repro.baselines import reorder_disjuncts_cheap_first
@@ -30,6 +30,7 @@ from repro.optimizer.joins import optimize_joins
 from repro.rewrite import UnnestOptions, unnest
 from repro.sql import classify, parse, translate
 from repro.sql.classify import QueryClass
+from repro.sql.parameters import ParamSpec
 from repro.storage.catalog import Catalog
 from repro.storage.table import Table
 
@@ -72,7 +73,14 @@ STRATEGIES: dict[str, Strategy] = {
 
 @dataclass
 class PlannedQuery:
-    """A fully planned query, ready for (repeated) execution."""
+    """A fully planned query, ready for (repeated) execution.
+
+    A plan whose SQL used ``?`` / ``:name`` placeholders is a *template*:
+    :attr:`param_spec` records its parameter shape, and every
+    :meth:`execute` call binds a concrete set of values — the plan itself
+    is shared across bindings (and across threads; execution state lives
+    in the per-call :class:`~repro.engine.context.ExecContext`).
+    """
 
     sql: str
     strategy: Strategy
@@ -81,16 +89,29 @@ class PlannedQuery:
     classification: QueryClass
     estimated_cost: float
     chosen_alternative: str  # for "auto": which side won
+    param_spec: "ParamSpec" = dataclass_field(default_factory=lambda: ParamSpec())
 
     def execute(
         self,
         catalog: Catalog,
         options: EvalOptions | None = None,
         with_context: bool = False,
+        params=None,
     ):
-        """Run the plan; returns a Table with user-visible column names."""
+        """Run the plan; returns a Table with user-visible column names.
+
+        ``params`` is a sequence (positional ``?``) or mapping (named
+        ``:name``); it is validated against :attr:`param_spec` — arity
+        mismatches and unknown names raise
+        :class:`~repro.errors.ParameterError` before execution starts.
+        """
         base = options or EvalOptions()
-        merged = dc_replace(base, subquery_memo=base.subquery_memo or self.strategy.subquery_memo)
+        bound = self.param_spec.bind(params) if (params or self.param_spec) else None
+        merged = dc_replace(
+            base,
+            subquery_memo=base.subquery_memo or self.strategy.subquery_memo,
+            params=bound if bound is not None else base.params,
+        )
         result = execute_plan(self.logical, catalog, merged, with_context=with_context)
         if with_context:
             table, ctx = result
@@ -104,8 +125,13 @@ def plan_query(
     strategy: str | Strategy = "auto",
     unnest_options: UnnestOptions | None = None,
     views: dict | None = None,
+    statement=None,
 ) -> PlannedQuery:
-    """Parse, translate, optimise and (per strategy) unnest ``sql``."""
+    """Parse, translate, optimise and (per strategy) unnest ``sql``.
+
+    ``statement`` may carry an already-parsed AST (the plan cache parses
+    once to normalise its key and reuses the tree here).
+    """
     if isinstance(strategy, str):
         try:
             strategy = STRATEGIES[strategy.lower()]
@@ -114,7 +140,9 @@ def plan_query(
                 f"unknown strategy {strategy!r}; have {sorted(STRATEGIES)}"
             ) from None
 
-    statement = parse(sql)
+    if statement is None:
+        statement = parse(sql)
+    param_spec = ParamSpec.of(statement)
     translation = translate(statement, catalog, views)
     classification = classify(translation.plan)
     from repro.optimizer.simplify import simplify_plan
@@ -152,6 +180,7 @@ def plan_query(
         classification=classification,
         estimated_cost=cost,
         chosen_alternative=chosen,
+        param_spec=param_spec,
     )
 
 
@@ -163,10 +192,11 @@ def execute_sql(
     unnest_options: UnnestOptions | None = None,
     with_context: bool = False,
     views: dict | None = None,
+    params=None,
 ):
     """One-shot convenience: plan and execute."""
     planned = plan_query(sql, catalog, strategy, unnest_options, views)
-    return planned.execute(catalog, options, with_context=with_context)
+    return planned.execute(catalog, options, with_context=with_context, params=params)
 
 
 def _present(table: Table, output_names: tuple[str, ...]) -> Table:

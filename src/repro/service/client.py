@@ -1,0 +1,200 @@
+"""A small stdlib client for the repro SQL server.
+
+:class:`ServiceClient` speaks the JSON protocol of
+:mod:`repro.service.server` over ``urllib``; structured error bodies are
+re-raised as the matching :mod:`repro.errors` exception class, so client
+code handles server-side failures exactly like embedded-library ones::
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8080")
+    result = client.query("SELECT A1 FROM r WHERE A4 > ?", params=[1500])
+    print(result.columns, result.rows)
+
+    with client.session() as session:
+        stmt = session.prepare("SELECT A1 FROM r WHERE A4 > :lo")
+        for lo in (100, 1000, 1500):
+            print(lo, stmt.execute({"lo": lo}).rows)
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+
+from repro.errors import (
+    AdmissionRejected,
+    BadRequestError,
+    BudgetExceeded,
+    ParameterError,
+    QueryCancelled,
+    ReproError,
+    ServiceError,
+    SessionError,
+)
+
+#: Error codes the client maps back to concrete exception classes;
+#: anything else becomes a plain :class:`ServiceError` with that code.
+_EXCEPTION_BY_CODE = {
+    "SERVER_OVERLOADED": AdmissionRejected,
+    "BAD_REQUEST": BadRequestError,
+    "UNKNOWN_SESSION": SessionError,
+    "PARAMETER_ERROR": ParameterError,
+    "QUERY_CANCELLED": QueryCancelled,
+}
+
+
+def _raise_for(error: dict) -> None:
+    code = error.get("code", "SERVICE_ERROR")
+    message = error.get("message", "unknown server error")
+    if code == "QUERY_TIMEOUT":
+        raise BudgetExceeded(message=message)
+    exc_class = _EXCEPTION_BY_CODE.get(code)
+    if exc_class is not None:
+        raise exc_class(message)
+    exc = ReproError(message)
+    exc.code = code  # preserve the server's code on the generic fallback
+    raise exc
+
+
+@dataclass
+class QueryResult:
+    """One query's response: column names, row tuples, server timing."""
+
+    columns: list[str]
+    rows: list[tuple]
+    row_count: int
+    truncated: bool
+    elapsed: float
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class ServiceClient:
+    """Blocking JSON-over-HTTP client; one instance per base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.http_timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        url = self.base_url + path
+        data = None
+        headers = {"Accept": "application/json"}
+        if method == "POST":
+            data = json.dumps(payload or {}).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=self.http_timeout) as response:
+                body = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as http_error:
+            try:
+                body = json.loads(http_error.read().decode("utf-8"))
+            except ValueError:
+                raise ServiceError(
+                    f"server returned HTTP {http_error.code} without a JSON body"
+                ) from None
+            if isinstance(body, dict) and "error" in body:
+                _raise_for(body["error"])
+            raise ServiceError(f"server returned HTTP {http_error.code}") from None
+        if isinstance(body, dict) and "error" in body:
+            _raise_for(body["error"])
+        return body
+
+    # -- one-shot queries ---------------------------------------------------
+
+    def query(
+        self,
+        sql: str,
+        params=None,
+        strategy: str = "auto",
+        timeout: float | None = None,
+        engine: str = "row",
+    ) -> QueryResult:
+        payload = {"sql": sql, "strategy": strategy, "engine": engine}
+        if params is not None:
+            payload["params"] = params
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return _result(self._request("POST", "/query", payload))
+
+    # -- sessions and prepared statements -----------------------------------
+
+    def session(self) -> "ClientSession":
+        body = self._request("POST", "/session")
+        return ClientSession(self, body["session"])
+
+    # -- operations ---------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/shutdown")
+
+
+class ClientSession:
+    """A server session; usable as a context manager (closes on exit)."""
+
+    def __init__(self, client: ServiceClient, session_id: str):
+        self.client = client
+        self.id = session_id
+
+    def prepare(self, sql: str, strategy: str = "auto") -> "ClientStatement":
+        body = self.client._request(
+            "POST", "/prepare", {"session": self.id, "sql": sql, "strategy": strategy}
+        )
+        return ClientStatement(self, body["statement"], body["params"])
+
+    def close(self) -> None:
+        self.client._request("POST", "/session/close", {"session": self.id})
+
+    def __enter__(self) -> "ClientSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        try:
+            self.close()
+        except ReproError:
+            pass  # session may be gone if the server restarted
+
+
+class ClientStatement:
+    """A prepared statement handle living in a server session."""
+
+    def __init__(self, session: ClientSession, statement_id: str, params: dict):
+        self.session = session
+        self.id = statement_id
+        self.params = params  # {"positional": n, "named": [...]}
+
+    def execute(
+        self,
+        params=None,
+        timeout: float | None = None,
+        engine: str = "row",
+    ) -> QueryResult:
+        payload = {"session": self.session.id, "statement": self.id, "engine": engine}
+        if params is not None:
+            payload["params"] = params
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return _result(self.session.client._request("POST", "/execute", payload))
+
+
+def _result(body: dict) -> QueryResult:
+    return QueryResult(
+        columns=body["columns"],
+        rows=[tuple(row) for row in body["rows"]],
+        row_count=body["row_count"],
+        truncated=body["truncated"],
+        elapsed=body["elapsed"],
+    )

@@ -1,0 +1,420 @@
+"""A concurrent SQL server: JSON over HTTP on stdlib machinery.
+
+``ThreadingHTTPServer`` gives one thread per connection; the interesting
+parts live above it:
+
+* **admission control** — at most ``max_in_flight`` queries execute
+  concurrently; up to ``max_queue`` more may wait ``queue_timeout``
+  seconds for a slot; everything beyond that is rejected *immediately*
+  with a structured ``SERVER_OVERLOADED`` error (HTTP 429) instead of
+  queueing unboundedly;
+* **per-query timeouts** — the request's ``timeout`` (or the server
+  default) becomes :attr:`EvalOptions.budget_seconds`, enforced
+  cooperatively inside both engines, so a runaway query ends with a
+  ``QUERY_TIMEOUT`` error while its thread survives;
+* **cooperative shutdown** — ``POST /shutdown`` sets a shared cancel
+  event polled by every in-flight execution, so draining takes one tick
+  interval, not one query;
+* **sessions & prepared statements** — ``POST /session`` returns an id;
+  ``/prepare`` plans a parameterized template into that session and
+  ``/execute`` binds values per call, all backed by the database's plan
+  cache.
+
+Wire protocol (see ``docs/service.md`` for the full reference)::
+
+    GET  /healthz                         -> {"status": "ok", ...}
+    GET  /metrics                         -> counters, latency, cache
+    POST /session        {}               -> {"session": id}
+    POST /session/close  {session}        -> {"closed": true}
+    POST /prepare        {session, sql, strategy?}
+                                          -> {"statement": id, "params": ...}
+    POST /execute        {session, statement, params?, timeout?, engine?}
+    POST /query          {sql, params?, strategy?, timeout?, engine?}
+    POST /shutdown       {}               -> {"shutting_down": true}
+
+Every error body is ``{"error": {"code": ..., "message": ...}}`` — the
+``code`` comes from :mod:`repro.errors`; tracebacks never cross the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.engine import EvalOptions
+from repro.errors import (
+    AdmissionRejected,
+    BadRequestError,
+    BudgetExceeded,
+    QueryCancelled,
+    ReproError,
+    SessionError,
+)
+from repro.service.metrics import ServerMetrics
+
+#: repro.errors code -> HTTP status.  Anything not listed is a client
+#: error (400); unexpected exceptions map to INTERNAL_ERROR / 500.
+_STATUS_BY_CODE = {
+    "SERVER_OVERLOADED": 429,
+    "QUERY_TIMEOUT": 408,
+    "QUERY_CANCELLED": 503,
+    "UNKNOWN_SESSION": 404,
+    "CATALOG_ERROR": 404,
+    "INTERNAL_ERROR": 500,
+}
+
+#: Refuse request bodies beyond this (a query text, not a bulk loader).
+MAX_BODY_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables for :class:`QueryServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080  # 0 = pick an ephemeral port
+    max_in_flight: int = 4
+    max_queue: int = 8
+    queue_timeout: float = 2.0
+    default_timeout: float = 30.0
+    max_rows: int = 10_000  # result-size guard per response
+
+
+class _Session:
+    def __init__(self, session_id: str):
+        self.id = session_id
+        self.created = time.time()
+        self.statements: dict[str, object] = {}
+        self.lock = threading.Lock()
+
+
+class _Admission:
+    """Counting semaphore + bounded wait queue + fast rejection."""
+
+    def __init__(self, max_in_flight: int, max_queue: int, queue_timeout: float):
+        self._slots = threading.Semaphore(max_in_flight)
+        self._queue_timeout = queue_timeout
+        self._max_queue = max_queue
+        self._waiting = 0
+        self._lock = threading.Lock()
+
+    def __enter__(self):
+        if self._slots.acquire(blocking=False):
+            return self
+        with self._lock:
+            if self._waiting >= self._max_queue:
+                raise AdmissionRejected(
+                    "server at capacity (in-flight limit and queue are full); retry later"
+                )
+            self._waiting += 1
+        try:
+            admitted = self._slots.acquire(timeout=self._queue_timeout)
+        finally:
+            with self._lock:
+                self._waiting -= 1
+        if not admitted:
+            raise AdmissionRejected(
+                "server at capacity (queued request timed out waiting for a slot)"
+            )
+        return self
+
+    def __exit__(self, *exc):
+        self._slots.release()
+        return False
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"queued": self._waiting, "max_queue": self._max_queue}
+
+
+class QueryService:
+    """The HTTP-agnostic request logic (unit-testable without sockets)."""
+
+    def __init__(self, database, config: ServerConfig | None = None):
+        self.db = database
+        self.config = config or ServerConfig()
+        self.metrics = ServerMetrics()
+        self.cancel_event = threading.Event()
+        self._admission = _Admission(
+            self.config.max_in_flight, self.config.max_queue, self.config.queue_timeout
+        )
+        self._sessions: dict[str, _Session] = {}
+        self._sessions_lock = threading.Lock()
+        self._shutdown_callback = None
+
+    # -- dispatch -----------------------------------------------------------
+
+    def handle(self, method: str, path: str, payload: dict) -> tuple[int, dict]:
+        """Route one request; returns ``(http_status, response_body)``."""
+        self.metrics.record_request()
+        try:
+            if method == "GET" and path == "/healthz":
+                return 200, {"status": "ok", "in_flight": self.metrics.snapshot()["in_flight"]}
+            if method == "GET" and path == "/metrics":
+                return 200, self._metrics_body()
+            if method == "POST" and path == "/session":
+                return 200, self._create_session()
+            if method == "POST" and path == "/session/close":
+                return 200, self._close_session(payload)
+            if method == "POST" and path == "/prepare":
+                return 200, self._prepare(payload)
+            if method == "POST" and path == "/execute":
+                return 200, self._execute(payload)
+            if method == "POST" and path == "/query":
+                return 200, self._query(payload)
+            if method == "POST" and path == "/shutdown":
+                return 200, self._shutdown()
+            raise BadRequestError(f"no such endpoint: {method} {path}")
+        except AdmissionRejected as error:
+            self.metrics.record_rejection()
+            return _STATUS_BY_CODE[error.code], {"error": error.as_dict()}
+        except ReproError as error:
+            status = _STATUS_BY_CODE.get(error.code, 400)
+            return status, {"error": error.as_dict()}
+        except Exception:
+            # Deliberately opaque: internals stay on the server side.
+            return 500, {
+                "error": {"code": "INTERNAL_ERROR", "message": "internal server error"}
+            }
+
+    # -- endpoints ----------------------------------------------------------
+
+    def _metrics_body(self) -> dict:
+        with self._sessions_lock:
+            session_count = len(self._sessions)
+        return {
+            "server": self.metrics.snapshot(),
+            "admission": self._admission.snapshot(),
+            "plan_cache": self.db.cache_info().as_dict(),
+            "sessions": session_count,
+            "tables": self.db.catalog.table_names(),
+        }
+
+    def _create_session(self) -> dict:
+        session = _Session(uuid.uuid4().hex)
+        with self._sessions_lock:
+            self._sessions[session.id] = session
+        return {"session": session.id}
+
+    def _close_session(self, payload: dict) -> dict:
+        session_id = _required_str(payload, "session")
+        with self._sessions_lock:
+            if self._sessions.pop(session_id, None) is None:
+                raise SessionError(f"unknown session {session_id!r}")
+        return {"closed": True}
+
+    def _session(self, payload: dict) -> _Session:
+        session_id = _required_str(payload, "session")
+        with self._sessions_lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise SessionError(f"unknown session {session_id!r}")
+        return session
+
+    def _prepare(self, payload: dict) -> dict:
+        session = self._session(payload)
+        sql = _required_str(payload, "sql")
+        strategy = _optional_str(payload, "strategy", "auto")
+        statement = self.db.prepare(sql, strategy)
+        statement_id = uuid.uuid4().hex[:12]
+        with session.lock:
+            session.statements[statement_id] = statement
+        return {"statement": statement_id, "params": statement.describe()}
+
+    def _execute(self, payload: dict) -> dict:
+        session = self._session(payload)
+        statement_id = _required_str(payload, "statement")
+        with session.lock:
+            statement = session.statements.get(statement_id)
+        if statement is None:
+            raise BadRequestError(f"unknown statement {statement_id!r} in session")
+        params = _params_of(payload)
+        return self._run(
+            lambda options: statement.execute(params, options=options), payload
+        )
+
+    def _query(self, payload: dict) -> dict:
+        sql = _required_str(payload, "sql")
+        strategy = _optional_str(payload, "strategy", "auto")
+        params = _params_of(payload)
+        return self._run(
+            lambda options: self.db.execute(
+                sql, strategy, options=options, params=params
+            ),
+            payload,
+        )
+
+    def _shutdown(self) -> dict:
+        self.cancel_event.set()
+        callback = self._shutdown_callback
+        if callback is not None:
+            threading.Thread(target=callback, daemon=True).start()
+        return {"shutting_down": True}
+
+    # -- query execution ----------------------------------------------------
+
+    def _run(self, thunk, payload: dict) -> dict:
+        timeout = payload.get("timeout", self.config.default_timeout)
+        if timeout is not None and not isinstance(timeout, (int, float)):
+            raise BadRequestError("'timeout' must be a number (seconds) or null")
+        engine = _optional_str(payload, "engine", "row")
+        if engine not in ("row", "vectorized"):
+            raise BadRequestError(f"unknown engine {engine!r} (row | vectorized)")
+        options = EvalOptions(
+            budget_seconds=timeout,
+            vectorized=engine == "vectorized",
+            cancel_event=self.cancel_event,
+        )
+        with self._admission:
+            self.metrics.query_started()
+            start = time.perf_counter()
+            try:
+                table = thunk(options)
+            except BudgetExceeded:
+                self.metrics.query_finished(time.perf_counter() - start, "timeout")
+                raise
+            except QueryCancelled:
+                self.metrics.query_finished(time.perf_counter() - start, "cancelled")
+                raise
+            except Exception:
+                self.metrics.query_finished(time.perf_counter() - start, "error")
+                raise
+            elapsed = time.perf_counter() - start
+            self.metrics.query_finished(elapsed, "ok")
+        rows = list(table.rows)
+        truncated = len(rows) > self.config.max_rows
+        if truncated:
+            rows = rows[: self.config.max_rows]
+        return {
+            "columns": list(table.schema.names),
+            "rows": [list(row) for row in rows],
+            "row_count": len(table),
+            "truncated": truncated,
+            "elapsed": round(elapsed, 6),
+        }
+
+    # wiring used by QueryServer
+    def set_shutdown_callback(self, callback) -> None:
+        self._shutdown_callback = callback
+
+
+def _required_str(payload: dict, key: str) -> str:
+    value = payload.get(key)
+    if not isinstance(value, str) or not value:
+        raise BadRequestError(f"missing or non-string field {key!r}")
+    return value
+
+
+def _optional_str(payload: dict, key: str, default: str) -> str:
+    value = payload.get(key, default)
+    if not isinstance(value, str):
+        raise BadRequestError(f"field {key!r} must be a string")
+    return value
+
+
+def _params_of(payload: dict):
+    params = payload.get("params")
+    if params is not None and not isinstance(params, (list, dict)):
+        raise BadRequestError(
+            "'params' must be an array (positional '?') or an object (named ':name')"
+        )
+    return params
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    service: QueryService  # injected by QueryServer
+
+    # ThreadingHTTPServer logs every request to stderr by default; the
+    # server's metrics endpoint replaces that.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass
+
+    def _respond(self, status: int, body: dict) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        status, body = self.service.handle("GET", self.path, {})
+        self._respond(status, body)
+
+    def do_POST(self):  # noqa: N802 - stdlib naming
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            error = BadRequestError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+            self._respond(400, {"error": error.as_dict()})
+            return
+        raw = self.rfile.read(length) if length else b""
+        if raw:
+            try:
+                payload = json.loads(raw)
+            except ValueError:
+                error = BadRequestError("request body is not valid JSON")
+                self._respond(400, {"error": error.as_dict()})
+                return
+            if not isinstance(payload, dict):
+                error = BadRequestError("request body must be a JSON object")
+                self._respond(400, {"error": error.as_dict()})
+                return
+        else:
+            payload = {}
+        status, body = self.service.handle("POST", self.path, payload)
+        self._respond(status, body)
+
+
+class QueryServer:
+    """Owns the listening socket and the service; start/stop lifecycle."""
+
+    def __init__(self, database, config: ServerConfig | None = None):
+        self.config = config or ServerConfig()
+        self.service = QueryService(database, self.config)
+        handler = type("BoundHandler", (_Handler,), {"service": self.service})
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), handler
+        )
+        self._httpd.daemon_threads = True
+        self.service.set_shutdown_callback(self._httpd.shutdown)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Bound (host, port) — resolves ``port=0`` to the actual port."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "QueryServer":
+        """Serve in a daemon thread (tests, embedding); returns self."""
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI ``serve`` command)."""
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        """Cancel in-flight queries, stop accepting, release the socket."""
+        self.service.cancel_event.set()
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None and self._thread is not threading.current_thread():
+            self._thread.join(timeout=5)

@@ -51,6 +51,23 @@ class Constant(Node):
 
 
 @dataclass(frozen=True)
+class Parameter(Node):
+    """A prepared-statement placeholder: ``?`` or ``:name``.
+
+    ``key`` is the 0-based occurrence index for positional parameters or
+    the case-folded name for named ones.  One statement may use either
+    style but not both (enforced by :mod:`repro.sql.parameters`).
+    """
+
+    key: object  # int (positional) | str (named)
+
+    def sql(self) -> str:
+        if isinstance(self.key, int):
+            return "?"
+        return f":{self.key}"
+
+
+@dataclass(frozen=True)
 class Star(Node):
     """``*`` (or ``t.*``) in a select list or inside COUNT."""
 

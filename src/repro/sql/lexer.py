@@ -5,6 +5,10 @@ Identifiers are case-folded to lower case; keywords are recognised
 case-insensitively.  String literals use single quotes with ``''`` as the
 escape; numbers are int or float literals.  ``--`` line comments and
 ``/* */`` block comments are skipped.
+
+Prepared-statement placeholders lex as ``param`` tokens: ``?`` is
+positional (the token value is the 0-based occurrence index) and
+``:name`` is named (the value is the case-folded name).
 """
 
 from __future__ import annotations
@@ -30,9 +34,10 @@ OPERATORS = ("<>", "<=", ">=", "!=", "=", "<", ">", "(", ")", ",", "+", "-", "*"
 class Token:
     """One lexical token.
 
-    ``kind`` is ``ident``, ``keyword``, ``number``, ``string``, ``op`` or
-    ``eof``; ``value`` is the case-folded identifier / keyword, the parsed
-    literal, or the operator spelling.
+    ``kind`` is ``ident``, ``keyword``, ``number``, ``string``, ``op``,
+    ``param`` or ``eof``; ``value`` is the case-folded identifier /
+    keyword, the parsed literal, the operator spelling, or the parameter
+    key (an ``int`` for ``?``, a ``str`` for ``:name``).
     """
 
     kind: str
@@ -59,6 +64,7 @@ def tokenize(text: str) -> list[Token]:
     line = 1
     line_start = 0
     length = len(text)
+    positional_count = 0
 
     def column() -> int:
         return position - line_start + 1
@@ -142,6 +148,24 @@ def tokenize(text: str) -> list[Token]:
             word = text[start:position].lower()
             kind = "keyword" if word in KEYWORDS else "ident"
             tokens.append(Token(kind, word, line, start_col))
+            continue
+
+        # Parameter placeholders: ``?`` (positional) and ``:name`` (named).
+        if char == "?":
+            tokens.append(Token("param", positional_count, line, column()))
+            positional_count += 1
+            position += 1
+            continue
+        if char == ":":
+            start_col = column()
+            position += 1
+            start = position
+            while position < length and (text[position].isalnum() or text[position] == "_"):
+                position += 1
+            name = text[start:position]
+            if not name or name[0].isdigit():
+                raise LexError("expected parameter name after ':'", line, start_col)
+            tokens.append(Token("param", name.lower(), line, start_col))
             continue
 
         # Quoted identifiers ("name") — kept verbatim, case preserved.

@@ -422,6 +422,10 @@ class _Parser:
             self.advance()
             return ast.Constant(token.value)
 
+        if token.kind == "param":
+            self.advance()
+            return ast.Parameter(token.value)
+
         if token.is_keyword("null"):
             self.advance()
             return ast.Constant(None)

@@ -91,6 +91,10 @@ def _render_name(node: ast.Name) -> str:
     return node.sql()
 
 
+def _render_parameter(node: ast.Parameter) -> str:
+    return node.sql()
+
+
 def _render_star(node: ast.Star) -> str:
     return f"{node.qualifier}.*" if node.qualifier else "*"
 
@@ -175,6 +179,7 @@ def _render_quantified(node: ast.QuantifiedOp) -> str:
 _HANDLERS = {
     ast.Constant: _render_constant,
     ast.Name: _render_name,
+    ast.Parameter: _render_parameter,
     ast.Star: _render_star,
     ast.BinaryOp: _render_binary,
     ast.UnaryOp: _render_unary,

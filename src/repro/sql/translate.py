@@ -494,6 +494,9 @@ class _Translator:
     def _expr_Constant(self, node: ast.Constant, scope: _Scope) -> E.Expr:
         return E.Literal(node.value)
 
+    def _expr_Parameter(self, node: ast.Parameter, scope: _Scope) -> E.Expr:
+        return E.Parameter(node.key)
+
     def _expr_Name(self, node: ast.Name, scope: _Scope) -> E.Expr:
         # depth 0: local; depth 1: direct correlation; depth > 1: indirect
         # correlation.  The paper's unnesting equivalences are limited to

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import csv
 import io
+import threading
 from collections import Counter
 from typing import Iterable, Iterator, Sequence
 
@@ -27,7 +28,7 @@ class Table:
     table only stores data and answers simple statistics queries.
     """
 
-    __slots__ = ("schema", "rows", "name", "version", "batch_cache")
+    __slots__ = ("schema", "rows", "name", "version", "batch_cache", "batch_lock")
 
     def __init__(self, schema: Schema | Sequence[Column | str], rows: Iterable[Row] = (), name: str = ""):
         if not isinstance(schema, Schema):
@@ -41,7 +42,11 @@ class Table:
         #: call :meth:`invalidate`.
         self.version = 0
         #: ``(version, Batch)`` set by the vectorized engine; ignored here.
+        #: Read with a single attribute load (the tuple is an atomic
+        #: snapshot) and published under ``batch_lock`` so concurrent
+        #: server queries pivot each table at most once per version.
         self.batch_cache = None
+        self.batch_lock = threading.Lock()
         arity = len(schema)
         for row in self.rows:
             if len(row) != arity:
