@@ -33,9 +33,13 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from dataclasses import replace as _dc_replace
+
 from repro.algebra.explain import explain as explain_plan
 from repro.engine import EvalOptions
-from repro.errors import ReproError
+from repro.engine.governor import ResourceLimits
+from repro.errors import ReproError, ResourceExhausted
+from repro.faults import FaultConfig, FaultInjector, injector_from_env
 from repro.optimizer import plan_query, execute_sql, PlannedQuery, Strategy
 from repro.optimizer.planner import STRATEGIES
 from repro.rewrite import UnnestOptions
@@ -52,8 +56,12 @@ __all__ = [
     "CacheInfo",
     "Column",
     "ColumnType",
+    "FaultConfig",
+    "FaultInjector",
     "PlanCache",
     "PreparedStatement",
+    "ResourceExhausted",
+    "ResourceLimits",
     "Schema",
     "Table",
     "EvalOptions",
@@ -82,6 +90,12 @@ class Database:
         # table version, so the epoch participates in every cache key;
         # bumping it orphans old entries, which then age out of the LRU.
         self._views_epoch = 0
+        # Self-healing counters (see execute): how often a retryable
+        # runtime failure degraded an execution to the canonical row
+        # plan, and what the last degradation looked like.
+        self._degradations = 0
+        self._fallback_successes = 0
+        self._last_degradation: dict | None = None
 
     # -- schema management ---------------------------------------------------
 
@@ -165,6 +179,14 @@ class Database:
         return a one-row ``rows_affected`` table.  ``params`` supplies
         values for ``?`` / ``:name`` placeholders in queries (a sequence
         or a mapping respectively); parameterized DML is not supported.
+
+        Execution is *self-healing*: if the chosen plan fails with a
+        retryable runtime error (an injected fault, an unexpected engine
+        exception) and a structurally simpler alternative exists, the
+        plan-cache entry is quarantined and the query re-runs on the
+        canonical row-engine plan before any error reaches the caller.
+        Deliberate verdicts — budget, cancellation, governor limits —
+        are not retried.
         """
         stripped = sql.lstrip().lower()
         if stripped.startswith(("insert", "delete", "update")):
@@ -184,9 +206,80 @@ class Database:
                 sql, self.catalog, strategy, options, unnest_options,
                 views=self._views, params=params,
             )
-        engine = "vectorized" if options is not None and options.vectorized else "row"
+        base = self._armed_options(options or EvalOptions())
+        engine = "vectorized" if base.vectorized else "row"
         planned = self._cached_plan(sql, strategy, engine=engine)
-        return planned.execute(self.catalog, options, params=params)
+        try:
+            return planned.execute(self.catalog, base, params=params)
+        except ReproError as error:
+            if not getattr(error, "retryable", False):
+                raise
+            if engine == "row" and planned.chosen_alternative == "canonical":
+                # Nothing simpler to fall back to.
+                raise
+            return self._heal_execution(
+                sql, strategy, engine, planned, base, params, error
+            )
+
+    def _heal_execution(
+        self,
+        sql: str,
+        strategy: str,
+        engine: str,
+        planned: PlannedQuery,
+        base: EvalOptions,
+        params,
+        error: ReproError,
+    ) -> Table:
+        """Degrade a failed execution to the canonical row-engine plan.
+
+        The failing key is quarantined so the poisoned plan stops
+        serving cache hits; the fallback runs with fault injection
+        stripped (the healing path must not be re-injected) and the
+        vectorized engine off.  A failure of the fallback itself
+        propagates — there is nothing simpler left.
+        """
+        self._plan_cache.quarantine(
+            sql, strategy, engine=engine, extra_token=self._views_epoch
+        )
+        self._degradations += 1
+        self._last_degradation = {
+            "strategy": planned.strategy.name,
+            "alternative": planned.chosen_alternative,
+            "engine": engine,
+            "error_code": getattr(error, "code", type(error).__name__),
+        }
+        healed_options = _dc_replace(base, vectorized=False, faults=None)
+        fallback = self._cached_plan(sql, "canonical", engine="row")
+        result = fallback.execute(self.catalog, healed_options, params=params)
+        self._fallback_successes += 1
+        return result
+
+    @staticmethod
+    def _armed_options(base: EvalOptions) -> EvalOptions:
+        """Fold ``REPRO_FAULT_*`` / ``REPRO_GOVERNOR_*`` into options.
+
+        Explicit settings always win; the injector is built fresh per
+        execution so every query replays the same seeded fault sequence.
+        """
+        updates = {}
+        if base.faults is None:
+            injector = injector_from_env()
+            if injector is not None:
+                updates["faults"] = injector
+        if base.resources is None:
+            limits = ResourceLimits.from_env()
+            if limits is not None:
+                updates["resources"] = limits
+        return _dc_replace(base, **updates) if updates else base
+
+    def resilience_info(self) -> dict:
+        """Self-healing counters: degradations, fallback successes."""
+        return {
+            "degradations": self._degradations,
+            "fallback_successes": self._fallback_successes,
+            "last_degradation": self._last_degradation,
+        }
 
     def prepare(self, sql: str, strategy: str = "auto") -> PreparedStatement:
         """Plan a parameterized query once; execute it many times."""

@@ -118,6 +118,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=30.0,
         help="default per-query timeout in seconds (requests may override)",
     )
+    serve.add_argument(
+        "--drain-grace", type=float, default=10.0,
+        help="seconds a SIGTERM drain waits for in-flight queries "
+             "before cancelling them",
+    )
 
     return parser
 
@@ -347,6 +352,9 @@ def cmd_shell(args, out) -> int:
 
 
 def cmd_serve(args, out) -> int:
+    import signal
+    import threading
+
     from repro.service.server import QueryServer, ServerConfig
 
     db = load_database(args)
@@ -356,6 +364,7 @@ def cmd_serve(args, out) -> int:
         max_in_flight=args.max_in_flight,
         max_queue=args.max_queue,
         default_timeout=args.timeout,
+        drain_grace=args.drain_grace,
     )
     server = QueryServer(db, config)
     host, port = server.address
@@ -363,6 +372,21 @@ def cmd_serve(args, out) -> int:
     out.write(f"tables: {', '.join(db.catalog.table_names()) or '(none)'}\n")
     if hasattr(out, "flush"):
         out.flush()  # scripts parse the port line before the first request
+
+    def _graceful(signum, frame):
+        # Drain on a separate thread: the handler runs on the main
+        # (serving) thread, and QueryServer.drain joins the HTTP loop.
+        out.write("draining (signal received)...\n")
+        if hasattr(out, "flush"):
+            out.flush()
+        threading.Thread(target=server.drain, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _graceful)
+        signal.signal(signal.SIGINT, _graceful)
+    except ValueError:
+        pass  # not on the main thread (embedded use); signals stay default
+
     server.serve_forever()
     out.write("server stopped\n")
     return 0

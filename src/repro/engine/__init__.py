@@ -25,5 +25,12 @@ the tuple-at-a-time interpreter for columnar batch execution:
 
 from repro.engine.context import EvalOptions, ExecContext, ExecStats
 from repro.engine.executor import execute_plan
+from repro.engine.governor import ResourceLimits
 
-__all__ = ["EvalOptions", "ExecContext", "ExecStats", "execute_plan"]
+__all__ = [
+    "EvalOptions",
+    "ExecContext",
+    "ExecStats",
+    "ResourceLimits",
+    "execute_plan",
+]

@@ -20,7 +20,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.errors import BudgetExceeded, QueryCancelled
+from repro.engine.governor import DEFAULT_ROW_BYTES, ResourceLimits, estimate_row_bytes
+from repro.errors import BudgetExceeded, QueryCancelled, ResourceExhausted
 
 #: How many processed rows between two wall-clock checks.
 TICK_GRANULARITY = 65536
@@ -58,6 +59,15 @@ class EvalOptions:
         same cadence as the wall-clock budget; when set, both engines
         abort with :class:`~repro.errors.QueryCancelled`.  The SQL
         server uses this to drain in-flight queries on shutdown.
+    ``resources``
+        Per-query row/memory/recursion budgets enforced by the resource
+        governor at the same cooperative tick points (see
+        :mod:`repro.engine.governor`); ``None`` disables the governor.
+    ``faults``
+        A :class:`~repro.faults.FaultInjector` consulted at the named
+        injection points of both engines and the storage scan path;
+        ``None`` (the default) makes every fault check a single
+        attribute test.
     """
 
     subquery_memo: bool = False
@@ -66,6 +76,8 @@ class EvalOptions:
     vectorized: bool = False
     params: Mapping | None = None
     cancel_event: object | None = None
+    resources: ResourceLimits | None = None
+    faults: object | None = None
 
 
 @dataclass
@@ -98,8 +110,16 @@ class ExecContext:
         "memo",
         "subquery_cache",
         "params",
+        "faults",
+        "rows_processed",
+        "memory_bytes",
+        "subquery_depth",
         "_cancel",
         "_deadline",
+        "_max_rows",
+        "_max_memory",
+        "_max_depth",
+        "_row_bytes",
         "_tick_budget",
         "_tick_granularity",
     )
@@ -114,9 +134,20 @@ class ExecContext:
         #: Prepared-statement bindings; a fresh context per execution means
         #: memoised streams can never leak across parameter bindings.
         self.params = dict(self.options.params) if self.options.params else None
+        #: Fault injector consulted at operator boundaries (chaos runs).
+        self.faults = self.options.faults
         self._cancel = self.options.cancel_event
         budget = self.options.budget_seconds
         self._deadline = None if budget is None else time.perf_counter() + budget
+        limits = self.options.resources
+        self._max_rows = limits.max_rows if limits is not None else None
+        self._max_memory = limits.max_memory_bytes if limits is not None else None
+        self._max_depth = limits.max_subquery_depth if limits is not None else None
+        #: Governor accounting (grows monotonically over one execution).
+        self.rows_processed = 0
+        self.memory_bytes = 0
+        self.subquery_depth = 0
+        self._row_bytes = 0  # lazily sampled from the first materialised row
         self._tick_granularity = (
             TICK_GRANULARITY
             if self._deadline is None and self._cancel is None
@@ -125,7 +156,11 @@ class ExecContext:
         self._tick_budget = self._tick_granularity
 
     def tick(self, rows: int = 1) -> None:
-        """Account for ``rows`` processed rows; enforce budget and cancel."""
+        """Account for ``rows`` processed rows; enforce budgets and cancel."""
+        if self._max_rows is not None:
+            self.rows_processed += rows
+            if self.rows_processed > self._max_rows:
+                raise ResourceExhausted("rows", self._max_rows, self.rows_processed)
         if self._deadline is None and self._cancel is None:
             return
         self._tick_budget -= rows
@@ -135,3 +170,31 @@ class ExecContext:
                 raise QueryCancelled()
             if self._deadline is not None and time.perf_counter() > self._deadline:
                 raise BudgetExceeded(self.options.budget_seconds)
+
+    def account_memory(self, count: int, sample_row: tuple | None = None) -> None:
+        """Charge ``count`` materialised rows against the memory budget.
+
+        Called by both engines after an operator materialises its result.
+        The per-row footprint is sampled once from the first real row seen
+        (:func:`~repro.engine.governor.estimate_row_bytes`); batch results
+        pass no sample and are charged the denser columnar default.  A
+        no-op unless ``max_memory_bytes`` is armed, so the unarmed cost is
+        one attribute test per operator invocation.
+        """
+        if self._max_memory is None or count == 0:
+            return
+        if self._row_bytes == 0 and sample_row is not None:
+            self._row_bytes = estimate_row_bytes(sample_row)
+        per_row = self._row_bytes or DEFAULT_ROW_BYTES
+        self.memory_bytes += count * per_row
+        if self.memory_bytes > self._max_memory:
+            raise ResourceExhausted("memory", self._max_memory, self.memory_bytes)
+
+    def enter_subquery(self) -> None:
+        """Track correlated-subquery nesting; enforce the depth budget."""
+        self.subquery_depth += 1
+        if self._max_depth is not None and self.subquery_depth > self._max_depth:
+            raise ResourceExhausted("depth", self._max_depth, self.subquery_depth)
+
+    def exit_subquery(self) -> None:
+        self.subquery_depth -= 1

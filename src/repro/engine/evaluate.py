@@ -365,7 +365,13 @@ class _ExprCompiler:
                         ctx.stats.subquery_cache_hits += 1
                         return hit
                 ctx.stats.subquery_evals += 1
-                rows = physical.execute(ctx, env2)
+                # The governor's recursion budget counts nesting depth of
+                # correlated-subquery evaluation (deep linear nestings).
+                ctx.enter_subquery()
+                try:
+                    rows = physical.execute(ctx, env2)
+                finally:
+                    ctx.exit_subquery()
                 if use_cache:
                     cache[key] = rows
                 return rows

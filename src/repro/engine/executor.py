@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.algebra.ops import Operator
 from repro.engine.compile import compile_plan
 from repro.engine.context import EvalOptions, ExecContext
+from repro.errors import ExecutionError, ReproError
 from repro.storage.catalog import Catalog
 from repro.storage.table import Table
 
@@ -39,7 +40,18 @@ def execute_plan(
     opts = options or EvalOptions()
     physical = compile_plan(plan, catalog, vectorized=opts.vectorized)
     ctx = ExecContext(opts)
-    rows = physical.execute(ctx, {})
+    try:
+        rows = physical.execute(ctx, {})
+    except ReproError:
+        raise
+    except Exception as error:
+        # Unexpected runtime failures (a numpy dtype surprise in the
+        # vectorized engine, a comparison between incompatible Python
+        # values) become structured, *retryable* execution errors so the
+        # self-healing layer can fall back to the canonical row plan.
+        raise ExecutionError(
+            f"plan execution failed: {type(error).__name__}: {error}"
+        ) from error
     table = Table(plan.schema, rows)
     if with_context:
         return table, ctx

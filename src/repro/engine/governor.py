@@ -1,0 +1,80 @@
+"""The resource governor: per-query row / memory / recursion budgets.
+
+A production service cannot let one query OOM the process or recurse
+without bound — especially not a reproduction that deliberately picks
+aggressive unnested plans.  :class:`ResourceLimits` declares per-query
+budgets; both engines enforce them cooperatively at the same tick points
+that already serve the wall-clock budget and cancellation, raising a
+structured :class:`~repro.errors.ResourceExhausted` (code
+``RESOURCE_EXHAUSTED``) instead of dying:
+
+* ``max_rows`` — cumulative rows processed across all operators of one
+  execution (checked on every :meth:`~repro.engine.context.ExecContext.
+  tick`, so enforcement lag is one operator's input, not a whole plan);
+* ``max_memory_bytes`` — approximate bytes of materialised intermediate
+  results, estimated from a sampled row footprint (the engine is a
+  materialising evaluator, so operator outputs dominate its footprint);
+* ``max_subquery_depth`` — nesting depth of correlated-subquery
+  evaluation (a runaway guard for deep linear nestings, §3.6).
+
+Budgets default from the ``REPRO_GOVERNOR_*`` environment variables so a
+server deployment can arm the governor fleet-wide without touching call
+sites; explicit ``EvalOptions(resources=...)`` always wins.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass
+
+ENV_MAX_ROWS = "REPRO_GOVERNOR_MAX_ROWS"
+ENV_MAX_MEMORY = "REPRO_GOVERNOR_MAX_MEMORY"
+ENV_MAX_DEPTH = "REPRO_GOVERNOR_MAX_DEPTH"
+
+#: Bytes per row assumed before any real row has been sampled (and for
+#: batch results, whose numpy columns are far denser than tuple rows).
+DEFAULT_ROW_BYTES = 64
+
+
+@dataclass(frozen=True)
+class ResourceLimits:
+    """Per-query budgets; ``None`` disables the corresponding check."""
+
+    max_rows: int | None = None
+    max_memory_bytes: int | None = None
+    max_subquery_depth: int | None = None
+
+    def __bool__(self) -> bool:
+        return (
+            self.max_rows is not None
+            or self.max_memory_bytes is not None
+            or self.max_subquery_depth is not None
+        )
+
+    @classmethod
+    def from_env(cls, environ=None) -> "ResourceLimits | None":
+        """Budgets from ``REPRO_GOVERNOR_*``; None when all unset."""
+        env = os.environ if environ is None else environ
+
+        def read(name: str) -> int | None:
+            raw = env.get(name, "").strip()
+            return int(raw) if raw else None
+
+        limits = cls(
+            max_rows=read(ENV_MAX_ROWS),
+            max_memory_bytes=read(ENV_MAX_MEMORY),
+            max_subquery_depth=read(ENV_MAX_DEPTH),
+        )
+        return limits if limits else None
+
+
+def estimate_row_bytes(row: tuple) -> int:
+    """Approximate the heap footprint of one materialised row tuple."""
+    try:
+        total = sys.getsizeof(row)
+        for value in row:
+            total += sys.getsizeof(value)
+        return max(total, 1)
+    except TypeError:  # exotic value without __sizeof__
+        return DEFAULT_ROW_BYTES

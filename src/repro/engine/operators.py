@@ -32,6 +32,10 @@ class PhysicalOperator:
 
     __slots__ = ("schema", "free_names", "memoize")
 
+    #: Fault-injection site prefix; the vectorized subclasses override it
+    #: so chaos configs can target one engine without naming every class.
+    FAULT_DOMAIN = "engine.row."
+
     def __init__(self, schema: Schema, free_names: Sequence[str] = ()):
         self.schema = schema
         self.free_names = tuple(sorted(free_names))
@@ -41,6 +45,8 @@ class PhysicalOperator:
         return tuple(env.get(name) for name in self.free_names)
 
     def execute(self, ctx, env: dict) -> list:
+        if ctx.faults is not None:
+            ctx.faults.maybe_fail(self.FAULT_DOMAIN + type(self).__name__)
         if self.memoize:
             key = (id(self), self.env_signature(env))
             hit = ctx.memo.get(key)
@@ -48,8 +54,10 @@ class PhysicalOperator:
                 return hit
             rows = self._run(ctx, env)
             ctx.memo[key] = rows
+            ctx.account_memory(len(rows), rows[0] if rows else None)
         else:
             rows = self._run(ctx, env)
+            ctx.account_memory(len(rows), rows[0] if rows else None)
         if ctx.options.collect_stats:
             ctx.stats.record_rows(type(self).__name__, len(rows))
             ctx.stats.record_node(id(self), len(rows))
@@ -84,12 +92,16 @@ class PBypassBase(PhysicalOperator):
     __slots__ = ()
 
     def pair(self, ctx, env: dict) -> tuple[list, list]:
+        if ctx.faults is not None:
+            ctx.faults.maybe_fail(self.FAULT_DOMAIN + type(self).__name__)
         key = (id(self), self.env_signature(env))
         hit = ctx.memo.get(key)
         if hit is not None:
             return hit
         result = self._run_pair(ctx, env)
         ctx.memo[key] = result
+        sample = result[0][0] if result[0] else (result[1][0] if result[1] else None)
+        ctx.account_memory(len(result[0]) + len(result[1]), sample)
         if ctx.options.collect_stats:
             ctx.stats.record_rows(type(self).__name__, len(result[0]) + len(result[1]))
             ctx.stats.record_node(id(self), len(result[0]) + len(result[1]))
@@ -132,6 +144,8 @@ class PScan(PhysicalOperator):
         self.rows = rows
 
     def _run(self, ctx, env):
+        if ctx.faults is not None:
+            ctx.faults.maybe_fail("storage.scan")
         ctx.tick(len(self.rows))
         return self.rows
 

@@ -41,6 +41,8 @@ class VecOperator(P.PhysicalOperator):
 
     __slots__ = ()
 
+    FAULT_DOMAIN = "engine.vector."
+
     def execute(self, ctx, env: dict) -> list:
         if not self.memoize:
             return self.execute_batch(ctx, env).to_rows()
@@ -53,6 +55,8 @@ class VecOperator(P.PhysicalOperator):
         return rows
 
     def execute_batch(self, ctx, env: dict) -> Batch:
+        if ctx.faults is not None:
+            ctx.faults.maybe_fail(self.FAULT_DOMAIN + type(self).__name__)
         if self.memoize:
             key = (id(self), self.env_signature(env), "batch")
             hit = ctx.memo.get(key)
@@ -60,8 +64,10 @@ class VecOperator(P.PhysicalOperator):
                 return hit
             batch = self._run_batch(ctx, env)
             ctx.memo[key] = batch
+            ctx.account_memory(len(batch))
         else:
             batch = self._run_batch(ctx, env)
+            ctx.account_memory(len(batch))
         if ctx.options.collect_stats:
             ctx.stats.record_rows(type(self).__name__, len(batch))
             ctx.stats.record_node(id(self), len(batch))
@@ -99,6 +105,8 @@ class VScan(VecOperator):
 
     def _run_batch(self, ctx, env):
         table = self.table
+        if ctx.faults is not None:
+            ctx.faults.maybe_fail("storage.scan")
         ctx.tick(len(table.rows))
         if self._batch is not None and self._version == table.version:
             return self._batch
@@ -167,12 +175,16 @@ class VBypassFilter(P.PBypassBase):
 
     __slots__ = ("child", "kernel")
 
+    FAULT_DOMAIN = "engine.vector."
+
     def __init__(self, child: VecOperator, kernel: Callable, free_names):
         super().__init__(child.schema, free_names)
         self.child = child
         self.kernel = kernel
 
     def pair_batches(self, ctx, env) -> tuple[Batch, Batch]:
+        if ctx.faults is not None:
+            ctx.faults.maybe_fail(self.FAULT_DOMAIN + type(self).__name__)
         key = (id(self), self.env_signature(env), "vpair")
         hit = ctx.memo.get(key)
         if hit is not None:

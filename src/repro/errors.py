@@ -8,6 +8,14 @@ and execution — plus the service layer (parameters, admission, sessions).
 Each class carries a stable machine-readable ``code`` used by the SQL
 server's structured error responses and the CLI; ``as_dict()`` renders
 the transport-agnostic ``{"code", "message"}`` shape.
+
+``retryable`` marks errors where *the same request against a different
+plan or a recovered server* may legitimately succeed: transient runtime
+faults, overload rejections, connection resets.  The self-healing layer
+(``Database.execute`` fallback, the service client's retry loop) only
+ever retries errors whose class opts in; semantic errors (parse, bind,
+parameter misuse) and deliberate verdicts (timeout, cancellation,
+resource budgets) stay final.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
     code = "REPRO_ERROR"
+    retryable = False
 
     def as_dict(self) -> dict:
         """The structured wire form used by the SQL server and clients."""
@@ -100,9 +109,16 @@ class PlanningError(ReproError):
 
 
 class ExecutionError(ReproError):
-    """Raised by the runtime when a plan fails during evaluation."""
+    """Raised by the runtime when a plan fails during evaluation.
+
+    Runtime failures are plan-specific — an unnested bypass DAG or a
+    vectorized plan can fail where the canonical row plan succeeds — so
+    execution errors default to retryable and the deliberate verdicts
+    below (timeout, cancellation, resource budgets) opt back out.
+    """
 
     code = "EXECUTION_ERROR"
+    retryable = True
 
 
 class CatalogError(ReproError):
@@ -127,6 +143,7 @@ class BudgetExceeded(ExecutionError):
     """
 
     code = "QUERY_TIMEOUT"
+    retryable = False
 
     def __init__(self, budget_seconds: float | None = None, message: str | None = None):
         if message is None:
@@ -147,9 +164,52 @@ class QueryCancelled(ExecutionError):
     """
 
     code = "QUERY_CANCELLED"
+    retryable = False
 
     def __init__(self, message: str = "query cancelled"):
         super().__init__(message)
+
+
+class ResourceExhausted(ExecutionError):
+    """Raised when the resource governor trips a per-query budget.
+
+    ``resource`` names which budget fired (``rows`` | ``memory`` |
+    ``depth``).  The verdict is deliberate and deterministic — the
+    canonical fallback plan would typically consume *more*, not less —
+    so it is final (not retryable) and surfaces to the caller as a
+    structured error instead of an OOM-killed process.
+    """
+
+    code = "RESOURCE_EXHAUSTED"
+    retryable = False
+
+    def __init__(self, resource: str, limit, used, message: str | None = None):
+        if message is None:
+            message = (
+                f"query exceeded its {resource} budget "
+                f"(limit {limit}, used {used})"
+            )
+        super().__init__(message)
+        self.resource = resource
+        self.limit = limit
+        self.used = used
+
+
+class InjectedFault(ExecutionError):
+    """A deterministic fault raised by :mod:`repro.faults`.
+
+    Carries the ``site`` string that fired so chaos tests can assert
+    exactly which injection point was hit.  Injected faults model
+    transient operator failures and are always retryable — they are the
+    primary trigger of the self-healing fallback path.
+    """
+
+    code = "FAULT_INJECTED"
+    retryable = True
+
+    def __init__(self, site: str, message: str | None = None):
+        super().__init__(message or f"injected fault at {site}")
+        self.site = site
 
 
 class ServiceError(ReproError):
@@ -167,6 +227,32 @@ class AdmissionRejected(ServiceError):
     """
 
     code = "SERVER_OVERLOADED"
+    retryable = True
+
+
+class ServiceUnavailable(ServiceError):
+    """Raised when the server is unreachable or refusing work.
+
+    Covers two cases with one retryable code: transport-level failures
+    in the client (connection refused/reset, malformed HTTP frames —
+    the server may be restarting) and the server's own drain state
+    (shutting down gracefully: liveness yes, readiness no).
+    """
+
+    code = "SERVICE_UNAVAILABLE"
+    retryable = True
+
+
+class CircuitOpen(ServiceError):
+    """Raised by the client circuit breaker while it is open.
+
+    The breaker trips after consecutive transport failures and fails
+    fast for ``reset_timeout`` seconds instead of hammering a down
+    server; not retryable — the caller should back off at a higher
+    level (the next attempt after the cool-down half-opens the circuit).
+    """
+
+    code = "CIRCUIT_OPEN"
 
 
 class SessionError(ServiceError):

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field as dataclass_field, replace as dc_repla
 from repro.algebra import ops as L
 from repro.baselines import reorder_disjuncts_cheap_first
 from repro.engine import EvalOptions, execute_plan
-from repro.errors import PlanningError
+from repro.errors import NotUnnestableError, PlanningError, ReproError
 from repro.optimizer.cost import CostModel
 from repro.optimizer.joins import optimize_joins
 from repro.rewrite import UnnestOptions, unnest
@@ -90,6 +90,9 @@ class PlannedQuery:
     estimated_cost: float
     chosen_alternative: str  # for "auto": which side won
     param_spec: "ParamSpec" = dataclass_field(default_factory=lambda: ParamSpec())
+    #: True when the unnesting rewriter failed and the planner healed
+    #: itself by falling back to the canonical plan (see plan_query).
+    planner_fallback: bool = False
 
     def execute(
         self,
@@ -157,19 +160,26 @@ def plan_query(
 
     chosen = "canonical"
     logical = canonical
+    planner_fallback = False
     if strategy.reorder_disjuncts:
         logical = reorder_disjuncts_cheap_first(canonical)
     elif strategy.apply_unnesting:
-        logical = unnest(canonical, unnest_options)
-        chosen = "unnested"
-    elif strategy.cost_based:
-        rewritten = unnest(canonical, unnest_options)
-        canonical_cost = CostModel(catalog).cost(canonical)
-        rewritten_cost = CostModel(catalog).cost(rewritten)
-        if rewritten_cost < canonical_cost:
+        rewritten = _heal_unnest(canonical, unnest_options)
+        if rewritten is not None:
             logical, chosen = rewritten, "unnested"
         else:
-            logical, chosen = canonical, "canonical"
+            planner_fallback = True
+    elif strategy.cost_based:
+        rewritten = _heal_unnest(canonical, unnest_options)
+        if rewritten is None:
+            planner_fallback = True
+        else:
+            canonical_cost = CostModel(catalog).cost(canonical)
+            rewritten_cost = CostModel(catalog).cost(rewritten)
+            if rewritten_cost < canonical_cost:
+                logical, chosen = rewritten, "unnested"
+            else:
+                logical, chosen = canonical, "canonical"
 
     cost = CostModel(catalog).cost(logical)
     return PlannedQuery(
@@ -181,7 +191,26 @@ def plan_query(
         estimated_cost=cost,
         chosen_alternative=chosen,
         param_spec=param_spec,
+        planner_fallback=planner_fallback,
     )
+
+
+def _heal_unnest(canonical, unnest_options):
+    """Apply the unnesting rewriter, healing unexpected rewrite failures.
+
+    Planner-level self-healing: a bug in the Eqv. 1-5 search must degrade
+    one query to its canonical plan, not fail it.  The *deliberate*
+    strict-mode verdict (:class:`~repro.errors.NotUnnestableError`) still
+    propagates — the caller asked to be told — while any other library
+    error from the rewrite search returns ``None``, which the planner
+    records as ``planner_fallback``.
+    """
+    try:
+        return unnest(canonical, unnest_options)
+    except NotUnnestableError:
+        raise
+    except ReproError:
+        return None
 
 
 def execute_sql(

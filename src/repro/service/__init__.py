@@ -15,20 +15,26 @@ adds the serving machinery on top of the single-shot
 * :mod:`repro.service.server` — a concurrent JSON-over-HTTP SQL server
   (stdlib ``ThreadingHTTPServer``) with sessions, per-query timeouts,
   and admission control;
-* :mod:`repro.service.client` — a tiny stdlib client for that server.
+* :mod:`repro.service.client` — a tiny stdlib client for that server,
+  with retry/backoff and a circuit breaker;
+* :mod:`repro.service.resilience` — the retry policy and circuit
+  breaker primitives themselves.
 
 See ``docs/service.md`` for the wire protocol.
 """
 
 from repro.service.plancache import CacheInfo, PlanCache
 from repro.service.prepared import PreparedStatement
+from repro.service.resilience import CircuitBreaker, RetryPolicy
 from repro.service.server import QueryServer, QueryService, ServerConfig
 
 __all__ = [
     "CacheInfo",
+    "CircuitBreaker",
     "PlanCache",
     "PreparedStatement",
     "QueryServer",
     "QueryService",
+    "RetryPolicy",
     "ServerConfig",
 ]

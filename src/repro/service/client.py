@@ -19,7 +19,10 @@ code handles server-side failures exactly like embedded-library ones::
 
 from __future__ import annotations
 
+import http.client
 import json
+import random
+import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass
@@ -32,8 +35,10 @@ from repro.errors import (
     QueryCancelled,
     ReproError,
     ServiceError,
+    ServiceUnavailable,
     SessionError,
 )
+from repro.service.resilience import CircuitBreaker, RetryPolicy
 
 #: Error codes the client maps back to concrete exception classes;
 #: anything else becomes a plain :class:`ServiceError` with that code.
@@ -43,6 +48,7 @@ _EXCEPTION_BY_CODE = {
     "UNKNOWN_SESSION": SessionError,
     "PARAMETER_ERROR": ParameterError,
     "QUERY_CANCELLED": QueryCancelled,
+    "SERVICE_UNAVAILABLE": ServiceUnavailable,
 }
 
 
@@ -74,15 +80,67 @@ class QueryResult:
 
 
 class ServiceClient:
-    """Blocking JSON-over-HTTP client; one instance per base URL."""
+    """Blocking JSON-over-HTTP client; one instance per base URL.
 
-    def __init__(self, base_url: str, timeout: float = 60.0):
+    Requests that fail *retryably* — the server is unreachable
+    (``SERVICE_UNAVAILABLE``, including a drain/restart window), sheds
+    load (``SERVER_OVERLOADED``, HTTP 429), or cancelled the query while
+    draining — are retried under ``retry_policy`` with exponential
+    backoff and jitter.  A :class:`~repro.service.resilience.
+    CircuitBreaker` fails fast once the server has been unreachable for
+    several consecutive transport attempts.  Pass
+    ``retry_policy=RetryPolicy(max_attempts=1)`` for callers that must
+    see every failure (e.g. DML, where a blind retry is not idempotent).
+
+    ``sleep``/``rng`` exist for deterministic tests; leave them alone in
+    production code.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        sleep=time.sleep,
+        rng: random.Random | None = None,
+    ):
         self.base_url = base_url.rstrip("/")
         self.http_timeout = timeout
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker()
+        self._sleep = sleep
+        self._rng = rng or random.Random()
 
     # -- transport ----------------------------------------------------------
 
     def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        """One logical request = up to ``max_attempts`` transport attempts."""
+        attempt = 0
+        while True:
+            attempt += 1
+            self.breaker.allow()
+            try:
+                body = self._request_once(method, path, payload)
+            except ServiceUnavailable:
+                self.breaker.record_failure()
+                if not self.retry_policy.should_retry(attempt):
+                    raise
+                self._sleep(self.retry_policy.delay(attempt, self._rng))
+                continue
+            except ReproError as error:
+                # The server answered — the transport works.
+                self.breaker.record_success()
+                if not getattr(error, "retryable", False):
+                    raise
+                if not self.retry_policy.should_retry(attempt):
+                    raise
+                self._sleep(self.retry_policy.delay(attempt, self._rng))
+                continue
+            self.breaker.record_success()
+            return body
+
+    def _request_once(self, method: str, path: str, payload: dict | None) -> dict:
         url = self.base_url + path
         data = None
         headers = {"Accept": "application/json"}
@@ -94,15 +152,28 @@ class ServiceClient:
             with urllib.request.urlopen(request, timeout=self.http_timeout) as response:
                 body = json.loads(response.read().decode("utf-8"))
         except urllib.error.HTTPError as http_error:
+            # Must precede the OSError branch: HTTPError ⊂ URLError ⊂
+            # OSError, and an HTTP error response *is* a server answer.
             try:
                 body = json.loads(http_error.read().decode("utf-8"))
             except ValueError:
-                raise ServiceError(
-                    f"server returned HTTP {http_error.code} without a JSON body"
-                ) from None
+                body = None
             if isinstance(body, dict) and "error" in body:
                 _raise_for(body["error"])
+            if http_error.code == 503:
+                # No structured error but the status says it all: the
+                # server is up yet not serving (draining /health probe).
+                raise ServiceUnavailable(
+                    "server is not ready (HTTP 503)"
+                ) from None
             raise ServiceError(f"server returned HTTP {http_error.code}") from None
+        except (OSError, http.client.HTTPException) as transport_error:
+            # Connection refused/reset, DNS failure, socket timeout,
+            # malformed response: the server is unreachable right now.
+            raise ServiceUnavailable(
+                f"server unreachable: {type(transport_error).__name__}: "
+                f"{transport_error}"
+            ) from transport_error
         if isinstance(body, dict) and "error" in body:
             _raise_for(body["error"])
         return body

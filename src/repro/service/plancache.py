@@ -59,6 +59,11 @@ class CacheInfo:
     evictions: int
     size: int
     capacity: int
+    #: Cumulative count of quarantine events (plans reported failing at
+    #: runtime by the self-healing layer).
+    quarantined: int = 0
+    #: Keys currently blocked from re-caching.
+    quarantined_keys: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -71,6 +76,8 @@ class CacheInfo:
             "misses": self.misses,
             "invalidations": self.invalidations,
             "evictions": self.evictions,
+            "quarantined": self.quarantined,
+            "quarantined_keys": self.quarantined_keys,
             "size": self.size,
             "capacity": self.capacity,
             "hit_rate": round(self.hit_rate, 4),
@@ -122,6 +129,10 @@ class PlanCache:
         self._misses = 0
         self._invalidations = 0
         self._evictions = 0
+        self._quarantine_events = 0
+        #: Keys whose cached plans failed at runtime; blocked from
+        #: re-caching until DDL/analyze re-admits them (see quarantine).
+        self._quarantined: set[tuple] = set()
 
     # -- the main entry point ----------------------------------------------
 
@@ -146,10 +157,10 @@ class PlanCache:
         """
         if statement is None:
             statement = parse(sql)
-        strategy_name = strategy if isinstance(strategy, str) else strategy.name
-        key = (statement, strategy_name.lower(), engine, extra_token)
+        key = self._key(statement, strategy, engine, extra_token)
 
         with self._lock:
+            quarantined = key in self._quarantined
             entry = self._entries.get(key)
             if entry is not None:
                 if self._fresh(entry, catalog):
@@ -163,8 +174,14 @@ class PlanCache:
         # Plan outside the lock: planning is the expensive step, and two
         # concurrent misses on one key are safe (last insert wins).
         planned = plan_query(sql, catalog, strategy, None, views, statement=statement)
+        if quarantined:
+            # A plan for this key failed at runtime; keep planning fresh
+            # per execution but never re-publish it to other callers.
+            return planned
         entry = _Entry(planned, self._capture_deps(planned, catalog))
         with self._lock:
+            if key in self._quarantined:  # raced with a quarantine report
+                return planned
             self._entries[key] = entry
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
@@ -172,10 +189,47 @@ class PlanCache:
                 self._evictions += 1
         return planned
 
+    @staticmethod
+    def _key(statement, strategy: "str | Strategy", engine: str, extra_token) -> tuple:
+        strategy_name = strategy if isinstance(strategy, str) else strategy.name
+        return (statement, strategy_name.lower(), engine, extra_token)
+
+    # -- quarantine ---------------------------------------------------------
+
+    def quarantine(
+        self,
+        sql: str,
+        strategy: "str | Strategy" = "auto",
+        engine: str = "row",
+        extra_token: object = None,
+        statement=None,
+    ) -> bool:
+        """Report that the cached plan for this key failed at runtime.
+
+        The entry is evicted and the key is blocked from re-caching, so a
+        poisoned plan cannot keep serving hits while the self-healing
+        layer degrades around it.  Quarantined keys are re-admitted by
+        DDL/analyze (:meth:`invalidate_table` / :meth:`clear`) — the
+        events that change what the plan would be.  Returns True if a
+        live entry was evicted.
+        """
+        if statement is None:
+            statement = parse(sql)
+        key = self._key(statement, strategy, engine, extra_token)
+        with self._lock:
+            evicted = self._entries.pop(key, None) is not None
+            self._quarantined.add(key)
+            self._quarantine_events += 1
+            return evicted
+
     # -- invalidation -------------------------------------------------------
 
     def invalidate_table(self, name: str) -> int:
-        """Drop every entry depending on ``name``; returns the count."""
+        """Drop every entry depending on ``name``; returns the count.
+
+        Also re-admits all quarantined keys: invalidation means the
+        world the failing plan was built for no longer exists.
+        """
         key_name = name.lower()
         with self._lock:
             stale = [
@@ -186,12 +240,14 @@ class PlanCache:
             for key in stale:
                 del self._entries[key]
             self._invalidations += len(stale)
+            self._quarantined.clear()
             return len(stale)
 
     def clear(self) -> None:
         with self._lock:
             self._invalidations += len(self._entries)
             self._entries.clear()
+            self._quarantined.clear()
 
     # -- introspection ------------------------------------------------------
 
@@ -204,6 +260,8 @@ class PlanCache:
                 evictions=self._evictions,
                 size=len(self._entries),
                 capacity=self.capacity,
+                quarantined=self._quarantine_events,
+                quarantined_keys=len(self._quarantined),
             )
 
     def __len__(self) -> int:

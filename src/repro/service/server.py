@@ -23,6 +23,8 @@ parts live above it:
 Wire protocol (see ``docs/service.md`` for the full reference)::
 
     GET  /healthz                         -> {"status": "ok", ...}
+    GET  /health                          -> {"live": ..., "ready": ...}
+                                             (503 while draining)
     GET  /metrics                         -> counters, latency, cache
     POST /session        {}               -> {"session": id}
     POST /session/close  {session}        -> {"closed": true}
@@ -52,8 +54,10 @@ from repro.errors import (
     BudgetExceeded,
     QueryCancelled,
     ReproError,
+    ServiceUnavailable,
     SessionError,
 )
+from repro.faults import injector_from_env
 from repro.service.metrics import ServerMetrics
 
 #: repro.errors code -> HTTP status.  Anything not listed is a client
@@ -62,6 +66,9 @@ _STATUS_BY_CODE = {
     "SERVER_OVERLOADED": 429,
     "QUERY_TIMEOUT": 408,
     "QUERY_CANCELLED": 503,
+    "SERVICE_UNAVAILABLE": 503,
+    "FAULT_INJECTED": 503,
+    "RESOURCE_EXHAUSTED": 413,
     "UNKNOWN_SESSION": 404,
     "CATALOG_ERROR": 404,
     "INTERNAL_ERROR": 500,
@@ -82,6 +89,12 @@ class ServerConfig:
     queue_timeout: float = 2.0
     default_timeout: float = 30.0
     max_rows: int = 10_000  # result-size guard per response
+    #: Per-query resource budgets (see repro.engine.governor), applied
+    #: to every request; None leaves only the REPRO_GOVERNOR_* env vars.
+    resources: object = None
+    #: Seconds a graceful drain waits for in-flight queries to finish
+    #: before cancelling them (see QueryServer.drain).
+    drain_grace: float = 10.0
 
 
 class _Session:
@@ -139,6 +152,10 @@ class QueryService:
         self.config = config or ServerConfig()
         self.metrics = ServerMetrics()
         self.cancel_event = threading.Event()
+        #: Set while the server drains: new queries are refused with
+        #: SERVICE_UNAVAILABLE (503) but in-flight ones run to completion
+        #: (until the drain grace expires and cancel_event fires).
+        self.draining = threading.Event()
         self._admission = _Admission(
             self.config.max_in_flight, self.config.max_queue, self.config.queue_timeout
         )
@@ -154,6 +171,8 @@ class QueryService:
         try:
             if method == "GET" and path == "/healthz":
                 return 200, {"status": "ok", "in_flight": self.metrics.snapshot()["in_flight"]}
+            if method == "GET" and path == "/health":
+                return self._health()
             if method == "GET" and path == "/metrics":
                 return 200, self._metrics_body()
             if method == "POST" and path == "/session":
@@ -183,16 +202,35 @@ class QueryService:
 
     # -- endpoints ----------------------------------------------------------
 
+    def _health(self) -> tuple[int, dict]:
+        """Kubernetes-style liveness/readiness: *live* while the process
+        serves HTTP at all, *ready* only while queries are admitted —
+        a draining server is live (it still finishes in-flight work) but
+        not ready, so load balancers stop routing to it (503)."""
+        draining = self.draining.is_set()
+        body = {
+            "live": True,
+            "ready": not draining,
+            "draining": draining,
+            "in_flight": self.metrics.snapshot()["in_flight"],
+        }
+        return (503 if draining else 200), body
+
     def _metrics_body(self) -> dict:
         with self._sessions_lock:
             session_count = len(self._sessions)
-        return {
+        body = {
             "server": self.metrics.snapshot(),
             "admission": self._admission.snapshot(),
             "plan_cache": self.db.cache_info().as_dict(),
             "sessions": session_count,
             "tables": self.db.catalog.table_names(),
+            "draining": self.draining.is_set(),
         }
+        resilience = getattr(self.db, "resilience_info", None)
+        if resilience is not None:
+            body["resilience"] = resilience()
+        return body
 
     def _create_session(self) -> dict:
         session = _Session(uuid.uuid4().hex)
@@ -258,6 +296,17 @@ class QueryService:
     # -- query execution ----------------------------------------------------
 
     def _run(self, thunk, payload: dict) -> dict:
+        if self.draining.is_set():
+            raise ServiceUnavailable(
+                "server is draining and no longer admits queries; retry elsewhere"
+            )
+        # Chaos hook: a fresh env-configured injector per request keeps a
+        # seeded fault sequence deterministic per query.  The engine-level
+        # sites are armed separately by Database.execute; this one covers
+        # the service edge itself.
+        injector = injector_from_env()
+        if injector is not None:
+            injector.maybe_fail("service.request")
         timeout = payload.get("timeout", self.config.default_timeout)
         if timeout is not None and not isinstance(timeout, (int, float)):
             raise BadRequestError("'timeout' must be a number (seconds) or null")
@@ -268,6 +317,7 @@ class QueryService:
             budget_seconds=timeout,
             vectorized=engine == "vectorized",
             cancel_event=self.cancel_event,
+            resources=self.config.resources,
         )
         with self._admission:
             self.metrics.query_started()
@@ -296,6 +346,29 @@ class QueryService:
             "truncated": truncated,
             "elapsed": round(elapsed, 6),
         }
+
+    # -- graceful drain -----------------------------------------------------
+
+    def drain(self, grace: float | None = None) -> bool:
+        """Stop admitting queries; wait for in-flight work, then cancel.
+
+        Returns True when the server drained cleanly within ``grace``
+        seconds (default ``config.drain_grace``), False when the grace
+        expired and the stragglers were cooperatively cancelled.  Safe
+        to call more than once.
+        """
+        if grace is None:
+            grace = self.config.drain_grace
+        self.draining.set()
+        deadline = time.monotonic() + grace
+        while time.monotonic() < deadline:
+            if self.metrics.snapshot()["in_flight"] == 0:
+                return True
+            time.sleep(0.02)
+        clean = self.metrics.snapshot()["in_flight"] == 0
+        if not clean:
+            self.cancel_event.set()
+        return clean
 
     # wiring used by QueryServer
     def set_shutdown_callback(self, callback) -> None:
@@ -411,9 +484,22 @@ class QueryServer:
         finally:
             self.stop()
 
+    def drain(self, grace: float | None = None) -> bool:
+        """Graceful shutdown: refuse new queries, finish in-flight work
+        (up to ``grace`` seconds), then stop the HTTP loop and release
+        the socket.  This is what the CLI's SIGTERM handler calls —
+        clients see 503s they can retry, never dropped queries."""
+        clean = self.service.drain(grace)
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None and self._thread is not threading.current_thread():
+            self._thread.join(timeout=5)
+        return clean
+
     def stop(self) -> None:
         """Cancel in-flight queries, stop accepting, release the socket."""
         self.service.cancel_event.set()
+        self.service.draining.set()
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None and self._thread is not threading.current_thread():

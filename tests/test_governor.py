@@ -1,0 +1,149 @@
+"""The resource governor: row, memory, and recursion budgets."""
+
+import pytest
+
+from repro import Database, EvalOptions, ResourceLimits
+from repro.engine.governor import (
+    ENV_MAX_DEPTH,
+    ENV_MAX_MEMORY,
+    ENV_MAX_ROWS,
+    estimate_row_bytes,
+)
+from repro.errors import ResourceExhausted
+
+from .conftest import make_rst_catalog
+
+NESTED_SQL = """SELECT DISTINCT * FROM r
+    WHERE A1 = (SELECT COUNT(DISTINCT *) FROM s WHERE A2 = B2)
+       OR A4 > 1500"""
+
+
+def make_db() -> Database:
+    db = Database()
+    catalog = make_rst_catalog()
+    for name in catalog.table_names():
+        db.register(catalog.table(name))
+    return db
+
+
+class TestResourceLimits:
+    def test_truthiness(self):
+        assert not ResourceLimits()
+        assert ResourceLimits(max_rows=1)
+        assert ResourceLimits(max_memory_bytes=1)
+        assert ResourceLimits(max_subquery_depth=0)
+
+    def test_from_env(self):
+        assert ResourceLimits.from_env({}) is None
+        limits = ResourceLimits.from_env(
+            {ENV_MAX_ROWS: "100", ENV_MAX_MEMORY: "4096", ENV_MAX_DEPTH: "2"}
+        )
+        assert limits == ResourceLimits(
+            max_rows=100, max_memory_bytes=4096, max_subquery_depth=2
+        )
+
+    def test_estimate_row_bytes_positive(self):
+        assert estimate_row_bytes((1, "abc", None, 2.5)) > 0
+        assert estimate_row_bytes(()) > 0
+
+
+class TestRowBudget:
+    @pytest.mark.parametrize("strategy", ["canonical", "unnested", "s2"])
+    def test_row_budget_trips_across_strategies(self, strategy):
+        db = make_db()
+        with pytest.raises(ResourceExhausted) as excinfo:
+            db.execute(
+                NESTED_SQL,
+                strategy=strategy,
+                options=EvalOptions(resources=ResourceLimits(max_rows=20)),
+            )
+        error = excinfo.value
+        assert error.code == "RESOURCE_EXHAUSTED"
+        assert error.resource == "rows"
+        assert error.limit == 20
+        assert error.used > 20
+        assert not error.retryable  # governor verdicts are final
+
+    def test_row_budget_trips_vectorized(self):
+        db = make_db()
+        with pytest.raises(ResourceExhausted):
+            db.execute(
+                NESTED_SQL,
+                options=EvalOptions(
+                    vectorized=True, resources=ResourceLimits(max_rows=20)
+                ),
+            )
+
+    def test_generous_budget_changes_nothing(self):
+        db = make_db()
+        unlimited = db.execute(NESTED_SQL, strategy="canonical")
+        governed = db.execute(
+            NESTED_SQL,
+            strategy="canonical",
+            options=EvalOptions(resources=ResourceLimits(max_rows=10**9)),
+        )
+        assert sorted(governed.rows) == sorted(unlimited.rows)
+
+
+class TestMemoryBudget:
+    def test_memory_budget_trips(self):
+        db = make_db()
+        with pytest.raises(ResourceExhausted) as excinfo:
+            db.execute(
+                "SELECT * FROM r, s, t",
+                strategy="canonical",
+                options=EvalOptions(
+                    resources=ResourceLimits(max_memory_bytes=8192)
+                ),
+            )
+        assert excinfo.value.resource == "memory"
+
+    def test_memory_budget_generous_passes(self):
+        db = make_db()
+        result = db.execute(
+            "SELECT A1 FROM r",
+            options=EvalOptions(resources=ResourceLimits(max_memory_bytes=1 << 30)),
+        )
+        assert len(result.rows) == 30
+
+
+class TestDepthBudget:
+    def test_depth_zero_rejects_any_correlated_subquery(self):
+        db = make_db()
+        with pytest.raises(ResourceExhausted) as excinfo:
+            db.execute(
+                NESTED_SQL,
+                strategy="canonical",
+                options=EvalOptions(
+                    resources=ResourceLimits(max_subquery_depth=0)
+                ),
+            )
+        assert excinfo.value.resource == "depth"
+
+    def test_depth_one_admits_single_level_nesting(self):
+        db = make_db()
+        result = db.execute(
+            NESTED_SQL,
+            strategy="canonical",
+            options=EvalOptions(resources=ResourceLimits(max_subquery_depth=1)),
+        )
+        baseline = db.execute(NESTED_SQL, strategy="canonical")
+        assert sorted(result.rows) == sorted(baseline.rows)
+
+
+class TestEnvDefaults:
+    def test_env_budget_applies_when_options_silent(self, monkeypatch):
+        db = make_db()
+        monkeypatch.setenv(ENV_MAX_ROWS, "20")
+        with pytest.raises(ResourceExhausted):
+            db.execute(NESTED_SQL, strategy="canonical")
+
+    def test_explicit_limits_beat_env(self, monkeypatch):
+        db = make_db()
+        monkeypatch.setenv(ENV_MAX_ROWS, "1")
+        result = db.execute(
+            NESTED_SQL,
+            strategy="canonical",
+            options=EvalOptions(resources=ResourceLimits(max_rows=10**9)),
+        )
+        assert len(result.rows) > 0

@@ -1,0 +1,275 @@
+"""Client resilience: retry/backoff, circuit breaker, graceful drain.
+
+The integration tests run a real server on an ephemeral port and
+exercise the failure paths clients actually see: connection refused,
+429 shedding, a drain window, and a drain-and-restart cycle that the
+retrying client must survive without surfacing a single error.
+"""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro import Database
+from repro.errors import CircuitOpen, ServiceUnavailable
+from repro.service import CircuitBreaker, QueryServer, RetryPolicy, ServerConfig
+from repro.service.client import ServiceClient
+from repro.service.resilience import CLOSED, HALF_OPEN, OPEN
+
+
+def make_db(rows: int = 20) -> Database:
+    db = Database()
+    db.create_table(
+        "r", ["A1", "A2", "A3", "A4"],
+        [(i, i % 5, i % 3, i * 100) for i in range(rows)],
+    )
+    db.create_table(
+        "s", ["B1", "B2", "B3", "B4"],
+        [(i, i % 5, i % 3, i * 90) for i in range(rows)],
+    )
+    return db
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_capped(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        delays = [policy.delay(attempt) for attempt in (1, 2, 3, 4, 5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_shrinks_but_never_grows(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.5)
+        rng = random.Random(0)
+        for _ in range(100):
+            delay = policy.delay(1, rng)
+            assert 0.5 <= delay <= 1.0
+
+    def test_attempt_budget(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(1)
+        assert policy.should_retry(2)
+        assert not policy.should_retry(3)
+        assert not RetryPolicy(max_attempts=1).should_retry(1)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=3, reset_timeout=5.0, clock=lambda: clock[0]
+        )
+        assert breaker.state == CLOSED
+        for _ in range(3):
+            breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        with pytest.raises(CircuitOpen):
+            breaker.allow()
+
+    def test_half_open_trial_then_close(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=5.0, clock=lambda: clock[0]
+        )
+        breaker.record_failure()
+        with pytest.raises(CircuitOpen):
+            breaker.allow()
+        clock[0] = 6.0
+        breaker.allow()  # the half-open trial slot
+        assert breaker.state == HALF_OPEN
+        with pytest.raises(CircuitOpen):
+            breaker.allow()  # only one trial at a time
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        breaker.allow()
+
+    def test_half_open_trial_failure_reopens(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=5.0, clock=lambda: clock[0]
+        )
+        breaker.record_failure()
+        clock[0] = 6.0
+        breaker.allow()
+        breaker.record_failure()  # trial failed
+        assert breaker.state == OPEN
+        with pytest.raises(CircuitOpen):
+            breaker.allow()
+        clock[0] = 12.0
+        breaker.allow()  # a new trial after another full timeout
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+
+class TestClientRetryIntegration:
+    def test_unreachable_server_maps_to_service_unavailable(self):
+        sleeps: list[float] = []
+        client = ServiceClient(
+            "http://127.0.0.1:9",  # discard port: connection refused
+            timeout=0.5,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay=0.01),
+            breaker=CircuitBreaker(failure_threshold=100),
+            sleep=sleeps.append,
+        )
+        with pytest.raises(ServiceUnavailable) as excinfo:
+            client.query("SELECT A1 FROM r")
+        assert excinfo.value.code == "SERVICE_UNAVAILABLE"
+        assert excinfo.value.retryable
+        assert len(sleeps) == 2  # three attempts, two backoffs
+
+    def test_breaker_fails_fast_after_repeated_refusals(self):
+        client = ServiceClient(
+            "http://127.0.0.1:9",
+            timeout=0.5,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.01),
+            breaker=CircuitBreaker(failure_threshold=2, reset_timeout=60.0),
+            sleep=lambda _s: None,
+        )
+        with pytest.raises((ServiceUnavailable, CircuitOpen)):
+            client.query("SELECT A1 FROM r")
+        # Circuit is open now: no socket attempt, instant failure.
+        start = time.perf_counter()
+        with pytest.raises(CircuitOpen):
+            client.query("SELECT A1 FROM r")
+        assert time.perf_counter() - start < 0.2
+
+    def test_retry_succeeds_once_server_appears(self):
+        config = ServerConfig(port=0)
+        db = make_db()
+        server = QueryServer(db, config).start()
+        url = server.url
+        server.stop()  # free the port; remember the address
+
+        restarted: dict = {}
+
+        def bring_back():
+            host, port = url.removeprefix("http://").split(":")
+            cfg = ServerConfig(host=host, port=int(port))
+            for _ in range(40):  # the TIME_WAIT window may need a beat
+                try:
+                    restarted["server"] = QueryServer(make_db(), cfg).start()
+                    return
+                except OSError:
+                    time.sleep(0.05)
+
+        timer = threading.Timer(0.2, bring_back)
+        timer.start()
+        try:
+            client = ServiceClient(
+                url,
+                timeout=5.0,
+                retry_policy=RetryPolicy(
+                    max_attempts=30, base_delay=0.05, max_delay=0.2, jitter=0.0
+                ),
+                breaker=CircuitBreaker(failure_threshold=1000),
+            )
+            result = client.query("SELECT A1 FROM r WHERE A4 > 1500")
+            assert result.row_count == 4
+        finally:
+            timer.join()
+            if "server" in restarted:
+                restarted["server"].stop()
+
+
+class TestGracefulDrain:
+    def test_health_reports_ready_then_draining(self):
+        server = QueryServer(make_db(), ServerConfig(port=0)).start()
+        try:
+            client = ServiceClient(server.url)
+            health = client._request("GET", "/health")
+            assert health == {
+                "live": True, "ready": True, "draining": False, "in_flight": 0,
+            }
+            server.service.draining.set()
+            with pytest.raises(ServiceUnavailable):
+                ServiceClient(
+                    server.url,
+                    retry_policy=RetryPolicy(max_attempts=1),
+                )._request("GET", "/health")
+        finally:
+            server.stop()
+
+    def test_draining_server_refuses_queries_with_503(self):
+        server = QueryServer(make_db(), ServerConfig(port=0)).start()
+        try:
+            server.service.draining.set()
+            client = ServiceClient(
+                server.url, retry_policy=RetryPolicy(max_attempts=1)
+            )
+            with pytest.raises(ServiceUnavailable):
+                client.query("SELECT A1 FROM r")
+        finally:
+            server.stop()
+
+    def test_drain_waits_for_in_flight_queries(self):
+        server = QueryServer(
+            make_db(), ServerConfig(port=0, drain_grace=10.0)
+        ).start()
+        url = server.url
+        results: dict = {}
+
+        def slow_query():
+            plain = ServiceClient(url, retry_policy=RetryPolicy(max_attempts=1))
+            results["result"] = plain.query(
+                "SELECT COUNT(*) FROM r, s, r r2", timeout=30.0
+            )
+
+        worker = threading.Thread(target=slow_query)
+        worker.start()
+        # Wait until the query is actually in flight before draining.
+        for _ in range(100):
+            if server.service.metrics.snapshot()["in_flight"] > 0:
+                break
+            time.sleep(0.01)
+        clean = server.drain()
+        worker.join(timeout=10)
+        assert clean is True
+        assert results["result"].rows == [(20 * 20 * 20,)]
+
+    def test_drain_and_restart_is_invisible_to_retrying_client(self):
+        config = ServerConfig(port=0)
+        first = QueryServer(make_db(), config).start()
+        url = first.url
+        client = ServiceClient(
+            url,
+            timeout=5.0,
+            retry_policy=RetryPolicy(
+                max_attempts=40, base_delay=0.05, max_delay=0.2, jitter=0.0
+            ),
+            breaker=CircuitBreaker(failure_threshold=1000),
+        )
+        assert client.query("SELECT A1 FROM r WHERE A4 > 1500").row_count == 4
+
+        first.drain()  # graceful: finish in-flight, stop admitting
+
+        def bring_back():
+            host, port = url.removeprefix("http://").split(":")
+            cfg = ServerConfig(host=host, port=int(port))
+            for _ in range(40):
+                try:
+                    return QueryServer(make_db(), cfg).start()
+                except OSError:
+                    time.sleep(0.05)
+            raise RuntimeError("could not rebind the drained port")
+
+        restart_box: dict = {}
+        timer = threading.Timer(
+            0.2, lambda: restart_box.update(server=bring_back())
+        )
+        timer.start()
+        try:
+            # The old server is gone; the retrying client rides it out.
+            result = client.query("SELECT A1 FROM r WHERE A4 > 1500")
+            assert result.row_count == 4
+        finally:
+            timer.join()
+            if "server" in restart_box:
+                restart_box["server"].stop()

@@ -1,0 +1,140 @@
+"""Server-side robustness: status mapping, request faults, SIGTERM drain."""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+from repro import Database, ResourceLimits
+from repro.faults import ENV_COUNT, ENV_SEED, ENV_SITES
+from repro.service import QueryService, ServerConfig
+
+
+def make_db(rows: int = 20) -> Database:
+    db = Database()
+    db.create_table(
+        "r", ["A1", "A2", "A3", "A4"],
+        [(i, i % 5, i % 3, i * 100) for i in range(rows)],
+    )
+    db.create_table(
+        "s", ["B1", "B2", "B3", "B4"],
+        [(i, i % 5, i % 3, i * 90) for i in range(rows)],
+    )
+    return db
+
+
+class TestStatusMapping:
+    def test_resource_exhausted_maps_to_413(self):
+        service = QueryService(
+            make_db(), ServerConfig(resources=ResourceLimits(max_rows=5))
+        )
+        status, body = service.handle(
+            "POST", "/query", {"sql": "SELECT * FROM r, s"}
+        )
+        assert status == 413
+        assert body["error"]["code"] == "RESOURCE_EXHAUSTED"
+        assert "rows" in body["error"]["message"]
+
+    def test_request_site_fault_maps_to_503(self, monkeypatch):
+        monkeypatch.setenv(ENV_SITES, "service.request")
+        monkeypatch.setenv(ENV_SEED, "0")
+        monkeypatch.setenv(ENV_COUNT, "1")
+        service = QueryService(make_db())
+        status, body = service.handle(
+            "POST", "/query", {"sql": "SELECT A1 FROM r"}
+        )
+        assert status == 503
+        assert body["error"]["code"] == "FAULT_INJECTED"
+
+    def test_engine_fault_heals_server_side(self, monkeypatch):
+        # Engine-level chaos is absorbed by Database.execute's fallback:
+        # the request still succeeds and the degradation is visible in
+        # the metrics body.
+        monkeypatch.setenv(ENV_SITES, "engine.row.PBypass")
+        service = QueryService(make_db())
+        sql = """SELECT DISTINCT * FROM r
+            WHERE A1 = (SELECT COUNT(DISTINCT *) FROM s WHERE A2 = B2)
+               OR A4 > 1500"""
+        status, body = service.handle(
+            "POST", "/query", {"sql": sql, "strategy": "unnested"}
+        )
+        assert status == 200
+        status, metrics = service.handle("GET", "/metrics", {})
+        assert metrics["resilience"]["degradations"] >= 1
+        assert metrics["plan_cache"]["quarantined"] >= 1
+
+    def test_draining_refuses_queries(self):
+        service = QueryService(make_db())
+        service.draining.set()
+        status, body = service.handle(
+            "POST", "/query", {"sql": "SELECT A1 FROM r"}
+        )
+        assert status == 503
+        assert body["error"]["code"] == "SERVICE_UNAVAILABLE"
+        # Health and metrics stay reachable while draining.
+        status, health = service.handle("GET", "/health", {})
+        assert status == 503
+        assert health["live"] is True and health["ready"] is False
+
+    def test_health_when_ready(self):
+        service = QueryService(make_db())
+        status, health = service.handle("GET", "/health", {})
+        assert status == 200
+        assert health == {
+            "live": True, "ready": True, "draining": False, "in_flight": 0,
+        }
+
+
+@pytest.mark.skipif(os.name != "posix", reason="POSIX signals required")
+class TestSigtermDrain:
+    def test_serve_process_drains_on_sigterm(self):
+        env = dict(os.environ, PYTHONPATH="src", PYTHONUNBUFFERED="1")
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--dataset", "rst:0.2", "--port", "0", "--drain-grace", "5",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        try:
+            line = process.stdout.readline()
+            assert line.startswith("serving on http://"), line
+            url = line.split()[-1].strip()
+            process.stdout.readline()  # the tables line
+
+            # The server answers while alive...
+            with urllib.request.urlopen(url + "/health", timeout=5) as resp:
+                assert resp.status == 200
+
+            process.send_signal(signal.SIGTERM)
+            try:
+                code = process.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                pytest.fail("server did not exit after SIGTERM")
+            output = process.stdout.read()
+            assert "draining" in output
+            assert "server stopped" in output
+            assert code == 0
+            # ...and the socket is released after the drain.
+            deadline = time.time() + 5
+            while time.time() < deadline:
+                try:
+                    urllib.request.urlopen(url + "/health", timeout=1)
+                except OSError:
+                    break
+                time.sleep(0.1)
+            else:
+                pytest.fail("socket still serving after drain")
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=5)
