@@ -96,6 +96,15 @@ class Database:
         self._degradations = 0
         self._fallback_successes = 0
         self._last_degradation: dict | None = None
+        # Cumulative access-path counters (see ExecContext.access),
+        # surfaced through access_info() and the service /metrics body.
+        self._access_totals = {
+            "index_scans": 0,
+            "index_nl_probes": 0,
+            "rows_read": 0,
+            "rows_skipped": 0,
+            "blocks_skipped": 0,
+        }
 
     # -- schema management ---------------------------------------------------
 
@@ -163,6 +172,53 @@ class Database:
     def view_names(self) -> list[str]:
         return sorted(self._views)
 
+    # -- indexes ----------------------------------------------------------------
+
+    def create_index(
+        self, name: str, table: str, column: str, kind: str = "hash"
+    ) -> None:
+        """Create a secondary index (``hash`` or ``sorted``) on a column."""
+        self.catalog.create_index(name, table, column, kind)
+        self._plan_cache.invalidate_table(table)
+
+    def drop_index(self, name: str) -> None:
+        index = self.catalog.drop_index(name)
+        self._plan_cache.invalidate_table(index.table_name)
+
+    def index_names(self) -> list[str]:
+        return self.catalog.index_names()
+
+    def indexes(self) -> list[dict]:
+        """Metadata for every registered index (name/table/column/kind/…)."""
+        return self.catalog.index_info()
+
+    def _execute_ddl(self, sql: str, params) -> Table:
+        """``CREATE INDEX`` / ``DROP INDEX`` through the SQL front end."""
+        from repro.errors import ParameterError
+        from repro.sql import ast as sql_ast
+        from repro.sql.parser import parse_any
+        from repro.storage.schema import Schema
+
+        if params is not None:
+            raise ParameterError("parameters are not supported in DDL statements")
+        statement = parse_any(sql)
+        if isinstance(statement, sql_ast.CreateIndexStmt):
+            self.create_index(
+                statement.name, statement.table, statement.column, statement.method
+            )
+            table_name = statement.table
+        elif isinstance(statement, sql_ast.DropIndexStmt):
+            index = self.catalog.drop_index(statement.name)
+            table_name = index.table_name
+            self._plan_cache.invalidate_table(table_name)
+        else:  # pragma: no cover - parser only produces the two DDL forms
+            from repro.errors import TranslationError
+
+            raise TranslationError(
+                f"unsupported DDL statement: {type(statement).__name__}"
+            )
+        return Table(Schema(["rows_affected"]), [(0,)])
+
     # -- querying -----------------------------------------------------------------
 
     def execute(
@@ -176,7 +232,9 @@ class Database:
         """Run ``sql`` and return the result table.
 
         DML statements (INSERT/DELETE/UPDATE) are executed too; they
-        return a one-row ``rows_affected`` table.  ``params`` supplies
+        return a one-row ``rows_affected`` table, as does index DDL
+        (``CREATE INDEX name ON table (col) [USING hash|sorted]`` and
+        ``DROP INDEX name``).  ``params`` supplies
         values for ``?`` / ``:name`` placeholders in queries (a sequence
         or a mapping respectively); parameterized DML is not supported.
 
@@ -200,7 +258,13 @@ class Database:
             from repro.sql.parser import parse_any
 
             statement = parse_any(sql)
+            # No eager plan-cache invalidation here: plans stay *correct*
+            # across DML (indexes refresh lazily, batch caches key on the
+            # table version); the cache's own drift threshold re-costs
+            # plans once the table's cardinality moves far enough.
             return execute_dml(statement, self.catalog, self._views).as_table()
+        if stripped.startswith(("create", "drop")):
+            return self._execute_ddl(sql, params)
         if unnest_options is not None:
             return execute_sql(
                 sql, self.catalog, strategy, options, unnest_options,
@@ -210,7 +274,11 @@ class Database:
         engine = "vectorized" if base.vectorized else "row"
         planned = self._cached_plan(sql, strategy, engine=engine)
         try:
-            return planned.execute(self.catalog, base, params=params)
+            result, ctx = planned.execute(
+                self.catalog, base, with_context=True, params=params
+            )
+            self._absorb_access(ctx)
+            return result
         except ReproError as error:
             if not getattr(error, "retryable", False):
                 raise
@@ -240,7 +308,7 @@ class Database:
         propagates — there is nothing simpler left.
         """
         self._plan_cache.quarantine(
-            sql, strategy, engine=engine, extra_token=self._views_epoch
+            sql, strategy, engine=engine, extra_token=self._epoch_token()
         )
         self._degradations += 1
         self._last_degradation = {
@@ -251,7 +319,10 @@ class Database:
         }
         healed_options = _dc_replace(base, vectorized=False, faults=None)
         fallback = self._cached_plan(sql, "canonical", engine="row")
-        result = fallback.execute(self.catalog, healed_options, params=params)
+        result, ctx = fallback.execute(
+            self.catalog, healed_options, with_context=True, params=params
+        )
+        self._absorb_access(ctx)
         self._fallback_successes += 1
         return result
 
@@ -281,6 +352,21 @@ class Database:
             "last_degradation": self._last_degradation,
         }
 
+    def _absorb_access(self, ctx) -> None:
+        """Fold one execution's access-path counters into the totals."""
+        counters = getattr(ctx, "access", None)
+        if not counters:
+            return
+        totals = self._access_totals
+        for key, value in counters.items():
+            totals[key] = totals.get(key, 0) + value
+
+    def access_info(self) -> dict:
+        """Cumulative access-path counters plus the index inventory."""
+        info = dict(self._access_totals)
+        info["indexes"] = self.catalog.index_info()
+        return info
+
     def prepare(self, sql: str, strategy: str = "auto") -> PreparedStatement:
         """Plan a parameterized query once; execute it many times."""
         return PreparedStatement(self, sql, strategy)
@@ -288,6 +374,15 @@ class Database:
     def cache_info(self) -> CacheInfo:
         """Plan-cache counters (hits/misses/invalidations/evictions)."""
         return self._plan_cache.info()
+
+    def _epoch_token(self) -> tuple:
+        """Cache-key component covering every DDL kind.
+
+        View DDL and index DDL both change what a cached plan means
+        without touching any table version, so both epochs participate
+        in the plan-cache key.
+        """
+        return (self._views_epoch, self.catalog.index_epoch)
 
     def _cached_plan(
         self, sql: str, strategy: str = "auto", engine: str = "row", statement=None
@@ -298,7 +393,7 @@ class Database:
             strategy,
             engine=engine,
             views=self._views,
-            extra_token=self._views_epoch,
+            extra_token=self._epoch_token(),
             statement=statement,
         )
 

@@ -174,6 +174,91 @@ class Scan(Operator):
         return f"Scan({self.table_name})"
 
 
+class IndexScan(Scan):
+    """An index-backed scan with pushed-down key predicate and projection.
+
+    Produced only by the access-path pass (:mod:`repro.optimizer.access`)
+    — the SQL translator always emits plain :class:`Scan` leaves.
+
+    ``bounds`` is the key predicate as ``(op, expr)`` pairs over
+    ``key_attr`` (one pair for ``=``/single-sided ranges, two for a
+    two-sided range); the bound expressions are free of this scan's own
+    attributes, so any attribute they mention is correlation resolved
+    from the environment (the Eqv. 1/4 hot path).  ``residual`` is the
+    remainder of the original selection, evaluated on matching rows.
+    ``projection`` (base-column positions) narrows the output schema;
+    ``None`` keeps every column.  ``source_names`` always holds the full
+    qualified column list so :meth:`free_attrs` knows the residual's own
+    columns are bound here even when projected away.
+    """
+
+    __slots__ = ("index_name", "index_kind", "key_attr", "bounds", "residual", "projection", "source_names")
+
+    def __init__(
+        self,
+        table_name: str,
+        schema: Schema,
+        qualifier: str,
+        index_name: str,
+        index_kind: str,
+        key_attr: str,
+        bounds: tuple,
+        residual: Expr | None,
+        projection: tuple[int, ...] | None,
+        source_names: tuple[str, ...],
+    ):
+        super().__init__(table_name, schema, qualifier)
+        self.index_name = index_name
+        self.index_kind = index_kind
+        self.key_attr = key_attr
+        self.bounds = tuple(bounds)
+        self.residual = residual
+        self.projection = tuple(projection) if projection is not None else None
+        self.source_names = tuple(source_names)
+
+    def _input_names(self):
+        # A leaf binds its own columns: without this override the residual
+        # predicate's references to this table would count as free
+        # (correlation) attributes of the whole plan.
+        return frozenset(self.source_names)
+
+    def exprs(self):
+        expressions = [expr for _, expr in self.bounds]
+        if self.residual is not None:
+            expressions.append(self.residual)
+        return tuple(expressions)
+
+    def _rename_subscripts(self, mapping):
+        bounds = tuple((op, expr.rename_attrs(mapping)) for op, expr in self.bounds)
+        residual = self.residual.rename_attrs(mapping) if self.residual is not None else None
+        return IndexScan(
+            self.table_name,
+            self.schema,
+            self.qualifier,
+            self.index_name,
+            self.index_kind,
+            self.key_attr,
+            bounds,
+            residual,
+            self.projection,
+            self.source_names,
+        )
+
+    def key_sql(self) -> str:
+        return " and ".join(f"{self.key_attr} {op} {expr.sql()}" for op, expr in self.bounds)
+
+    def label(self):
+        target = self.table_name
+        if self.qualifier:
+            target = f"{self.table_name} as {self.qualifier}"
+        parts = [f"{target} via {self.index_name}:{self.index_kind}", self.key_sql()]
+        if self.residual is not None:
+            parts.append(f"residual {self.residual.sql()}")
+        if self.projection is not None:
+            parts.append(f"cols {len(self.projection)}/{len(self.source_names)}")
+        return f"IndexScan({' | '.join(parts)})"
+
+
 # ---------------------------------------------------------------------------
 # Unary operators
 # ---------------------------------------------------------------------------
@@ -543,6 +628,80 @@ class Join(BinaryOperator):
 
     def label(self):
         return f"Join[{self.predicate.sql()}]"
+
+
+class IndexNLJoin(Join):
+    """Index nested-loop join: probe the right table's index per left row.
+
+    Chosen by the access-path pass when the right input is a plain
+    :class:`Scan` whose table has a hash index on one side of an
+    equi-join key.  ``predicate`` keeps the *full* original join
+    predicate (so semantics and cardinality estimation are unchanged);
+    ``residual`` is the part left over after removing the indexed
+    equi-conjunct, evaluated on each probed pair.
+    """
+
+    __slots__ = ("index_name", "index_kind", "left_key", "right_key", "residual")
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        predicate: Expr,
+        index_name: str,
+        index_kind: str,
+        left_key: str,
+        right_key: str,
+        residual: Expr | None,
+    ):
+        super().__init__(left, right, predicate)
+        self.index_name = index_name
+        self.index_kind = index_kind
+        self.left_key = left_key
+        self.right_key = right_key
+        self.residual = residual
+
+    def replace_children(self, children):
+        left, right = children
+        if type(right) is not Scan:
+            # The probe side must stay a plain base-table scan; degrade to
+            # an ordinary join if a transformation changed it.
+            return Join(left, right, self.predicate)
+        return IndexNLJoin(
+            left,
+            right,
+            self.predicate,
+            self.index_name,
+            self.index_kind,
+            self.left_key,
+            self.right_key,
+            self.residual,
+        )
+
+    def exprs(self):
+        if self.residual is not None:
+            return (self.predicate, self.residual)
+        return (self.predicate,)
+
+    def _rename_subscripts(self, mapping):
+        return IndexNLJoin(
+            self.left,
+            self.right,
+            self.predicate.rename_attrs(mapping),
+            self.index_name,
+            self.index_kind,
+            mapping.get(self.left_key, self.left_key),
+            mapping.get(self.right_key, self.right_key),
+            self.residual.rename_attrs(mapping) if self.residual is not None else None,
+        )
+
+    def label(self):
+        parts = [
+            f"{self.left_key} = {self.right_key} via {self.index_name}:{self.index_kind}"
+        ]
+        if self.residual is not None:
+            parts.append(f"residual {self.residual.sql()}")
+        return f"IndexNLJoin[{' | '.join(parts)}]"
 
 
 class LeftOuterJoin(BinaryOperator):

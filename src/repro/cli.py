@@ -2,12 +2,19 @@
 
 Commands
 --------
-``run``        execute a SQL query against CSV files or a generated dataset
-``explain``    print the chosen plan as an ASCII DAG
-``classify``   print the Kim/Muralikrishna classification
-``compare``    time every strategy on one query (a one-query Figure 7 row)
-``generate``   write an RST or TPC-H dataset as CSV files
-``shell``      a minimal interactive loop
+``run``          execute a SQL query against CSV files or a generated dataset
+``explain``      print the chosen plan as an ASCII DAG
+``classify``     print the Kim/Muralikrishna classification
+``compare``      time every strategy on one query (a one-query Figure 7 row)
+``generate``     write an RST or TPC-H dataset as CSV files
+``shell``        a minimal interactive loop
+``bench-report`` summarize BENCH_*.json benchmark artifacts
+
+``run``/``explain``/``shell`` accept repeated ``--index
+name:table:column[:kind]`` options to build secondary indexes before
+planning, and ``run``/``explain`` take ``--explain-access`` to report
+the chosen access paths (index scans, index nested-loop joins, zone-map
+skip counters).  The shell's ``\\indexes`` command lists live indexes.
 
 Datasets are specified either with ``--csv DIR`` (every ``*.csv`` file
 becomes a table named after the file, types inferred from the first data
@@ -60,6 +67,17 @@ def build_parser() -> argparse.ArgumentParser:
             help="execution backend: tuple-at-a-time (row) or columnar batches",
         )
 
+    def add_index_args(p, explain_access=True):
+        p.add_argument(
+            "--index", action="append", default=[], metavar="NAME:TABLE:COL[:KIND]",
+            help="create a secondary index before planning (kind: hash or sorted)",
+        )
+        if explain_access:
+            p.add_argument(
+                "--explain-access", action="store_true",
+                help="report chosen access paths and zone-map skip counters",
+            )
+
     run = sub.add_parser("run", help="execute a query")
     add_dataset_args(run)
     run.add_argument("sql", nargs="?", help="SQL text (or use --paper-query)")
@@ -67,12 +85,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--strategy", default="auto")
     run.add_argument("--limit", type=int, default=20, help="rows to display")
     add_engine_arg(run)
+    add_index_args(run)
 
     explain = sub.add_parser("explain", help="show the plan")
     add_dataset_args(explain)
     explain.add_argument("sql", nargs="?")
     explain.add_argument("--paper-query", choices=sorted(PAPER_QUERIES))
     explain.add_argument("--strategy", default="auto")
+    add_index_args(explain)
 
     classify = sub.add_parser("classify", help="classify a query")
     add_dataset_args(classify)
@@ -98,6 +118,15 @@ def build_parser() -> argparse.ArgumentParser:
     add_dataset_args(shell)
     shell.add_argument("--strategy", default="auto")
     add_engine_arg(shell)
+    add_index_args(shell, explain_access=False)
+
+    report = sub.add_parser(
+        "bench-report", help="summarize BENCH_*.json benchmark artifacts"
+    )
+    report.add_argument(
+        "files", nargs="*", default=[], metavar="FILE",
+        help="artifact files (default: BENCH_*.json in the current directory)",
+    )
 
     serve = sub.add_parser("serve", help="run the JSON-over-HTTP SQL server")
     add_dataset_args(serve)
@@ -229,8 +258,54 @@ def eval_options(args) -> "EvalOptions":
     return EvalOptions(vectorized=getattr(args, "engine", "row") == "vectorized")
 
 
+def apply_indexes(db: Database, args) -> None:
+    """Build the indexes requested with ``--index NAME:TABLE:COL[:KIND]``."""
+    for spec in getattr(args, "index", None) or []:
+        parts = spec.split(":")
+        if len(parts) not in (3, 4):
+            raise ReproError(
+                f"bad --index spec {spec!r}; expected NAME:TABLE:COL[:KIND]"
+            )
+        kind = parts[3] if len(parts) == 4 else "hash"
+        db.create_index(parts[0], parts[1], parts[2], kind)
+
+
+def access_report(planned) -> str:
+    """List the index access paths chosen anywhere in a logical plan."""
+    from repro.algebra import ops as L
+
+    lines = []
+    stack = [planned.logical]
+    seen: set[int] = set()
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        if isinstance(node, (L.IndexScan, L.IndexNLJoin)):
+            lines.append(f"  {node.label()}")
+        stack.extend(node.children())
+        stack.extend(node.subquery_plans())
+    if not lines:
+        lines.append("  (no index access paths; full scans only)")
+    return "-- access paths:\n" + "\n".join(sorted(set(lines))) + "\n"
+
+
+def access_counters(db: Database) -> str:
+    info = db.access_info()
+    return (
+        "-- access counters: "
+        f"index_scans={info['index_scans']} "
+        f"index_nl_probes={info['index_nl_probes']} "
+        f"rows_read={info['rows_read']} "
+        f"rows_skipped={info['rows_skipped']} "
+        f"blocks_skipped={info['blocks_skipped']}\n"
+    )
+
+
 def cmd_run(args, out) -> int:
     db = load_database(args)
+    apply_indexes(db, args)
     sql = resolve_sql(args)
     start = time.perf_counter()
     result = db.execute(sql, args.strategy, options=eval_options(args))
@@ -240,12 +315,19 @@ def cmd_run(args, out) -> int:
         f"({len(result)} rows in {elapsed:.4f}s, "
         f"strategy {args.strategy}, engine {args.engine})\n"
     )
+    if args.explain_access:
+        out.write(access_report(db.plan(sql, args.strategy)))
+        out.write(access_counters(db))
     return 0
 
 
 def cmd_explain(args, out) -> int:
     db = load_database(args)
-    out.write(db.explain(resolve_sql(args), args.strategy))
+    apply_indexes(db, args)
+    sql = resolve_sql(args)
+    out.write(db.explain(sql, args.strategy))
+    if args.explain_access:
+        out.write(access_report(db.plan(sql, args.strategy)))
     return 0
 
 
@@ -300,9 +382,10 @@ def cmd_generate(args, out) -> int:
 
 def cmd_shell(args, out) -> int:
     db = load_database(args)
+    apply_indexes(db, args)
     out.write(
         "repro shell - end statements with a blank line; "
-        "commands: \\strategy NAME, \\explain SQL, \\tables, \\quit\n"
+        "commands: \\strategy NAME, \\explain SQL, \\tables, \\indexes, \\quit\n"
     )
     strategy = args.strategy
     buffer: list[str] = []
@@ -320,6 +403,17 @@ def cmd_shell(args, out) -> int:
             if command == "\\tables":
                 for name in db.catalog.table_names():
                     out.write(f"  {name} ({len(db.table(name))} rows)\n")
+                continue
+            if command == "\\indexes":
+                infos = db.indexes()
+                if not infos:
+                    out.write("  (no indexes)\n")
+                for info in infos:
+                    out.write(
+                        f"  {info['name']}: {info['kind']} on "
+                        f"{info['table']}.{info['column']} "
+                        f"({info['entries']} entries, {info['rows']} rows)\n"
+                    )
                 continue
             if command == "\\strategy":
                 strategy = rest.strip() or strategy
@@ -392,6 +486,40 @@ def cmd_serve(args, out) -> int:
     return 0
 
 
+def cmd_bench_report(args, out) -> int:
+    import glob
+    import json
+
+    files = list(args.files) or sorted(glob.glob("BENCH_*.json"))
+    if not files:
+        raise ReproError("no benchmark artifacts (pass files or run the benchmarks)")
+    for path in files:
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as error:
+            raise ReproError(f"cannot read benchmark artifact {path!r}: {error}")
+        out.write(f"{path}\n")
+        for line in _flatten_bench(payload):
+            out.write(f"  {line}\n")
+    return 0
+
+
+def _flatten_bench(payload, prefix="") -> list[str]:
+    """Flatten a benchmark JSON payload into sorted ``key = value`` lines."""
+    if isinstance(payload, dict):
+        lines = []
+        for key in sorted(payload):
+            lines.extend(_flatten_bench(payload[key], f"{prefix}{key}."))
+        return lines
+    label = prefix[:-1] or "value"
+    if isinstance(payload, list):
+        return [f"{label} = [{len(payload)} entries]"]
+    if isinstance(payload, float):
+        return [f"{label} = {payload:.6g}"]
+    return [f"{label} = {payload}"]
+
+
 COMMANDS = {
     "run": cmd_run,
     "explain": cmd_explain,
@@ -400,6 +528,7 @@ COMMANDS = {
     "generate": cmd_generate,
     "shell": cmd_shell,
     "serve": cmd_serve,
+    "bench-report": cmd_bench_report,
 }
 
 

@@ -16,7 +16,9 @@ mutation statements on top of it:
 
 Subqueries are allowed anywhere a predicate or value expression is —
 name resolution and evaluation reuse the ordinary translator and engine.
-Statistics for the touched table are refreshed afterwards.
+Statistics and secondary indexes for the touched table are refreshed
+afterwards — INSERT through the incremental append path, DELETE/UPDATE
+through a full rebuild.
 """
 
 from __future__ import annotations
@@ -88,7 +90,11 @@ def _execute_insert(stmt: ast.InsertStmt, catalog: Catalog, views) -> DmlResult:
             constants = tuple(_constant_value(expr) for expr in value_row)
             new_rows.append(_scatter(constants, positions, len(table.schema)))
 
+    start = len(table.rows)
     table.extend(new_rows)
+    # Indexes fold the appended tail in incrementally; rows below
+    # ``start`` are untouched by an INSERT.
+    catalog.note_appends(stmt.table, start)
     catalog.analyze(stmt.table)
     return DmlResult("insert", stmt.table, len(new_rows))
 
@@ -164,6 +170,7 @@ def _execute_delete(stmt: ast.DeleteStmt, catalog: Catalog, views) -> DmlResult:
         affected = len(table)
         table.rows.clear()
         table.invalidate()
+        catalog.refresh_indexes(stmt.table)
         catalog.analyze(stmt.table)
         return DmlResult("delete", stmt.table, affected)
 
@@ -174,6 +181,7 @@ def _execute_delete(stmt: ast.DeleteStmt, catalog: Catalog, views) -> DmlResult:
     affected = len(table) - len(keep)
     table.rows[:] = keep
     table.invalidate()
+    catalog.refresh_indexes(stmt.table)
     catalog.analyze(stmt.table)
     return DmlResult("delete", stmt.table, affected)
 
@@ -223,5 +231,6 @@ def _execute_update(stmt: ast.UpdateStmt, catalog: Catalog, views) -> DmlResult:
 
     table.rows[:] = [row for _, row in merged]
     table.invalidate()
+    catalog.refresh_indexes(stmt.table)
     catalog.analyze(stmt.table)
     return DmlResult("update", stmt.table, len(updated_rows))

@@ -152,6 +152,43 @@ class _Compiler:
             )
         return P.PScan(node.schema, table.rows)
 
+    def _compile_IndexScan(self, node: L.IndexScan) -> P.PhysicalOperator:
+        table = self.catalog.table(node.table_name)
+        index = self.catalog.index(node.index_name)
+        if index.table is not table:
+            raise PlanningError(
+                f"index {node.index_name!r} no longer belongs to table "
+                f"{node.table_name!r}; re-plan the query"
+            )
+        # Bound expressions reference no scan column (the access pass
+        # guarantees it), so the schema only matters for arity.
+        bounds = tuple((op, self._expr(expr, node.schema)) for op, expr in node.bounds)
+        residual = (
+            self._expr(node.residual, node.schema) if node.residual is not None else None
+        )
+        return P.PIndexScan(node.schema, table, index, bounds, residual, node.projection)
+
+    def _compile_IndexNLJoin(self, node: L.IndexNLJoin) -> P.PhysicalOperator:
+        table = self.catalog.table(node.right.table_name)
+        index = self.catalog.index(node.index_name)
+        if index.table is not table:
+            raise PlanningError(
+                f"index {node.index_name!r} no longer belongs to table "
+                f"{node.right.table_name!r}; re-plan the query"
+            )
+        if len(table.schema) != len(node.right.schema):
+            raise PlanningError(
+                f"index scan of {node.right.table_name!r}: catalog arity "
+                f"{len(table.schema)} != plan arity {len(node.right.schema)}"
+            )
+        left = self.compile(node.left)
+        combined = node.left.schema.concat(node.right.schema)
+        residual = (
+            self._expr(node.residual, combined) if node.residual is not None else None
+        )
+        left_position = node.left.schema.position(node.left_key)
+        return P.PIndexNLJoin(node.schema, left, table, index, left_position, residual)
+
     # -- unary ----------------------------------------------------------------
 
     def _compile_Select(self, node: L.Select) -> P.PhysicalOperator:

@@ -31,6 +31,13 @@ TICK_GRANULARITY = 65536
 #: cheap (one perf_counter / is_set per few thousand rows).
 ARMED_TICK_GRANULARITY = 4096
 
+#: Rows skipped via index/zone-map pruning are charged against the
+#: governor's row budget at 1/16th of a processed row.  Skipping is not
+#: free (the query still addressed those rows), but charging full price
+#: would erase the benefit of pruning; charging nothing would let an
+#: index-assisted query dodge ``max_rows`` entirely.
+SKIPPED_ROW_DISCOUNT = 16
+
 
 @dataclass(frozen=True)
 class EvalOptions:
@@ -114,6 +121,7 @@ class ExecContext:
         "rows_processed",
         "memory_bytes",
         "subquery_depth",
+        "access",
         "_cancel",
         "_deadline",
         "_max_rows",
@@ -147,6 +155,14 @@ class ExecContext:
         self.rows_processed = 0
         self.memory_bytes = 0
         self.subquery_depth = 0
+        #: Access-path counters, filled by Index{Scan,NLJoin} operators.
+        self.access = {
+            "index_scans": 0,
+            "index_nl_probes": 0,
+            "rows_read": 0,
+            "rows_skipped": 0,
+            "blocks_skipped": 0,
+        }
         self._row_bytes = 0  # lazily sampled from the first materialised row
         self._tick_granularity = (
             TICK_GRANULARITY
@@ -170,6 +186,18 @@ class ExecContext:
                 raise QueryCancelled()
             if self._deadline is not None and time.perf_counter() > self._deadline:
                 raise BudgetExceeded(self.options.budget_seconds)
+
+    def tick_skipped(self, rows: int) -> None:
+        """Account for rows an index pruned without reading.
+
+        Charged against the row budget at ``1/SKIPPED_ROW_DISCOUNT`` (ceiling,
+        so even a tiny skip is never free) — a pruned scan must not dodge
+        ``max_rows`` enforcement entirely.
+        """
+        if rows <= 0:
+            return
+        self.access["rows_skipped"] += rows
+        self.tick((rows + SKIPPED_ROW_DISCOUNT - 1) // SKIPPED_ROW_DISCOUNT)
 
     def account_memory(self, count: int, sample_row: tuple | None = None) -> None:
         """Charge ``count`` materialised rows against the memory budget.

@@ -24,6 +24,7 @@ from typing import Callable, Sequence
 
 from repro.algebra.aggregates import AggSpec, evaluate_spec
 from repro.errors import ExecutionError
+from repro.storage.index import probe_bounds
 from repro.storage.schema import Schema
 
 
@@ -148,6 +149,97 @@ class PScan(PhysicalOperator):
             ctx.faults.maybe_fail("storage.scan")
         ctx.tick(len(self.rows))
         return self.rows
+
+
+class PIndexScan(PhysicalOperator):
+    """Index-backed scan: probe, materialise matches, filter residual.
+
+    ``bounds`` holds ``(op, compiled_expr)`` pairs for the key predicate;
+    the compiled expressions reference no scan column, so they are
+    evaluated once per environment (against the empty row) before any
+    table row is touched.  The governor is charged full price for rows
+    the probe examined and a discounted rate for rows it skipped.
+    """
+
+    __slots__ = ("table", "index", "bounds", "residual", "projection")
+
+    def __init__(self, schema, table, index, bounds, residual, projection, free_names=()):
+        super().__init__(schema, free_names)
+        self.table = table
+        self.index = index
+        self.bounds = tuple(bounds)
+        self.residual = residual
+        self.projection = tuple(projection) if projection is not None else None
+
+    def _probe(self, ctx, env):
+        self.index.refresh()
+        evaluated = tuple((op, fn(ctx, env)(())) for op, fn in self.bounds)
+        lookup = probe_bounds(self.index, evaluated)
+        ctx.access["index_scans"] += 1
+        ctx.access["blocks_skipped"] += lookup.blocks_skipped
+        ctx.tick(max(lookup.rows_examined, 1))
+        ctx.tick_skipped(lookup.rows_skipped)
+        return lookup
+
+    def _run(self, ctx, env):
+        if ctx.faults is not None:
+            ctx.faults.maybe_fail("storage.scan")
+        lookup = self._probe(ctx, env)
+        rows = self.table.rows
+        if self.projection is None:
+            out = [rows[position] for position in lookup.positions]
+        else:
+            projection = self.projection
+            out = [
+                tuple(rows[position][i] for i in projection)
+                for position in lookup.positions
+            ]
+        if self.residual is not None:
+            fn = self.residual(ctx, env)
+            out = [row for row in out if fn(row) is True]
+        ctx.access["rows_read"] += len(out)
+        return out
+
+
+class PIndexNLJoin(PhysicalOperator):
+    """Index nested-loop join: per left row, probe the right table's index.
+
+    Equality semantics are 3VL-correct by construction — a NULL left key
+    matches nothing (NULL keys are also absent from the index buckets).
+    """
+
+    __slots__ = ("left", "table", "index", "left_position", "residual")
+
+    def __init__(self, schema, left, table, index, left_position, residual, free_names=()):
+        super().__init__(schema, free_names)
+        self.left = left
+        self.table = table
+        self.index = index
+        self.left_position = left_position
+        self.residual = residual
+
+    def _run(self, ctx, env):
+        left_rows = self.left.execute(ctx, env)
+        self.index.refresh()
+        fn = self.residual(ctx, env) if self.residual is not None else None
+        rows = self.table.rows
+        position = self.left_position
+        out = []
+        examined = 0
+        for left_row in left_rows:
+            value = left_row[position]
+            if value is None:
+                continue
+            matches = self.index.eq_positions(value)
+            examined += len(matches)
+            for match in matches:
+                combined = left_row + rows[match]
+                if fn is None or fn(combined) is True:
+                    out.append(combined)
+        ctx.access["index_nl_probes"] += len(left_rows)
+        ctx.access["rows_read"] += len(out)
+        ctx.tick(len(left_rows) + examined)
+        return out
 
 
 # ---------------------------------------------------------------------------

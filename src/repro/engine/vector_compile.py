@@ -51,6 +51,27 @@ class VectorCompiler(_Compiler):
             return super()._compile_Scan(node)  # let the row path raise
         return V.VScan(node.schema, table)
 
+    def _compile_IndexScan(self, node: L.IndexScan) -> P.PhysicalOperator:
+        kernel = None
+        if node.residual is not None:
+            try:
+                kernel = compile_predicate(node.residual, node.schema)
+            except VectorizeError:
+                # Subquery (or otherwise non-vectorizable) residual: the
+                # whole scan falls back to the row implementation, which
+                # still probes the index.
+                return super()._compile_IndexScan(node)
+        table = self.catalog.table(node.table_name)
+        index = self.catalog.index(node.index_name)
+        if index.table is not table:
+            return super()._compile_IndexScan(node)  # let the row path raise
+        bounds = tuple((op, self._expr(expr, node.schema)) for op, expr in node.bounds)
+        return V.VIndexScan(node.schema, table, index, bounds, kernel, node.projection)
+
+    # IndexNLJoin stays on the row implementation (inherited hook): its
+    # per-left-row probe loop has no batch formulation yet, and a row
+    # parent consumes a vectorized left child transparently.
+
     # -- unary --------------------------------------------------------------
 
     def _compile_Select(self, node: L.Select) -> P.PhysicalOperator:

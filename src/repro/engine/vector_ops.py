@@ -33,6 +33,7 @@ import numpy as np
 from repro.algebra.aggregates import AggSpec, evaluate_spec
 from repro.engine import operators as P
 from repro.storage.batch import Batch, build_column, column_to_pylist
+from repro.storage.index import probe_bounds
 from repro.storage.schema import Schema
 
 
@@ -85,6 +86,27 @@ class VecOperator(P.PhysicalOperator):
 # ---------------------------------------------------------------------------
 
 
+def table_batch(table) -> Batch:
+    """The table's rows as a batch, cached on the table per version.
+
+    Double-checked locking: the unlocked read sees an immutable
+    (version, Batch) tuple (or None) — safe to race — while the pivot
+    itself runs under the table's lock so concurrent server queries
+    build the column arrays at most once per version.  Shared by
+    :class:`VScan` and :class:`VIndexScan`.
+    """
+    cached = table.batch_cache
+    if cached is not None and cached[0] == table.version:
+        return cached[1]
+    with table.batch_lock:
+        cached = table.batch_cache
+        if cached is not None and cached[0] == table.version:
+            return cached[1]
+        base = Batch.from_rows(table.schema, table.rows)
+        table.batch_cache = (table.version, base)
+        return base
+
+
 class VScan(VecOperator):
     """Base-table scan: pivot the row store into a batch once per *table*.
 
@@ -110,24 +132,53 @@ class VScan(VecOperator):
         ctx.tick(len(table.rows))
         if self._batch is not None and self._version == table.version:
             return self._batch
-        # Double-checked locking: the unlocked read sees an immutable
-        # (version, Batch) tuple (or None) — safe to race — while the
-        # pivot itself runs under the table's lock so concurrent server
-        # queries build the column arrays at most once per version.
-        cached = table.batch_cache
-        if cached is not None and cached[0] == table.version:
-            base = cached[1]
-        else:
-            with table.batch_lock:
-                cached = table.batch_cache
-                if cached is not None and cached[0] == table.version:
-                    base = cached[1]
-                else:
-                    base = Batch.from_rows(table.schema, table.rows)
-                    table.batch_cache = (table.version, base)
+        base = table_batch(table)
         self._batch = Batch(self.schema, base.data, base.valid, base.base_length, base.sel)
         self._version = table.version
         return self._batch
+
+
+class VIndexScan(VecOperator):
+    """Index-backed scan: build the batch from index-selected positions.
+
+    The probe runs on the row store (indexes address physical row
+    positions); the surviving positions become a selection vector over
+    the table's cached column arrays, so no row is ever pivoted twice.
+    A residual predicate, when vectorizable, is applied as a kernel over
+    the already-narrowed batch.
+    """
+
+    __slots__ = ("table", "index", "bounds", "kernel", "projection")
+
+    def __init__(self, schema: Schema, table, index, bounds, kernel, projection, free_names=()):
+        super().__init__(schema, free_names)
+        self.table = table
+        self.index = index
+        self.bounds = tuple(bounds)
+        self.kernel = kernel
+        self.projection = tuple(projection) if projection is not None else None
+
+    def _run_batch(self, ctx, env):
+        if ctx.faults is not None:
+            ctx.faults.maybe_fail("storage.scan")
+        self.index.refresh()
+        evaluated = tuple((op, fn(ctx, env)(())) for op, fn in self.bounds)
+        lookup = probe_bounds(self.index, evaluated)
+        ctx.access["index_scans"] += 1
+        ctx.access["blocks_skipped"] += lookup.blocks_skipped
+        ctx.tick(max(lookup.rows_examined, 1))
+        ctx.tick_skipped(lookup.rows_skipped)
+        base = table_batch(self.table)
+        taken = base.take(np.asarray(lookup.positions, dtype=np.int64))
+        if self.projection is not None:
+            batch = taken.project(self.projection, self.schema)
+        else:
+            batch = Batch(self.schema, taken.data, taken.valid, taken.base_length, taken.sel)
+        if self.kernel is not None:
+            is_true, _ = self.kernel(ctx, env)(batch)
+            batch = batch.filter(is_true)
+        ctx.access["rows_read"] += len(batch)
+        return batch
 
 
 class VFromRows(VecOperator):

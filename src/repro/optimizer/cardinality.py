@@ -49,6 +49,11 @@ class CardinalityModel:
             if isinstance(node, L.Scan) and node.table_name in self.catalog:
                 table_stats = self.catalog.stats(node.table_name)
                 base_names = self.catalog.table(node.table_name).schema.names
+                projection = getattr(node, "projection", None)
+                if projection is not None:
+                    # Projection-narrowed IndexScan: its schema holds a
+                    # subset of the base columns, at these positions.
+                    base_names = [base_names[position] for position in projection]
                 for qualified, base in zip(node.schema.names, base_names):
                     stats = table_stats.columns.get(base)
                     if stats is not None:
@@ -59,6 +64,8 @@ class CardinalityModel:
     # -- cardinalities ---------------------------------------------------------
 
     def _card(self, node: L.Operator) -> float:
+        if isinstance(node, L.IndexScan):
+            return self._index_scan_card(node)
         if isinstance(node, L.Scan):
             if node.table_name in self.catalog:
                 return float(self.catalog.stats(node.table_name).row_count)
@@ -115,6 +122,25 @@ class CardinalityModel:
         if children:
             return self._card(children[0])
         return 1.0
+
+    def _index_scan_card(self, node: L.IndexScan) -> float:
+        """Base rows × key-bound selectivities × residual selectivity.
+
+        The pushed-down key predicate is reconstructed as comparisons so
+        the ordinary selectivity machinery (distinct counts, histograms,
+        correlated column pairs) applies unchanged.
+        """
+        if node.table_name in self.catalog:
+            base_rows = float(self.catalog.stats(node.table_name).row_count)
+        else:
+            base_rows = 1000.0
+        selectivity = 1.0
+        for op, expr in node.bounds:
+            comparison = E.Comparison(op, E.ColumnRef(node.key_attr), expr)
+            selectivity *= self._comparison_sel(comparison)
+        if node.residual is not None:
+            selectivity *= self._sel(node.residual)
+        return base_rows * selectivity
 
     # -- selectivities -----------------------------------------------------------
 

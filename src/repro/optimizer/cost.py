@@ -70,9 +70,26 @@ class CostModel:
                 base += inner_cost  # uncorrelated: evaluated once, cached
         return base
 
+    def _index_scan_cost(self, node: L.IndexScan) -> float:
+        """One probe plus per-match work; residual subqueries are charged
+        only on the rows that survive the key predicate — this is exactly
+        why pushing a selective equality into the scan pays off."""
+        matched = self._card(node)
+        cost = C_HASH_PROBE + C_PRED * matched
+        if node.index_kind == "sorted":
+            # Zone-map probes touch whole candidate blocks, not just
+            # matching rows; approximate with a small per-probe overhead.
+            cost += C_PRED * matched
+        if node.residual is not None:
+            cost += self._predicate_cost(node.residual, matched)
+        return cost
+
     # -- operator costs ------------------------------------------------------------
 
     def _cost_uncached(self, node: L.Operator) -> float:
+        if isinstance(node, L.IndexScan):
+            return self._index_scan_cost(node)
+
         if isinstance(node, L.Scan):
             return C_SCAN * self._card(node)
 
@@ -100,6 +117,16 @@ class CostModel:
         if isinstance(node, L.Sort):
             rows = self._card(node.child)
             return self._cost(node.child) + C_SORT_FACTOR * rows * _log2(rows)
+
+        if isinstance(node, L.IndexNLJoin):
+            left = self._card(node.left)
+            output = self._card(node)
+            # The right scan is never evaluated in full — each left row
+            # probes the index — so the right child's scan cost is not
+            # charged, only the probes and the residual on matched pairs.
+            base = self._cost(node.left) + C_HASH_BUILD
+            residual = node.residual if node.residual is not None else E.TRUE
+            return base + C_HASH_PROBE * left + self._predicate_cost(residual, output)
 
         if isinstance(node, (L.Join, L.LeftOuterJoin, L.SemiJoin, L.AntiJoin)):
             left = self._card(node.left)

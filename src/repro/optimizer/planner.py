@@ -25,6 +25,7 @@ from repro.algebra import ops as L
 from repro.baselines import reorder_disjuncts_cheap_first
 from repro.engine import EvalOptions, execute_plan
 from repro.errors import NotUnnestableError, PlanningError, ReproError
+from repro.optimizer.access import choose_access_paths
 from repro.optimizer.cost import CostModel
 from repro.optimizer.joins import optimize_joins
 from repro.rewrite import UnnestOptions, unnest
@@ -151,6 +152,13 @@ def plan_query(
     from repro.optimizer.simplify import simplify_plan
 
     canonical = optimize_joins(simplify_plan(translation.plan), catalog)
+    # Access-path selection runs on every alternative, *after* the shape
+    # of the plan is settled: the unnesting rewriter always consumes the
+    # plain canonical plan (it matches on Select/Scan patterns), and each
+    # resulting plan independently gets indexes pushed into its scans.
+    # With no indexes in the catalog this is the identity, so seed plans
+    # are byte-for-byte unchanged.
+    indexed_canonical = choose_access_paths(canonical, catalog)
 
     if unnest_options is None:
         # Ground the Eqv.-2-vs-3 rank decision in catalog statistics.
@@ -159,14 +167,15 @@ def plan_query(
         unnest_options = UnnestOptions(estimator=CatalogEstimator(catalog))
 
     chosen = "canonical"
-    logical = canonical
+    logical = indexed_canonical
     planner_fallback = False
     if strategy.reorder_disjuncts:
         logical = reorder_disjuncts_cheap_first(canonical)
+        logical = choose_access_paths(logical, catalog)
     elif strategy.apply_unnesting:
         rewritten = _heal_unnest(canonical, unnest_options)
         if rewritten is not None:
-            logical, chosen = rewritten, "unnested"
+            logical, chosen = choose_access_paths(rewritten, catalog), "unnested"
         else:
             planner_fallback = True
     elif strategy.cost_based:
@@ -174,12 +183,13 @@ def plan_query(
         if rewritten is None:
             planner_fallback = True
         else:
-            canonical_cost = CostModel(catalog).cost(canonical)
+            rewritten = choose_access_paths(rewritten, catalog)
+            canonical_cost = CostModel(catalog).cost(indexed_canonical)
             rewritten_cost = CostModel(catalog).cost(rewritten)
             if rewritten_cost < canonical_cost:
                 logical, chosen = rewritten, "unnested"
             else:
-                logical, chosen = canonical, "canonical"
+                logical, chosen = indexed_canonical, "canonical"
 
     cost = CostModel(catalog).cost(logical)
     return PlannedQuery(

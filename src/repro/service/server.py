@@ -230,6 +230,9 @@ class QueryService:
         resilience = getattr(self.db, "resilience_info", None)
         if resilience is not None:
             body["resilience"] = resilience()
+        access = getattr(self.db, "access_info", None)
+        if access is not None:
+            body["access_paths"] = access()
         return body
 
     def _create_session(self) -> dict:

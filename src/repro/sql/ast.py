@@ -363,3 +363,20 @@ class UpdateStmt(Node):
     table: str
     assignments: tuple[tuple[str, Node], ...] = ()
     where: Optional[Node] = None
+
+
+@dataclass(frozen=True)
+class CreateIndexStmt(Node):
+    """``CREATE INDEX name ON table (column) [USING hash|sorted]``."""
+
+    name: str
+    table: str
+    column: str
+    method: str = "hash"
+
+
+@dataclass(frozen=True)
+class DropIndexStmt(Node):
+    """``DROP INDEX name``."""
+
+    name: str

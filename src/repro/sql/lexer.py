@@ -23,6 +23,7 @@ KEYWORDS = frozenset(
     between case when then else end as order by asc desc limit
     union all any some intersect except group having count sum avg min max
     true false with insert into values delete update set
+    create drop index on
     """.split()
 )
 

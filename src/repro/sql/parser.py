@@ -28,6 +28,11 @@ DML (via :func:`parse_any`)::
     delete     := DELETE FROM table [WHERE or_expr]
     update     := UPDATE table SET col = additive [, ...] [WHERE or_expr]
 
+DDL (via :func:`parse_any`)::
+
+    create_idx := CREATE INDEX name ON table ( column ) [USING method]
+    drop_idx   := DROP INDEX name
+
 Every ``(`` decides between a nested query block and a parenthesised
 expression by one-token lookahead for ``SELECT``/``WITH``.
 """
@@ -60,6 +65,10 @@ def parse_any(text: str):
         stmt = parser.parse_delete()
     elif token.is_keyword("update"):
         stmt = parser.parse_update()
+    elif token.is_keyword("create"):
+        stmt = parser.parse_create_index()
+    elif token.is_keyword("drop"):
+        stmt = parser.parse_drop_index()
     else:
         stmt = parser.parse_statement()
     parser.expect_eof()
@@ -189,6 +198,29 @@ class _Parser:
         self.expect_op("=")
         value = self.parse_additive()
         return (column, value)
+
+    # -- DDL ---------------------------------------------------------------------
+
+    def parse_create_index(self) -> ast.CreateIndexStmt:
+        self.expect_keyword("create")
+        self.expect_keyword("index")
+        name = self.expect_ident()
+        self.expect_keyword("on")
+        table = self.expect_ident()
+        self.expect_op("(")
+        column = self.expect_ident()
+        self.expect_op(")")
+        method = "hash"
+        # USING is not a reserved word; match the ident by value.
+        if self.current.kind == "ident" and self.current.value == "using":
+            self.advance()
+            method = self.expect_ident()
+        return ast.CreateIndexStmt(name, table, column, method)
+
+    def parse_drop_index(self) -> ast.DropIndexStmt:
+        self.expect_keyword("drop")
+        self.expect_keyword("index")
+        return ast.DropIndexStmt(self.expect_ident())
 
     def parse_select(self) -> ast.SelectStmt:
         ctes: list[tuple[str, ast.SelectStmt]] = []

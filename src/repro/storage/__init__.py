@@ -14,6 +14,7 @@ vectorized engine — column arrays, validity masks, selection vectors.
 from repro.storage.schema import Column, Schema, ColumnType
 from repro.storage.table import Table
 from repro.storage.catalog import Catalog, TableStats
+from repro.storage.index import HashIndex, Index, IndexLookup, SortedIndex
 
 __all__ = [
     "Column",
@@ -22,4 +23,8 @@ __all__ = [
     "Table",
     "Catalog",
     "TableStats",
+    "Index",
+    "IndexLookup",
+    "HashIndex",
+    "SortedIndex",
 ]

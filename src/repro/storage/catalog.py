@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.errors import CatalogError
+from repro.storage.index import Index, make_index
 from repro.storage.table import Table
 
 
@@ -115,6 +116,12 @@ class Catalog:
     def __init__(self):
         self._tables: dict[str, Table] = {}
         self._stats: dict[str, TableStats] = {}
+        self._indexes: dict[str, Index] = {}
+        # Bumped on every index DDL (create/drop, including the implicit
+        # drops when a table is replaced or dropped).  The plan cache keys
+        # on this so cached plans cannot outlive the access paths they
+        # were chosen against.
+        self._index_epoch = 0
 
     def register(self, table: Table, name: str | None = None, analyze: bool = True) -> None:
         """Add ``table`` under ``name`` (default: the table's own name)."""
@@ -133,6 +140,9 @@ class Catalog:
             raise CatalogError("cannot register a table without a name")
         self._tables.pop(key, None)
         self._stats.pop(key, None)
+        # Replacement has drop-and-create semantics: indexes describe the
+        # old table object's rows, so they go with it.
+        self._purge_indexes(key)
         self.register(table, key)
 
     def drop(self, name: str) -> None:
@@ -141,6 +151,7 @@ class Catalog:
             raise CatalogError(f"unknown table {name!r}")
         del self._tables[key]
         del self._stats[key]
+        self._purge_indexes(key)
 
     def table(self, name: str) -> Table:
         try:
@@ -173,3 +184,80 @@ class Catalog:
 
     def table_names(self) -> list[str]:
         return sorted(self._tables)
+
+    # -- secondary indexes -------------------------------------------------
+
+    @property
+    def index_epoch(self) -> int:
+        return self._index_epoch
+
+    def create_index(
+        self, name: str, table_name: str, column: str, kind: str = "hash"
+    ) -> Index:
+        """Create and register an index; builds it immediately.
+
+        Column names are matched case-insensitively against the table's
+        schema (the SQL front-end folds identifiers to lower case while
+        stored schemas may use their original spelling).
+        """
+        key = name.lower()
+        if not key:
+            raise CatalogError("cannot create an index without a name")
+        if key in self._indexes:
+            raise CatalogError(f"index {key!r} already exists")
+        table_key = table_name.lower()
+        table = self.table(table_key)
+        by_folded = {column_name.lower(): column_name for column_name in table.schema.names}
+        resolved = by_folded.get(column.lower())
+        if resolved is None:
+            raise CatalogError(
+                f"table {table_key!r} has no column {column!r}; "
+                f"columns are {list(table.schema.names)}"
+            )
+        index = make_index(key, table, table_key, resolved, kind)
+        self._indexes[key] = index
+        self._index_epoch += 1
+        return index
+
+    def drop_index(self, name: str) -> Index:
+        key = name.lower()
+        if key not in self._indexes:
+            raise CatalogError(f"unknown index {name!r}")
+        index = self._indexes.pop(key)
+        self._index_epoch += 1
+        return index
+
+    def index(self, name: str) -> Index:
+        try:
+            return self._indexes[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"unknown index {name!r}; catalog has {sorted(self._indexes)}"
+            ) from None
+
+    def indexes_on(self, table_name: str) -> list[Index]:
+        key = table_name.lower()
+        return [index for index in self._indexes.values() if index.table_name == key]
+
+    def index_names(self) -> list[str]:
+        return sorted(self._indexes)
+
+    def index_info(self) -> list[dict]:
+        return [self._indexes[key].info() for key in sorted(self._indexes)]
+
+    def refresh_indexes(self, table_name: str) -> None:
+        """Eagerly rebuild the indexes of one table (after DELETE/UPDATE)."""
+        for index in self.indexes_on(table_name):
+            index.refresh()
+
+    def note_appends(self, table_name: str, start: int) -> None:
+        """Incrementally index rows appended at positions ``>= start``."""
+        for index in self.indexes_on(table_name):
+            index.note_appends(start)
+
+    def _purge_indexes(self, table_key: str) -> None:
+        stale = [key for key, index in self._indexes.items() if index.table_name == table_key]
+        for key in stale:
+            del self._indexes[key]
+        if stale:
+            self._index_epoch += 1

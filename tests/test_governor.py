@@ -131,6 +131,64 @@ class TestDepthBudget:
         assert sorted(result.rows) == sorted(baseline.rows)
 
 
+class TestSkippedRowDiscount:
+    """Zone-map pruning must not dodge the row budget entirely.
+
+    Rows an index never reads are charged at 1/SKIPPED_ROW_DISCOUNT of a
+    scanned row: cheap enough that pruning still pays, expensive enough
+    that a pruned scan over a huge table cannot slip under ``max_rows``.
+    """
+
+    ROWS = 16 * 256  # 16 zone blocks; a selective probe examines one
+
+    def make_indexed_db(self) -> Database:
+        db = Database()
+        db.create_table(
+            "big", ["K", "V"], [(i, i % 7) for i in range(self.ROWS)]
+        )
+        db.analyze()
+        db.execute("CREATE INDEX idx_k ON big (K) USING sorted")
+        return db
+
+    SQL = "SELECT * FROM big WHERE K >= 10 AND K < 20"
+
+    def test_pruned_scan_still_charges_the_governor(self):
+        db = self.make_indexed_db()
+        # One block (256 rows) is examined; the other 15 blocks (3840
+        # rows) are skipped and charged at the discount (3840/16 = 240
+        # ticks).  A budget below examined+discount must still trip,
+        # even though only ~10 rows are returned.
+        with pytest.raises(ResourceExhausted) as excinfo:
+            db.execute(
+                self.SQL,
+                options=EvalOptions(resources=ResourceLimits(max_rows=300)),
+            )
+        assert excinfo.value.resource == "rows"
+
+    def test_discount_keeps_pruning_cheaper_than_scanning(self):
+        db = self.make_indexed_db()
+        # The same query passes once the budget covers the discounted
+        # charge — far below the full table size a seed scan would tick.
+        result = db.execute(
+            self.SQL,
+            options=EvalOptions(resources=ResourceLimits(max_rows=600)),
+        )
+        assert len(result.rows) == 10
+        info = db.access_info()
+        assert info["blocks_skipped"] > 0
+        assert info["rows_skipped"] > 0
+
+    def test_vectorized_path_charges_identically(self):
+        db = self.make_indexed_db()
+        with pytest.raises(ResourceExhausted):
+            db.execute(
+                self.SQL,
+                options=EvalOptions(
+                    vectorized=True, resources=ResourceLimits(max_rows=300)
+                ),
+            )
+
+
 class TestEnvDefaults:
     def test_env_budget_applies_when_options_silent(self, monkeypatch):
         db = make_db()

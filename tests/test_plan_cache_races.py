@@ -195,7 +195,7 @@ class TestQuarantineApi:
         db = make_db()
         db.execute(SQL)
         assert len(db._plan_cache) == 1
-        evicted = db._plan_cache.quarantine(SQL, "auto", "row", db._views_epoch)
+        evicted = db._plan_cache.quarantine(SQL, "auto", "row", db._epoch_token())
         assert evicted is True
         assert len(db._plan_cache) == 0
 
