@@ -38,7 +38,7 @@ from dataclasses import replace as _dc_replace
 from repro.algebra.explain import explain as explain_plan
 from repro.engine import EvalOptions
 from repro.engine.governor import ResourceLimits
-from repro.errors import ReproError, ResourceExhausted
+from repro.errors import DurabilityError, InjectedFault, ReproError, ResourceExhausted
 from repro.faults import FaultConfig, FaultInjector, injector_from_env
 from repro.optimizer import plan_query, execute_sql, PlannedQuery, Strategy
 from repro.optimizer.planner import STRATEGIES
@@ -47,6 +47,7 @@ from repro.service.plancache import CacheInfo, PlanCache
 from repro.service.prepared import PreparedStatement
 from repro.sql.classify import QueryClass
 from repro.storage import Catalog, Column, ColumnType, Schema, Table
+from repro.storage.wal import DurabilityConfig, DurabilityManager, LogRecord
 
 __version__ = "1.0.0"
 
@@ -56,6 +57,8 @@ __all__ = [
     "CacheInfo",
     "Column",
     "ColumnType",
+    "DurabilityConfig",
+    "DurabilityError",
     "FaultConfig",
     "FaultInjector",
     "PlanCache",
@@ -73,6 +76,12 @@ __all__ = [
     "__version__",
 ]
 
+#: Fault-site prefixes that describe the durability path rather than a
+#: query plan.  A retryable fault here is a *disk* problem: the
+#: self-healing fallback still runs, but the plan-cache entry is not
+#: quarantined (the plan did nothing wrong).
+DURABILITY_FAULT_PREFIXES = ("storage.wal", "storage.checkpoint")
+
 
 class Database:
     """A small façade over catalog + planner + engine.
@@ -80,9 +89,21 @@ class Database:
     All strategy names accepted by :meth:`execute` / :meth:`explain`:
     ``auto`` (default, cost-based), ``canonical``, ``unnested``, and the
     commercial-baseline emulations ``s1``, ``s2``, ``s3``.
+
+    Passing ``data_dir`` (or a full :class:`DurabilityConfig`) makes the
+    database durable: committed DML and DDL append to a checksummed
+    write-ahead log, checkpoints snapshot the whole catalog, and opening
+    the same directory again — :meth:`Database.open` — recovers the
+    state, discarding any torn trailing log records.  See
+    ``docs/durability.md``.
     """
 
-    def __init__(self, plan_cache_capacity: int = 128):
+    def __init__(
+        self,
+        plan_cache_capacity: int = 128,
+        data_dir: str | None = None,
+        durability: DurabilityConfig | None = None,
+    ):
         self.catalog = Catalog()
         self._views: dict[str, object] = {}
         self._plan_cache = PlanCache(plan_cache_capacity)
@@ -105,6 +126,173 @@ class Database:
             "rows_skipped": 0,
             "blocks_skipped": 0,
         }
+        # Durability (None = pure in-memory).  The original SQL of each
+        # view is kept alongside the parsed form so snapshots can store
+        # a replayable definition.
+        self._view_sql: dict[str, str] = {}
+        self._durability: DurabilityManager | None = None
+        self._recovery: dict = {}
+        self._wal_commit_failures = 0
+        self._durability_exemptions = 0
+        if durability is None and data_dir is not None:
+            durability = DurabilityConfig(data_dir=data_dir)
+        if durability is not None:
+            self._open_durable(durability)
+
+    @classmethod
+    def open(
+        cls,
+        data_dir: str,
+        plan_cache_capacity: int = 128,
+        durability: DurabilityConfig | None = None,
+    ) -> "Database":
+        """Open (or create) a durable database rooted at ``data_dir``.
+
+        Recovery runs before the constructor returns: the newest valid
+        ``snapshot.<lsn>`` is loaded, the WAL tail is replayed through
+        the ordinary execution paths (so index and view epochs advance
+        exactly as they did live), and torn trailing records are
+        detected by checksum and dropped.
+        """
+        return cls(plan_cache_capacity, data_dir=data_dir, durability=durability)
+
+    # -- durability ---------------------------------------------------------
+
+    def _open_durable(self, config: DurabilityConfig) -> None:
+        import time as _time
+
+        manager = DurabilityManager(config)
+        started = _time.perf_counter()
+        recovery = manager.start()
+        if recovery.snapshot_state is not None:
+            self._load_snapshot_state(recovery.snapshot_state)
+        for record in recovery.records:
+            self._apply_log_record(record)
+        # Attach only after replay: the mutation hooks below log iff the
+        # manager is attached, so replay never re-logs its own records.
+        self._durability = manager
+        self._recovery = {
+            "seconds": round(_time.perf_counter() - started, 6),
+            "snapshot_lsn": recovery.snapshot_lsn,
+            "records_replayed": len(recovery.records),
+            "torn_bytes_dropped": recovery.torn_bytes_dropped,
+            "snapshot_fallback": recovery.snapshot_fallback,
+        }
+
+    def _snapshot_state(self) -> dict:
+        """The full catalog as a JSON-serializable checkpoint payload."""
+        tables = {}
+        for name in self.catalog.table_names():
+            table = self.catalog.table(name)
+            tables[name] = {
+                "table_name": table.name or name,
+                "columns": [[col.name, col.type.value] for col in table.schema],
+                "rows": [list(row) for row in table.rows],
+            }
+        indexes = [
+            {
+                "name": info["name"],
+                "table": info["table"],
+                "column": info["column"],
+                "kind": info["kind"],
+            }
+            for info in self.catalog.index_info()
+        ]
+        return {
+            "tables": tables,
+            "views": [[name, sql] for name, sql in self._view_sql.items()],
+            "indexes": indexes,
+        }
+
+    def _load_snapshot_state(self, state: dict) -> None:
+        for name, payload in state.get("tables", {}).items():
+            schema = Schema(
+                [Column(col, ColumnType(kind)) for col, kind in payload["columns"]]
+            )
+            rows = [tuple(row) for row in payload["rows"]]
+            table = Table(schema, rows, name=payload.get("table_name") or name)
+            self.catalog.register(table, name)
+        for name, sql in state.get("views", []):
+            self.create_view(name, sql)
+        for index in state.get("indexes", []):
+            self.create_index(
+                index["name"], index["table"], index["column"], index["kind"]
+            )
+
+    def _apply_log_record(self, record: LogRecord) -> None:
+        """Redo one WAL record through the ordinary mutation paths."""
+        kind, data = record.kind, record.data
+        if kind == "dml":
+            self.execute(data["sql"])
+        elif kind == "create_table":
+            schema = Schema(
+                [Column(col, ColumnType(t)) for col, t in data["columns"]]
+            )
+            rows = [tuple(row) for row in data["rows"]]
+            table = Table(schema, rows, name=data.get("table_name") or data["name"])
+            self.catalog.register(table, data["name"])
+        elif kind == "drop_table":
+            self.drop_table(data["name"])
+        elif kind == "create_view":
+            self.create_view(data["name"], data["sql"])
+        elif kind == "drop_view":
+            self.drop_view(data["name"])
+        elif kind == "create_index":
+            self.create_index(data["name"], data["table"], data["column"], data["kind"])
+        elif kind == "drop_index":
+            self.drop_index(data["name"])
+        # Unknown kinds are skipped, not fatal: a newer writer may have
+        # logged record types this reader predates.
+
+    def _log_durable(self, kind: str, data: dict, injector=None) -> None:
+        """Append one record for a mutation that just committed in memory.
+
+        A fault on the append/fsync path surfaces to the caller (the
+        statement's durable outcome is unknown) and is counted; the
+        mutation itself is *not* rolled back — it was never acknowledged,
+        and a crash-recovery simply serves the pre-statement state.
+        """
+        manager = self._durability
+        if manager is None:
+            return
+        try:
+            manager.log(kind, data, injector=injector)
+        except InjectedFault:
+            self._wal_commit_failures += 1
+            raise
+        if manager.checkpoint_due():
+            try:
+                manager.checkpoint(self._snapshot_state(), injector=injector)
+            except (InjectedFault, OSError):
+                # The log already holds every committed record, so a
+                # failed auto-checkpoint costs compaction, not safety.
+                manager.note_checkpoint_failure()
+
+    def checkpoint(self) -> int | None:
+        """Snapshot the catalog and truncate the WAL; returns the LSN.
+
+        No-op (returns None) on a pure in-memory database.  Unlike the
+        automatic checkpoints, failures here propagate to the caller.
+        """
+        if self._durability is None:
+            return None
+        return self._durability.checkpoint(self._snapshot_state())
+
+    def durability_info(self) -> dict:
+        """WAL/checkpoint/recovery counters (see docs/durability.md)."""
+        if self._durability is None:
+            return {"enabled": False}
+        info = self._durability.info()
+        info["enabled"] = True
+        info["recovery"] = dict(self._recovery)
+        info["recovery_seconds"] = self._recovery.get("seconds", 0.0)
+        info["wal_commit_failures"] = self._wal_commit_failures
+        return info
+
+    def close(self) -> None:
+        """Flush and release the WAL file handle (idempotent)."""
+        if self._durability is not None:
+            self._durability.close()
 
     # -- schema management ---------------------------------------------------
 
@@ -114,14 +302,43 @@ class Database:
         columns: Sequence[str | Column],
         rows: Iterable[tuple] = (),
     ) -> Table:
-        """Create and register a table; returns it for further loading."""
+        """Create and register a table; returns it for further loading.
+
+        On a durable database the table (schema *and* rows) is logged,
+        so tables created before a crash come back on recovery.  Rows
+        appended directly to the returned :class:`Table` afterwards
+        bypass the log — use ``INSERT`` statements for durable loads, or
+        call :meth:`checkpoint` after a bulk load.
+        """
         table = Table(Schema(columns), rows, name=name)
         self.catalog.register(table)
+        self._log_table_registration(table, name)
         return table
 
     def register(self, table: Table, name: str | None = None) -> None:
         """Register an existing :class:`Table` (e.g. from a generator)."""
         self.catalog.register(table, name)
+        self._log_table_registration(table, name)
+
+    def _log_table_registration(self, table: Table, name: str | None) -> None:
+        if self._durability is None:
+            return
+        key = (name or table.name).lower()
+        self._log_durable(
+            "create_table",
+            {
+                "name": key,
+                "table_name": table.name or key,
+                "columns": [[col.name, col.type.value] for col in table.schema],
+                "rows": [list(row) for row in table.rows],
+            },
+        )
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table (and, implicitly, its indexes)."""
+        self.catalog.drop(name)
+        self._plan_cache.invalidate_table(name)
+        self._log_durable("drop_table", {"name": name.lower()})
 
     def analyze(self, name: str | None = None) -> None:
         """Refresh optimizer statistics after bulk loads.
@@ -158,7 +375,9 @@ class Database:
         trial[key] = statement
         translate_sql(statement, self.catalog, trial)  # validate eagerly
         self._views[key] = statement
+        self._view_sql[key] = sql
         self._views_epoch += 1
+        self._log_durable("create_view", {"name": key, "sql": sql})
 
     def drop_view(self, name: str) -> None:
         from repro.errors import CatalogError
@@ -167,7 +386,9 @@ class Database:
         if key not in self._views:
             raise CatalogError(f"unknown view {name!r}")
         del self._views[key]
+        self._view_sql.pop(key, None)
         self._views_epoch += 1
+        self._log_durable("drop_view", {"name": key})
 
     def view_names(self) -> list[str]:
         return sorted(self._views)
@@ -180,10 +401,15 @@ class Database:
         """Create a secondary index (``hash`` or ``sorted``) on a column."""
         self.catalog.create_index(name, table, column, kind)
         self._plan_cache.invalidate_table(table)
+        self._log_durable(
+            "create_index",
+            {"name": name.lower(), "table": table.lower(), "column": column, "kind": kind},
+        )
 
     def drop_index(self, name: str) -> None:
         index = self.catalog.drop_index(name)
         self._plan_cache.invalidate_table(index.table_name)
+        self._log_durable("drop_index", {"name": name.lower()})
 
     def index_names(self) -> list[str]:
         return self.catalog.index_names()
@@ -206,11 +432,8 @@ class Database:
             self.create_index(
                 statement.name, statement.table, statement.column, statement.method
             )
-            table_name = statement.table
         elif isinstance(statement, sql_ast.DropIndexStmt):
-            index = self.catalog.drop_index(statement.name)
-            table_name = index.table_name
-            self._plan_cache.invalidate_table(table_name)
+            self.drop_index(statement.name)
         else:  # pragma: no cover - parser only produces the two DDL forms
             from repro.errors import TranslationError
 
@@ -262,7 +485,15 @@ class Database:
             # across DML (indexes refresh lazily, batch caches key on the
             # table version); the cache's own drift threshold re-costs
             # plans once the table's cardinality moves far enough.
-            return execute_dml(statement, self.catalog, self._views).as_table()
+            result = execute_dml(statement, self.catalog, self._views)
+            # The statement commits (is acknowledged) only once its WAL
+            # record is synced; durability fault sites arm from the same
+            # options/env plumbing as the engine sites.
+            injector = None
+            if self._durability is not None:
+                injector = self._armed_options(options or EvalOptions()).faults
+            self._log_durable("dml", {"sql": sql}, injector=injector)
+            return result.as_table()
         if stripped.startswith(("create", "drop")):
             return self._execute_ddl(sql, params)
         if unnest_options is not None:
@@ -306,10 +537,19 @@ class Database:
         stripped (the healing path must not be re-injected) and the
         vectorized engine off.  A failure of the fallback itself
         propagates — there is nothing simpler left.
+
+        Faults on the durability path are exempt from quarantine: a
+        failed WAL write or checkpoint says nothing about the plan that
+        happened to be executing, so poisoning its cache entry would
+        only degrade future queries for no correctness gain.
         """
-        self._plan_cache.quarantine(
-            sql, strategy, engine=engine, extra_token=self._epoch_token()
-        )
+        site = getattr(error, "site", "") or ""
+        if site.startswith(DURABILITY_FAULT_PREFIXES):
+            self._durability_exemptions += 1
+        else:
+            self._plan_cache.quarantine(
+                sql, strategy, engine=engine, extra_token=self._epoch_token()
+            )
         self._degradations += 1
         self._last_degradation = {
             "strategy": planned.strategy.name,
@@ -350,6 +590,11 @@ class Database:
             "degradations": self._degradations,
             "fallback_successes": self._fallback_successes,
             "last_degradation": self._last_degradation,
+            # Durability-path faults: retried without plan quarantine
+            # (a disk fault is not a plan bug), and WAL appends whose
+            # statement was applied in memory but never acknowledged.
+            "durability_exemptions": self._durability_exemptions,
+            "wal_commit_failures": self._wal_commit_failures,
         }
 
     def _absorb_access(self, ctx) -> None:

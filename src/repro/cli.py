@@ -8,6 +8,7 @@ Commands
 ``compare``      time every strategy on one query (a one-query Figure 7 row)
 ``generate``     write an RST or TPC-H dataset as CSV files
 ``shell``        a minimal interactive loop
+``recover``      open a durable --data-dir, report recovery, optionally checkpoint
 ``bench-report`` summarize BENCH_*.json benchmark artifacts
 
 ``run``/``explain``/``shell`` accept repeated ``--index
@@ -19,7 +20,11 @@ skip counters).  The shell's ``\\indexes`` command lists live indexes.
 Datasets are specified either with ``--csv DIR`` (every ``*.csv`` file
 becomes a table named after the file, types inferred from the first data
 row) or with ``--dataset rst[:SF]`` / ``--dataset tpch[:SF]`` for
-generated data.
+generated data.  ``--data-dir DIR`` opens durable storage (WAL +
+checkpoints, see ``docs/durability.md``): existing state is recovered
+and the ``--csv``/``--dataset`` seed applies only to an empty directory.
+The shell's ``\\checkpoint`` forces a snapshot, and ``serve`` keeps
+``/health`` at 503 ready=false until recovery finishes.
 
 Examples::
 
@@ -59,6 +64,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--dataset", metavar="NAME[:SF]",
             help="generated dataset: rst[:SF] or tpch[:SF]",
+        )
+        p.add_argument(
+            "--data-dir", metavar="DIR",
+            help="durable storage directory (WAL + checkpoints); recovers "
+                 "existing state on open, seeds --csv/--dataset only when empty",
         )
 
     def add_engine_arg(p):
@@ -120,6 +130,18 @@ def build_parser() -> argparse.ArgumentParser:
     add_engine_arg(shell)
     add_index_args(shell, explain_access=False)
 
+    recover = sub.add_parser(
+        "recover", help="recover a durable data directory and report what it held"
+    )
+    recover.add_argument(
+        "--data-dir", required=True, metavar="DIR",
+        help="durable storage directory to open (snapshot + WAL replay)",
+    )
+    recover.add_argument(
+        "--checkpoint", action="store_true",
+        help="write a fresh checkpoint after recovery (truncates the WAL)",
+    )
+
     report = sub.add_parser(
         "bench-report", help="summarize BENCH_*.json benchmark artifacts"
     )
@@ -167,7 +189,15 @@ def parse_dataset_spec(spec: str) -> tuple[str, float]:
 
 
 def load_database(args) -> Database:
-    db = Database()
+    data_dir = getattr(args, "data_dir", None)
+    if data_dir:
+        db = Database.open(data_dir)
+        if db.catalog.table_names():
+            # Recovered state wins: seeding again would double-log the
+            # dataset into the WAL on every start.
+            return db
+    else:
+        db = Database()
     if getattr(args, "csv", None):
         _load_csv_dir(db, args.csv)
         return db
@@ -182,7 +212,11 @@ def load_database(args) -> Database:
         for table in tables.values():
             db.register(table)
         return db
-    raise ReproError("no data source: pass --csv DIR or --dataset NAME[:SF]")
+    if data_dir:
+        return db  # an empty durable directory is a valid starting point
+    raise ReproError(
+        "no data source: pass --csv DIR, --dataset NAME[:SF], or --data-dir DIR"
+    )
 
 
 def _load_csv_dir(db: Database, directory: str) -> None:
@@ -385,7 +419,8 @@ def cmd_shell(args, out) -> int:
     apply_indexes(db, args)
     out.write(
         "repro shell - end statements with a blank line; "
-        "commands: \\strategy NAME, \\explain SQL, \\tables, \\indexes, \\quit\n"
+        "commands: \\strategy NAME, \\explain SQL, \\tables, \\indexes, "
+        "\\checkpoint, \\quit\n"
     )
     strategy = args.strategy
     buffer: list[str] = []
@@ -414,6 +449,17 @@ def cmd_shell(args, out) -> int:
                         f"{info['table']}.{info['column']} "
                         f"({info['entries']} entries, {info['rows']} rows)\n"
                     )
+                continue
+            if command == "\\checkpoint":
+                try:
+                    lsn = db.checkpoint()
+                except ReproError as error:
+                    out.write(f"error: [{error.code}] {error}\n")
+                    continue
+                if lsn is None:
+                    out.write("no durable storage (start the shell with --data-dir)\n")
+                else:
+                    out.write(f"checkpoint written at lsn {lsn}\n")
                 continue
             if command == "\\strategy":
                 strategy = rest.strip() or strategy
@@ -451,7 +497,6 @@ def cmd_serve(args, out) -> int:
 
     from repro.service.server import QueryServer, ServerConfig
 
-    db = load_database(args)
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -460,10 +505,18 @@ def cmd_serve(args, out) -> int:
         default_timeout=args.timeout,
         drain_grace=args.drain_grace,
     )
-    server = QueryServer(db, config)
+    if getattr(args, "data_dir", None):
+        # Defer the open: the socket binds immediately and /health reports
+        # ready=false while the snapshot loads and the WAL replays.
+        server = QueryServer(lambda: load_database(args), config)
+        tables_line = "(recovering; GET /health until ready)"
+    else:
+        db = load_database(args)
+        server = QueryServer(db, config)
+        tables_line = ", ".join(db.catalog.table_names()) or "(none)"
     host, port = server.address
     out.write(f"serving on http://{host}:{port}\n")
-    out.write(f"tables: {', '.join(db.catalog.table_names()) or '(none)'}\n")
+    out.write(f"tables: {tables_line}\n")
     if hasattr(out, "flush"):
         out.flush()  # scripts parse the port line before the first request
 
@@ -483,6 +536,42 @@ def cmd_serve(args, out) -> int:
 
     server.serve_forever()
     out.write("server stopped\n")
+    return 0
+
+
+def cmd_recover(args, out) -> int:
+    """Open a durable directory, report the recovery, optionally checkpoint.
+
+    This is the offline repair path: after a crash (or suspected torn
+    write) it replays the WAL, prints what survived, and with
+    ``--checkpoint`` compacts the log so the next server start is fast.
+    """
+    start = time.perf_counter()
+    db = Database.open(args.data_dir)
+    elapsed = time.perf_counter() - start
+    info = db.durability_info()
+    recovery = info.get("recovery", {})
+    out.write(f"recovered {args.data_dir} in {elapsed:.4f}s\n")
+    out.write(
+        f"  snapshot lsn {recovery.get('snapshot_lsn', 0)}, "
+        f"{recovery.get('records_replayed', 0)} WAL records replayed, "
+        f"{recovery.get('torn_bytes_dropped', 0)} torn bytes dropped\n"
+    )
+    if recovery.get("snapshot_fallback"):
+        out.write("  warning: newest snapshot was corrupt; fell back to an older one\n")
+    for name in db.catalog.table_names():
+        out.write(f"  table {name}: {len(db.table(name))} rows\n")
+    for view in db.view_names():
+        out.write(f"  view {view}\n")
+    for index in db.indexes():
+        out.write(
+            f"  index {index['name']}: {index['kind']} on "
+            f"{index['table']}.{index['column']}\n"
+        )
+    if args.checkpoint:
+        lsn = db.checkpoint()
+        out.write(f"checkpoint written at lsn {lsn}\n")
+    db.close()
     return 0
 
 
@@ -528,6 +617,7 @@ COMMANDS = {
     "generate": cmd_generate,
     "shell": cmd_shell,
     "serve": cmd_serve,
+    "recover": cmd_recover,
     "bench-report": cmd_bench_report,
 }
 

@@ -35,6 +35,7 @@ from repro.sql import ast
 from repro.sql.translate import _Scope, _Translator
 from repro.storage.catalog import Catalog
 from repro.storage.table import Table
+from repro.storage.wal import crash_point
 
 
 @dataclass
@@ -54,12 +55,18 @@ class DmlResult:
 def execute_dml(stmt, catalog: Catalog, views=None) -> DmlResult:
     """Execute a parsed DML statement."""
     if isinstance(stmt, ast.InsertStmt):
-        return _execute_insert(stmt, catalog, views)
-    if isinstance(stmt, ast.DeleteStmt):
-        return _execute_delete(stmt, catalog, views)
-    if isinstance(stmt, ast.UpdateStmt):
-        return _execute_update(stmt, catalog, views)
-    raise TranslationError(f"not a DML statement: {type(stmt).__name__}")
+        result = _execute_insert(stmt, catalog, views)
+    elif isinstance(stmt, ast.DeleteStmt):
+        result = _execute_delete(stmt, catalog, views)
+    elif isinstance(stmt, ast.UpdateStmt):
+        result = _execute_update(stmt, catalog, views)
+    else:
+        raise TranslationError(f"not a DML statement: {type(stmt).__name__}")
+    # Crash boundary for the recovery tests: the mutation is applied in
+    # memory but its WAL record (written by the Database facade) is not,
+    # so a process killed here must lose exactly this statement.
+    crash_point("storage.dml.apply")
+    return result
 
 
 # ---------------------------------------------------------------------------

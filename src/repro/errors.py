@@ -212,6 +212,19 @@ class InjectedFault(ExecutionError):
         self.site = site
 
 
+class DurabilityError(ReproError):
+    """Raised for durable-storage misuse and unrecoverable on-disk damage.
+
+    Covers configuration problems (a ``data_dir`` that is a file, an
+    unknown sync mode, logging on a closed manager) and snapshot files
+    that fail verification.  Torn or corrupt *trailing* WAL records are
+    NOT errors — recovery detects them via checksum and discards them,
+    keeping the clean prefix (see ``docs/durability.md``).
+    """
+
+    code = "DURABILITY_ERROR"
+
+
 class ServiceError(ReproError):
     """Base class for SQL-server errors (sessions, admission, protocol)."""
 

@@ -14,7 +14,16 @@ Sites form a dotted hierarchy and configuration matches by prefix::
     engine.row.PBypass              ...prefix: only bypass operators
     engine.vector.<OperatorClass>   every vectorized operator invocation
     storage.scan                    base-table scans (both engines)
+    storage.wal.append              WAL record writes (durability commit)
+    storage.wal.fsync               WAL fsync before acknowledgement
+    storage.checkpoint.write        checkpoint snapshot writes
     service.request                 the SQL server's per-query path
+
+The ``storage.wal.*`` / ``storage.checkpoint.*`` sites model disk
+faults, not plan bugs: the self-healing layer retries them without
+quarantining the plan-cache entry (see ``docs/durability.md``), and the
+harder process-kill crash points live in :mod:`repro.storage.wal`
+(``REPRO_CRASH_SITE`` / ``REPRO_CRASH_AFTER``).
 
 Configuration comes from :class:`FaultConfig` (explicitly, via
 ``EvalOptions(faults=...)``) or the ``REPRO_FAULT_*`` environment

@@ -145,13 +145,33 @@ class _Admission:
 
 
 class QueryService:
-    """The HTTP-agnostic request logic (unit-testable without sockets)."""
+    """The HTTP-agnostic request logic (unit-testable without sockets).
+
+    ``database`` is either a ready :class:`~repro.Database` or a
+    zero-argument callable returning one.  A callable defers the
+    expensive part of startup — typically ``Database.open`` replaying a
+    WAL — to :meth:`startup`, which the server runs on a background
+    thread while HTTP is already answering: ``/health`` reports
+    ``ready: false`` (503) and queries are refused with a retryable
+    ``SERVICE_UNAVAILABLE`` until recovery finishes.
+    """
 
     def __init__(self, database, config: ServerConfig | None = None):
-        self.db = database
+        if callable(database):
+            self._db: object | None = None
+            self._db_factory = database
+        else:
+            self._db = database
+            self._db_factory = None
         self.config = config or ServerConfig()
         self.metrics = ServerMetrics()
         self.cancel_event = threading.Event()
+        #: Set once the database is attached (immediately for a ready
+        #: database, after recovery for a deferred factory).
+        self.ready = threading.Event()
+        if self._db is not None:
+            self.ready.set()
+        self.startup_error: str | None = None
         #: Set while the server drains: new queries are refused with
         #: SERVICE_UNAVAILABLE (503) but in-flight ones run to completion
         #: (until the drain grace expires and cancel_event fires).
@@ -162,6 +182,30 @@ class QueryService:
         self._sessions: dict[str, _Session] = {}
         self._sessions_lock = threading.Lock()
         self._shutdown_callback = None
+
+    @property
+    def db(self):
+        database = self._db
+        if database is None:
+            message = (
+                f"server startup failed: {self.startup_error}"
+                if self.startup_error is not None
+                else "server is recovering and not yet admitting queries; retry shortly"
+            )
+            raise ServiceUnavailable(message)
+        return database
+
+    def startup(self) -> None:
+        """Resolve a deferred database factory (the recovery phase)."""
+        if self._db_factory is None or self._db is not None:
+            self.ready.set()
+            return
+        try:
+            self._db = self._db_factory()
+        except Exception as error:  # surfaced via /health, never swallowed silently
+            self.startup_error = f"{type(error).__name__}: {error}"
+            return
+        self.ready.set()
 
     # -- dispatch -----------------------------------------------------------
 
@@ -205,16 +249,22 @@ class QueryService:
     def _health(self) -> tuple[int, dict]:
         """Kubernetes-style liveness/readiness: *live* while the process
         serves HTTP at all, *ready* only while queries are admitted —
-        a draining server is live (it still finishes in-flight work) but
-        not ready, so load balancers stop routing to it (503)."""
+        a recovering server (WAL replay still running) and a draining one
+        are both live but not ready, so load balancers hold traffic (503)
+        until recovery finishes or route it elsewhere during drain."""
         draining = self.draining.is_set()
+        recovering = not self.ready.is_set() and self.startup_error is None
+        ready = not draining and not recovering and self.startup_error is None
         body = {
             "live": True,
-            "ready": not draining,
+            "ready": ready,
             "draining": draining,
+            "recovering": recovering,
             "in_flight": self.metrics.snapshot()["in_flight"],
         }
-        return (503 if draining else 200), body
+        if self.startup_error is not None:
+            body["startup_error"] = self.startup_error
+        return (200 if ready else 503), body
 
     def _metrics_body(self) -> dict:
         with self._sessions_lock:
@@ -222,17 +272,24 @@ class QueryService:
         body = {
             "server": self.metrics.snapshot(),
             "admission": self._admission.snapshot(),
-            "plan_cache": self.db.cache_info().as_dict(),
             "sessions": session_count,
-            "tables": self.db.catalog.table_names(),
             "draining": self.draining.is_set(),
+            "ready": self.ready.is_set(),
         }
-        resilience = getattr(self.db, "resilience_info", None)
+        database = self._db
+        if database is None:
+            return body
+        body["plan_cache"] = database.cache_info().as_dict()
+        body["tables"] = database.catalog.table_names()
+        resilience = getattr(database, "resilience_info", None)
         if resilience is not None:
             body["resilience"] = resilience()
-        access = getattr(self.db, "access_info", None)
+        access = getattr(database, "access_info", None)
         if access is not None:
             body["access_paths"] = access()
+        durability = getattr(database, "durability_info", None)
+        if durability is not None:
+            body["durability"] = durability()
         return body
 
     def _create_session(self) -> dict:
@@ -303,6 +360,10 @@ class QueryService:
             raise ServiceUnavailable(
                 "server is draining and no longer admits queries; retry elsewhere"
             )
+        if not self.ready.is_set():
+            # Touch the db property for its precise message (recovery in
+            # progress vs. startup failure).
+            self.db
         # Chaos hook: a fresh env-configured injector per request keeps a
         # seeded fault sequence deterministic per query.  The engine-level
         # sites are armed separately by Database.execute; this one covers
@@ -459,6 +520,30 @@ class QueryServer:
         self._httpd.daemon_threads = True
         self.service.set_shutdown_callback(self._httpd.shutdown)
         self._thread: threading.Thread | None = None
+        self._startup_thread: threading.Thread | None = None
+
+    def _begin_startup(self) -> None:
+        """Run the recovery phase (deferred database factory) off-thread
+        so /health answers 503 ready=false while the WAL replays."""
+        if self.service.ready.is_set() or self._startup_thread is not None:
+            return
+        self._startup_thread = threading.Thread(
+            target=self.service.startup, name="repro-startup", daemon=True
+        )
+        self._startup_thread.start()
+
+    def _checkpoint_on_exit(self) -> None:
+        """Best-effort flush + checkpoint so a clean shutdown leaves a
+        snapshot and an empty WAL tail (fast next startup).  Failures are
+        tolerable: the WAL already holds everything a restart needs."""
+        database = self.service._db
+        checkpoint = getattr(database, "checkpoint", None)
+        if checkpoint is None:
+            return
+        try:
+            checkpoint()
+        except Exception:
+            pass
 
     @property
     def address(self) -> tuple[str, int]:
@@ -472,6 +557,7 @@ class QueryServer:
 
     def start(self) -> "QueryServer":
         """Serve in a daemon thread (tests, embedding); returns self."""
+        self._begin_startup()
         self._thread = threading.Thread(
             target=self._httpd.serve_forever, name="repro-server", daemon=True
         )
@@ -480,6 +566,7 @@ class QueryServer:
 
     def serve_forever(self) -> None:
         """Serve on the calling thread (the CLI ``serve`` command)."""
+        self._begin_startup()
         try:
             self._httpd.serve_forever()
         except KeyboardInterrupt:
@@ -489,10 +576,12 @@ class QueryServer:
 
     def drain(self, grace: float | None = None) -> bool:
         """Graceful shutdown: refuse new queries, finish in-flight work
-        (up to ``grace`` seconds), then stop the HTTP loop and release
-        the socket.  This is what the CLI's SIGTERM handler calls —
-        clients see 503s they can retry, never dropped queries."""
+        (up to ``grace`` seconds), flush + checkpoint the durable store,
+        then stop the HTTP loop and release the socket.  This is what the
+        CLI's SIGTERM handler calls — clients see 503s they can retry,
+        never dropped queries or a long WAL replay on the next boot."""
         clean = self.service.drain(grace)
+        self._checkpoint_on_exit()
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None and self._thread is not threading.current_thread():

@@ -9,12 +9,22 @@ keeps lightweight statistics used by the cost-based optimizer.
 :mod:`repro.storage.batch` (imported lazily; requires numpy) adds the
 columnar :class:`~repro.storage.batch.Batch` representation used by the
 vectorized engine — column arrays, validity masks, selection vectors.
+
+:mod:`repro.storage.wal` adds the durability layer: a checksummed
+write-ahead log, checkpoint snapshots, and the crash-recovery scan used
+by ``Database.open`` (see ``docs/durability.md``).
 """
 
 from repro.storage.schema import Column, Schema, ColumnType
 from repro.storage.table import Table
 from repro.storage.catalog import Catalog, TableStats
 from repro.storage.index import HashIndex, Index, IndexLookup, SortedIndex
+from repro.storage.wal import (
+    DurabilityConfig,
+    DurabilityManager,
+    LogRecord,
+    RecoveryResult,
+)
 
 __all__ = [
     "Column",
@@ -27,4 +37,8 @@ __all__ = [
     "IndexLookup",
     "HashIndex",
     "SortedIndex",
+    "DurabilityConfig",
+    "DurabilityManager",
+    "LogRecord",
+    "RecoveryResult",
 ]

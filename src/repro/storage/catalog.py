@@ -138,12 +138,16 @@ class Catalog:
         key = (name or table.name).lower()
         if not key:
             raise CatalogError("cannot register a table without a name")
-        self._tables.pop(key, None)
-        self._stats.pop(key, None)
+        stats = TableStats.compute(table)
         # Replacement has drop-and-create semantics: indexes describe the
-        # old table object's rows, so they go with it.
+        # old table object's rows, so they go with it.  Purge them *before*
+        # swapping so a concurrent planner can never pair the new table
+        # with an index over the old rows, and swap in place (rather than
+        # pop + register) so the name never transiently disappears for
+        # readers racing this DDL.
         self._purge_indexes(key)
-        self.register(table, key)
+        self._tables[key] = table
+        self._stats[key] = stats
 
     def drop(self, name: str) -> None:
         key = name.lower()

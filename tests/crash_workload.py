@@ -1,0 +1,89 @@
+"""Child process for the crash-recovery differential tests.
+
+Runs a seeded DML workload against a durable database, appending one
+line to a progress file (fsynced) after each statement is
+*acknowledged* — i.e. after ``execute`` returns, which on the durable
+path means the WAL record was written and synced.  The parent arms
+``REPRO_CRASH_SITE`` / ``REPRO_CRASH_AFTER`` (or sends SIGKILL) and
+afterwards compares the recovered database against the oracle prefix
+implied by the progress count.
+
+The statement sequence is a pure function of the seed (``statements``),
+so the parent can replay the same workload in memory as its oracle.
+
+Usage::
+
+    python tests/crash_workload.py DATA_DIR PROGRESS_FILE NUM_OPS SEED \
+        CHECKPOINT_EVERY
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+import time
+
+
+def statements(num_ops: int, seed: int) -> list[str]:
+    """The deterministic DML workload (shared with the parent's oracle)."""
+    rng = random.Random(seed)
+    out = []
+    for i in range(num_ops):
+        roll = rng.random()
+        if roll < 0.55:
+            a, b = rng.randrange(100), rng.randrange(1000)
+            out.append(f"INSERT INTO t VALUES ({a}, {b}), ({a + 1}, {b + 1})")
+        elif roll < 0.8:
+            pivot = rng.randrange(100)
+            delta = rng.randrange(1, 9)
+            out.append(f"UPDATE t SET b = b + {delta} WHERE a >= {pivot}")
+        else:
+            pivot = rng.randrange(100)
+            out.append(f"DELETE FROM t WHERE a = {pivot}")
+    return out
+
+
+def main(argv: list[str]) -> int:
+    data_dir, progress_path, num_ops, seed, checkpoint_every = (
+        argv[0],
+        argv[1],
+        int(argv[2]),
+        int(argv[3]),
+        int(argv[4]),
+    )
+    from repro import Database
+    from repro.storage.wal import DurabilityConfig
+
+    # "flush" puts every record in the OS page cache before the ack, so
+    # records survive the process being killed (the tests kill the
+    # process, not the machine) without paying fsync per statement.
+    config = DurabilityConfig(
+        data_dir=data_dir,
+        sync="flush",
+        checkpoint_every_records=checkpoint_every,
+    )
+    db = Database.open(data_dir, durability=config)
+    if "t" not in db.catalog:
+        db.create_table("t", ["a", "b"])
+
+    # Optional per-statement delay so an external SIGKILL lands
+    # mid-workload instead of after a sub-millisecond sprint.
+    slowdown = float(os.environ.get("REPRO_WORKLOAD_SLOWDOWN", "0"))
+
+    progress = open(progress_path, "a")
+    for index, sql in enumerate(statements(num_ops, seed)):
+        if slowdown:
+            time.sleep(slowdown)
+        db.execute(sql)
+        # The ack: statement is durable (modulo OS), tell the parent.
+        progress.write(f"{index}\n")
+        progress.flush()
+        os.fsync(progress.fileno())
+    progress.close()
+    db.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

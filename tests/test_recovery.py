@@ -1,0 +1,293 @@
+"""Database-level durability: recovery roundtrips, epochs, exemptions.
+
+The WAL unit tests (test_wal.py) cover the on-disk format; these cover
+the Database facade on top of it: DDL and DML surviving reopen,
+checkpoint + tail replay, index/view epoch maintenance after recovery
+(the plan cache must not serve stale plans), and the self-healing
+quarantine exemption for durability-path faults.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.errors import InjectedFault
+from repro.faults import FaultConfig, FaultInjector
+from repro.optimizer.planner import PlannedQuery
+from repro.storage.wal import DurabilityConfig
+
+
+@pytest.fixture
+def data_dir(tmp_path):
+    return str(tmp_path / "data")
+
+
+def open_db(data_dir, **config) -> Database:
+    return Database.open(
+        data_dir, durability=DurabilityConfig(data_dir=data_dir, sync="none", **config)
+    )
+
+
+def seeded(data_dir) -> Database:
+    db = open_db(data_dir)
+    db.create_table("r", ["a", "b"])
+    db.execute("INSERT INTO r VALUES (1, 10), (2, 20), (3, 30)")
+    return db
+
+
+def rows(db, sql):
+    return sorted(tuple(r) for r in db.execute(sql).rows)
+
+
+# ---------------------------------------------------------------------------
+# Roundtrips
+# ---------------------------------------------------------------------------
+
+
+def test_dml_survives_reopen(data_dir):
+    db = seeded(data_dir)
+    db.execute("UPDATE r SET b = b + 1 WHERE a >= 2")
+    db.execute("DELETE FROM r WHERE a = 1")
+    expected = rows(db, "SELECT * FROM r")
+    db.close()
+
+    recovered = open_db(data_dir)
+    assert rows(recovered, "SELECT * FROM r") == expected == [(2, 21), (3, 31)]
+    info = recovered.durability_info()
+    assert info["enabled"] is True
+    assert info["recovery"]["records_replayed"] > 0
+    assert info["recovery"]["torn_bytes_dropped"] == 0
+    recovered.close()
+
+
+def test_views_and_indexes_survive_reopen(data_dir):
+    db = seeded(data_dir)
+    db.create_view("big", "SELECT a FROM r WHERE b > 15")
+    db.create_index("idx_a", "r", "a", "hash")
+    expected = rows(db, "SELECT * FROM big")
+    db.close()
+
+    recovered = open_db(data_dir)
+    assert recovered.view_names() == ["big"]
+    assert [i["name"] for i in recovered.indexes()] == ["idx_a"]
+    assert rows(recovered, "SELECT * FROM big") == expected
+    recovered.close()
+
+
+def test_drop_table_view_index_survive_reopen(data_dir):
+    db = seeded(data_dir)
+    db.create_view("v", "SELECT a FROM r")
+    db.create_index("idx", "r", "b", "sorted")
+    db.create_table("gone", ["x"])
+    db.drop_view("v")
+    db.drop_index("idx")
+    db.drop_table("gone")
+    db.close()
+
+    recovered = open_db(data_dir)
+    assert recovered.catalog.table_names() == ["r"]
+    assert recovered.view_names() == []
+    assert recovered.indexes() == []
+    recovered.close()
+
+
+def test_checkpoint_plus_tail_replay(data_dir):
+    db = seeded(data_dir)
+    lsn = db.checkpoint()
+    assert lsn is not None and lsn > 0
+    db.execute("INSERT INTO r VALUES (4, 40)")  # the post-checkpoint tail
+    expected = rows(db, "SELECT * FROM r")
+    db.close()
+
+    recovered = open_db(data_dir)
+    info = recovered.durability_info()
+    assert info["recovery"]["snapshot_lsn"] == lsn
+    assert info["recovery"]["records_replayed"] == 1
+    assert rows(recovered, "SELECT * FROM r") == expected
+    recovered.close()
+
+
+def test_automatic_checkpoint_fires_on_record_threshold(data_dir):
+    db = open_db(data_dir, checkpoint_every_records=5)
+    db.create_table("t", ["x"])
+    for i in range(8):
+        db.execute(f"INSERT INTO t VALUES ({i})")
+    info = db.durability_info()
+    assert info["checkpoints"] >= 1
+    assert info["last_checkpoint_lsn"] > 0
+    db.close()
+
+    recovered = open_db(data_dir, checkpoint_every_records=5)
+    assert len(recovered.table("t")) == 8
+    recovered.close()
+
+
+def test_in_memory_database_reports_disabled(data_dir):
+    db = Database()
+    assert db.durability_info() == {"enabled": False}
+    assert db.checkpoint() is None
+    db.close()  # must be a safe no-op
+
+
+def test_checkpoint_after_recovery_compacts(data_dir):
+    db = seeded(data_dir)
+    db.close()
+    recovered = open_db(data_dir)
+    recovered.checkpoint()
+    recovered.close()
+    again = open_db(data_dir)
+    assert again.durability_info()["recovery"]["records_replayed"] == 0
+    assert rows(again, "SELECT * FROM r") == [(1, 10), (2, 20), (3, 30)]
+    again.close()
+
+
+# ---------------------------------------------------------------------------
+# Satellite 1: epochs after recovery behave exactly like the live path
+# ---------------------------------------------------------------------------
+
+
+def test_plan_cache_epochs_after_recovery(data_dir):
+    """Cache a plan, crash-reopen, re-query, then change DDL: the
+    recovered database must hit its own fresh cache and invalidate on
+    view/index changes exactly as a live one would."""
+    db = seeded(data_dir)
+    db.create_view("v", "SELECT a, b FROM r WHERE b >= 20")
+    db.execute("SELECT * FROM v")
+    db.execute("SELECT * FROM v")
+    assert db.cache_info().hits >= 1
+    db.close()  # an orderly close still leaves the WAL to replay
+
+    recovered = open_db(data_dir)
+    baseline = recovered.cache_info().misses
+    assert rows(recovered, "SELECT * FROM v") == [(2, 20), (3, 30)]
+    assert recovered.cache_info().misses == baseline + 1  # fresh cache, new entry
+    assert rows(recovered, "SELECT * FROM v") == [(2, 20), (3, 30)]
+    assert recovered.cache_info().hits >= 1
+
+    # A view redefinition after recovery must orphan the cached plan.
+    recovered.drop_view("v")
+    recovered.create_view("v", "SELECT a, b FROM r WHERE b < 20")
+    assert rows(recovered, "SELECT * FROM v") == [(1, 10)]
+
+    # An index change after recovery must also bump the cache epoch.
+    before = recovered.cache_info().misses
+    recovered.execute("SELECT * FROM r WHERE a = 2")
+    recovered.create_index("idx_a", "r", "a", "hash")
+    recovered.execute("SELECT * FROM r WHERE a = 2")
+    assert recovered.cache_info().misses >= before + 2
+    recovered.close()
+
+
+def test_recovered_dml_updates_statistics_and_versions(data_dir):
+    db = seeded(data_dir)
+    live_version = db.table("r").version
+    live_stats = db.catalog.stats("r").row_count
+    db.close()
+
+    recovered = open_db(data_dir)
+    assert recovered.catalog.stats("r").row_count == live_stats == 3
+    # Replay advances the table version the same way the live path did.
+    assert recovered.table("r").version == live_version
+    recovered.execute("INSERT INTO r VALUES (9, 90)")
+    assert recovered.catalog.stats("r").row_count == 4
+    recovered.close()
+
+
+# ---------------------------------------------------------------------------
+# Satellite 2: durability faults are exempt from plan quarantine
+# ---------------------------------------------------------------------------
+
+
+def _raise_once(error):
+    """Patch PlannedQuery.execute to raise ``error`` on its first call."""
+    original = PlannedQuery.execute
+    state = {"fired": False}
+
+    def patched(self, catalog, options=None, **kwargs):
+        if not state["fired"]:
+            state["fired"] = True
+            raise error
+        return original(self, catalog, options, **kwargs)
+
+    return patched
+
+
+def test_durability_fault_skips_quarantine(data_dir, monkeypatch):
+    from repro.engine import EvalOptions
+
+    db = seeded(data_dir)
+    monkeypatch.setattr(
+        PlannedQuery, "execute", _raise_once(InjectedFault("storage.wal.fsync"))
+    )
+    # The vectorized engine has a fallback (canonical row), so the
+    # retryable fault enters the healing path instead of propagating.
+    result = db.execute(
+        "SELECT COUNT(*) FROM r WHERE b > 5", options=EvalOptions(vectorized=True)
+    )
+    assert result.rows == [(3,)]
+    info = db.resilience_info()
+    assert info["degradations"] == 1
+    assert info["durability_exemptions"] == 1
+    # The decisive assertion: no plan-cache key was poisoned.
+    assert db.cache_info().quarantined_keys == 0
+    db.close()
+
+
+def test_engine_fault_still_quarantines(data_dir, monkeypatch):
+    from repro.engine import EvalOptions
+
+    db = seeded(data_dir)
+    monkeypatch.setattr(
+        PlannedQuery, "execute", _raise_once(InjectedFault("engine.vector.VSelect"))
+    )
+    result = db.execute(
+        "SELECT COUNT(*) FROM r WHERE b > 5", options=EvalOptions(vectorized=True)
+    )
+    assert result.rows == [(3,)]
+    info = db.resilience_info()
+    assert info["degradations"] == 1
+    assert info["durability_exemptions"] == 0
+    assert db.cache_info().quarantined_keys == 1
+    db.close()
+
+
+def test_wal_commit_fault_surfaces_and_counts(data_dir):
+    """An injected WAL fault on the DML commit path propagates (the
+    statement is unacknowledged) and is counted, but the in-memory
+    mutation stands and the next statement commits normally."""
+    from repro.engine import EvalOptions
+
+    db = seeded(data_dir)
+    injector = FaultInjector(FaultConfig(sites=("storage.wal.append",)))
+    with pytest.raises(InjectedFault):
+        db.execute("INSERT INTO r VALUES (7, 70)", options=EvalOptions(faults=injector))
+    assert db.resilience_info()["wal_commit_failures"] == 1
+    assert len(db.table("r")) == 4  # applied in memory, never acknowledged
+    db.execute("INSERT INTO r VALUES (8, 80)")
+    expected_after_crash = rows(db, "SELECT * FROM r")
+    db.close()
+
+    # Recovery serves only the acknowledged statements: the faulted
+    # insert wrote nothing, so (7, 70) is gone and (8, 80) survives.
+    recovered = open_db(data_dir)
+    recovered_rows = rows(recovered, "SELECT * FROM r")
+    assert (8, 80) in recovered_rows
+    assert (7, 70) not in recovered_rows
+    assert [r for r in expected_after_crash if r != (7, 70)] == recovered_rows
+    recovered.close()
+
+
+def test_env_armed_wal_fault_counts_once(data_dir, monkeypatch):
+    db = seeded(data_dir)
+    monkeypatch.setenv("REPRO_FAULT_SITES", "storage.wal.fsync")
+    with pytest.raises(InjectedFault):
+        db.execute("INSERT INTO r VALUES (5, 50)")
+    monkeypatch.delenv("REPRO_FAULT_SITES")
+    assert db.resilience_info()["wal_commit_failures"] == 1
+    # The record was written before the fsync fault: unknown outcome,
+    # which recovery resolves in favor of replaying it.
+    db.close()
+    recovered = open_db(data_dir)
+    assert (5, 50) in rows(recovered, "SELECT * FROM r")
+    recovered.close()

@@ -186,7 +186,8 @@ class TestGracefulDrain:
             client = ServiceClient(server.url)
             health = client._request("GET", "/health")
             assert health == {
-                "live": True, "ready": True, "draining": False, "in_flight": 0,
+                "live": True, "ready": True, "draining": False,
+                "recovering": False, "in_flight": 0,
             }
             server.service.draining.set()
             with pytest.raises(ServiceUnavailable):

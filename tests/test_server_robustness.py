@@ -85,7 +85,8 @@ class TestStatusMapping:
         status, health = service.handle("GET", "/health", {})
         assert status == 200
         assert health == {
-            "live": True, "ready": True, "draining": False, "in_flight": 0,
+            "live": True, "ready": True, "draining": False,
+            "recovering": False, "in_flight": 0,
         }
 
 
