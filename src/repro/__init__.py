@@ -31,6 +31,7 @@ Figure-7 harness).
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Sequence
 
 from dataclasses import replace as _dc_replace
@@ -130,6 +131,13 @@ class Database:
         # view is kept alongside the parsed form so snapshots can store
         # a replayable definition.
         self._view_sql: dict[str, str] = {}
+        # Serializes every mutation's apply+log critical section: the
+        # query server admits concurrent execute() calls, and the WAL
+        # must record mutations in the order they hit the catalog (and
+        # checkpoints must snapshot state consistent with the LSN they
+        # claim).  Reentrant: recovery replays records through the same
+        # public mutation paths.
+        self._commit_lock = threading.RLock()
         self._durability: DurabilityManager | None = None
         self._recovery: dict = {}
         self._wal_commit_failures = 0
@@ -248,9 +256,12 @@ class Database:
         """Append one record for a mutation that just committed in memory.
 
         A fault on the append/fsync path surfaces to the caller (the
-        statement's durable outcome is unknown) and is counted; the
-        mutation itself is *not* rolled back — it was never acknowledged,
-        and a crash-recovery simply serves the pre-statement state.
+        statement is unacknowledged; the WAL rolls its record back) and
+        is counted; the in-memory mutation is *not* rolled back — it was
+        never acknowledged, and a crash-recovery simply serves the
+        pre-statement state.  Every caller holds ``_commit_lock``, which
+        also keeps the auto-checkpoint's state capture consistent with
+        the LSN it claims to cover.
         """
         manager = self._durability
         if manager is None:
@@ -276,7 +287,10 @@ class Database:
         """
         if self._durability is None:
             return None
-        return self._durability.checkpoint(self._snapshot_state())
+        # The commit lock keeps the state capture and the checkpoint LSN
+        # consistent: no record can land between the two.
+        with self._commit_lock:
+            return self._durability.checkpoint(self._snapshot_state())
 
     def durability_info(self) -> dict:
         """WAL/checkpoint/recovery counters (see docs/durability.md)."""
@@ -311,14 +325,16 @@ class Database:
         call :meth:`checkpoint` after a bulk load.
         """
         table = Table(Schema(columns), rows, name=name)
-        self.catalog.register(table)
-        self._log_table_registration(table, name)
+        with self._commit_lock:
+            self.catalog.register(table)
+            self._log_table_registration(table, name)
         return table
 
     def register(self, table: Table, name: str | None = None) -> None:
         """Register an existing :class:`Table` (e.g. from a generator)."""
-        self.catalog.register(table, name)
-        self._log_table_registration(table, name)
+        with self._commit_lock:
+            self.catalog.register(table, name)
+            self._log_table_registration(table, name)
 
     def _log_table_registration(self, table: Table, name: str | None) -> None:
         if self._durability is None:
@@ -336,9 +352,10 @@ class Database:
 
     def drop_table(self, name: str) -> None:
         """Drop a table (and, implicitly, its indexes)."""
-        self.catalog.drop(name)
-        self._plan_cache.invalidate_table(name)
-        self._log_durable("drop_table", {"name": name.lower()})
+        with self._commit_lock:
+            self.catalog.drop(name)
+            self._plan_cache.invalidate_table(name)
+            self._log_durable("drop_table", {"name": name.lower()})
 
     def analyze(self, name: str | None = None) -> None:
         """Refresh optimizer statistics after bulk loads.
@@ -368,27 +385,29 @@ class Database:
         from repro.sql import translate as translate_sql
 
         key = name.lower()
-        if key in self.catalog or key in self._views:
-            raise CatalogError(f"name {name!r} is already in use")
-        statement = parse_sql(sql)
-        trial = dict(self._views)
-        trial[key] = statement
-        translate_sql(statement, self.catalog, trial)  # validate eagerly
-        self._views[key] = statement
-        self._view_sql[key] = sql
-        self._views_epoch += 1
-        self._log_durable("create_view", {"name": key, "sql": sql})
+        with self._commit_lock:
+            if key in self.catalog or key in self._views:
+                raise CatalogError(f"name {name!r} is already in use")
+            statement = parse_sql(sql)
+            trial = dict(self._views)
+            trial[key] = statement
+            translate_sql(statement, self.catalog, trial)  # validate eagerly
+            self._views[key] = statement
+            self._view_sql[key] = sql
+            self._views_epoch += 1
+            self._log_durable("create_view", {"name": key, "sql": sql})
 
     def drop_view(self, name: str) -> None:
         from repro.errors import CatalogError
 
         key = name.lower()
-        if key not in self._views:
-            raise CatalogError(f"unknown view {name!r}")
-        del self._views[key]
-        self._view_sql.pop(key, None)
-        self._views_epoch += 1
-        self._log_durable("drop_view", {"name": key})
+        with self._commit_lock:
+            if key not in self._views:
+                raise CatalogError(f"unknown view {name!r}")
+            del self._views[key]
+            self._view_sql.pop(key, None)
+            self._views_epoch += 1
+            self._log_durable("drop_view", {"name": key})
 
     def view_names(self) -> list[str]:
         return sorted(self._views)
@@ -399,17 +418,24 @@ class Database:
         self, name: str, table: str, column: str, kind: str = "hash"
     ) -> None:
         """Create a secondary index (``hash`` or ``sorted``) on a column."""
-        self.catalog.create_index(name, table, column, kind)
-        self._plan_cache.invalidate_table(table)
-        self._log_durable(
-            "create_index",
-            {"name": name.lower(), "table": table.lower(), "column": column, "kind": kind},
-        )
+        with self._commit_lock:
+            self.catalog.create_index(name, table, column, kind)
+            self._plan_cache.invalidate_table(table)
+            self._log_durable(
+                "create_index",
+                {
+                    "name": name.lower(),
+                    "table": table.lower(),
+                    "column": column,
+                    "kind": kind,
+                },
+            )
 
     def drop_index(self, name: str) -> None:
-        index = self.catalog.drop_index(name)
-        self._plan_cache.invalidate_table(index.table_name)
-        self._log_durable("drop_index", {"name": name.lower()})
+        with self._commit_lock:
+            index = self.catalog.drop_index(name)
+            self._plan_cache.invalidate_table(index.table_name)
+            self._log_durable("drop_index", {"name": name.lower()})
 
     def index_names(self) -> list[str]:
         return self.catalog.index_names()
@@ -485,14 +511,15 @@ class Database:
             # across DML (indexes refresh lazily, batch caches key on the
             # table version); the cache's own drift threshold re-costs
             # plans once the table's cardinality moves far enough.
-            result = execute_dml(statement, self.catalog, self._views)
-            # The statement commits (is acknowledged) only once its WAL
-            # record is synced; durability fault sites arm from the same
-            # options/env plumbing as the engine sites.
-            injector = None
-            if self._durability is not None:
-                injector = self._armed_options(options or EvalOptions()).faults
-            self._log_durable("dml", {"sql": sql}, injector=injector)
+            with self._commit_lock:
+                result = execute_dml(statement, self.catalog, self._views)
+                # The statement commits (is acknowledged) only once its
+                # WAL record is synced; durability fault sites arm from
+                # the same options/env plumbing as the engine sites.
+                injector = None
+                if self._durability is not None:
+                    injector = self._armed_options(options or EvalOptions()).faults
+                self._log_durable("dml", {"sql": sql}, injector=injector)
             return result.as_table()
         if stripped.startswith(("create", "drop")):
             return self._execute_ddl(sql, params)

@@ -55,6 +55,7 @@ from __future__ import annotations
 import json
 import os
 import struct
+import threading
 import zlib
 from dataclasses import dataclass, field
 from typing import Callable, NamedTuple
@@ -315,6 +316,14 @@ class DurabilityConfig:
             raise DurabilityError(
                 f"unknown sync mode {self.sync!r} (fsync | flush | none)"
             )
+        if self.snapshots_kept < 1:
+            # With 0 the post-checkpoint prune would delete the snapshot
+            # the checkpoint just wrote — after the WAL was truncated.
+            raise DurabilityError(
+                f"snapshots_kept must be >= 1, got {self.snapshots_kept}"
+            )
+        if self.checkpoint_every_records < 1 or self.checkpoint_every_bytes < 1:
+            raise DurabilityError("checkpoint thresholds must be >= 1")
 
 
 @dataclass
@@ -344,6 +353,13 @@ class DurabilityManager:
     :meth:`checkpoint` to compact.  The manager is deliberately ignorant
     of the catalog: callers pass opaque JSON payloads down and state
     dicts in, so the module has no import cycle with the Database.
+
+    All mutating entry points serialize on an internal lock: the query
+    service admits several ``execute`` calls at once, and an interleaved
+    append would corrupt the LSN sequence and the frame stream.  Note
+    the lock alone cannot order the *apply-in-memory* step against the
+    append — the Database holds its own commit lock across both (see
+    ``Database._commit_lock``).
     """
 
     def __init__(self, config: DurabilityConfig):
@@ -353,7 +369,11 @@ class DurabilityManager:
             raise DurabilityError(f"data_dir {path!r} exists and is not a directory")
         os.makedirs(path, exist_ok=True)
         self.wal_path = os.path.join(path, WAL_NAME)
+        self._lock = threading.RLock()
         self._file = None
+        #: Set when the log can no longer be trusted (a failed append
+        #: could not be rolled back); every later operation refuses.
+        self._failed: str | None = None
         self._last_lsn = 0
         self._last_checkpoint_lsn = 0
         self._wal_bytes = 0
@@ -362,16 +382,44 @@ class DurabilityManager:
         self._checkpoints = 0
         self._checkpoint_failures = 0
 
+    def _ensure_usable(self) -> None:
+        if self._failed is not None:
+            raise DurabilityError(
+                f"durability manager is latched after an unrecoverable write"
+                f" failure ({self._failed}); reopen the data directory to"
+                f" recover"
+            )
+        if self._file is None:
+            raise DurabilityError("durability manager is not started (or closed)")
+
+    def _latch(self, reason: str) -> None:
+        """Refuse all further work; the on-disk log state is unknown."""
+        self._failed = reason
+        handle, self._file = self._file, None
+        if handle is not None:
+            try:
+                handle.close()
+            except OSError:
+                pass
+
     # -- recovery -----------------------------------------------------------
 
     def start(self) -> RecoveryResult:
         """Scan the directory; open the WAL for appending; return state.
 
         The newest snapshot that passes verification wins; a corrupt one
-        falls back to its predecessor (``snapshot_fallback``).  The WAL
-        tail past the last clean record is truncated in place so the
-        next append lands on a well-formed prefix.
+        falls back to its predecessor (``snapshot_fallback``) — but only
+        when the WAL still covers the distance: the log is truncated at
+        every checkpoint, so if its base LSN is beyond the snapshot we
+        chose, the records in between exist nowhere and recovery fails
+        loudly rather than replaying the tail onto mismatched state.
+        The WAL tail past the last clean record is truncated in place so
+        the next append lands on a well-formed prefix.
         """
+        with self._lock:
+            return self._start_locked()
+
+    def _start_locked(self) -> RecoveryResult:
         result = RecoveryResult()
         for lsn, path in reversed(list_snapshots(self.config.data_dir)):
             try:
@@ -384,6 +432,19 @@ class DurabilityManager:
             break
 
         header_ok, base_lsn, records, good_end, dropped = self._scan_wal()
+        if header_ok and base_lsn > result.snapshot_lsn:
+            # The tail (base_lsn, ...] presumes state through base_lsn,
+            # which only the missing/corrupt newer snapshot had.
+            raise DurabilityError(
+                f"recovery gap: the log starts at LSN {base_lsn} but the newest"
+                f" loadable snapshot covers only LSN {result.snapshot_lsn}"
+                + (
+                    " (a newer snapshot failed verification)"
+                    if result.snapshot_fallback
+                    else ""
+                )
+                + "; the records in between are unrecoverable"
+            )
         if records:
             self._last_lsn = records[-1].lsn
         else:
@@ -442,36 +503,60 @@ class DurabilityManager:
     def log(self, kind: str, data: dict, injector=None) -> int:
         """Append one record, sync it, and return its LSN.
 
-        The LSN is consumed as soon as the bytes are written: a failed
-        *sync* leaves an unacknowledged record in the file (unknown
-        outcome — it may or may not survive a crash), which recovery
-        replays if it made it to disk.  A failed *write* consumes
-        nothing.
+        A failed append consumes nothing: whether the write or the sync
+        raised, the file is truncated back to the pre-append offset and
+        the LSN stays free, so later records never build on bytes whose
+        on-disk fate is unknown (a torn frame mid-log would make
+        recovery drop every record after it, including acknowledged
+        ones).  If that rollback itself fails the manager latches — all
+        further operations raise until the directory is reopened.
         """
-        if self._file is None:
-            raise DurabilityError("durability manager is not started (or closed)")
-        if injector is not None:
-            injector.maybe_fail(SITE_WAL_APPEND)
-        lsn = self._last_lsn + 1
-        frame = _frame(lsn, _encode_payload(kind, data))
-        crash_point("storage.wal.append.before")
-        if _crash_due("storage.wal.append.torn"):
-            # A genuinely torn write: half the frame reaches the file,
-            # then the process dies without flushing anything else.
-            self._file.write(frame[: max(1, len(frame) // 2)])
-            self._file.flush()
-            _exit(CRASH_EXIT_STATUS)
-        self._file.write(frame)
-        self._last_lsn = lsn
-        self._wal_bytes += len(frame)
-        self._appends += 1
-        self._records_since_checkpoint += 1
-        crash_point("storage.wal.append.after")
-        if injector is not None:
-            injector.maybe_fail(SITE_WAL_FSYNC)
-        self._sync()
-        crash_point("storage.wal.fsync.after")
-        return lsn
+        with self._lock:
+            self._ensure_usable()
+            if injector is not None:
+                injector.maybe_fail(SITE_WAL_APPEND)
+            lsn = self._last_lsn + 1
+            frame = _frame(lsn, _encode_payload(kind, data))
+            crash_point("storage.wal.append.before")
+            if _crash_due("storage.wal.append.torn"):
+                # A genuinely torn write: half the frame reaches the file,
+                # then the process dies without flushing anything else.
+                self._file.write(frame[: max(1, len(frame) // 2)])
+                self._file.flush()
+                _exit(CRASH_EXIT_STATUS)
+            good_end = self._wal_bytes
+            try:
+                self._file.write(frame)
+            except Exception:
+                self._rollback_append(good_end, lsn)
+                raise
+            crash_point("storage.wal.append.after")
+            self._last_lsn = lsn
+            self._wal_bytes += len(frame)
+            self._appends += 1
+            self._records_since_checkpoint += 1
+            try:
+                if injector is not None:
+                    injector.maybe_fail(SITE_WAL_FSYNC)
+                self._sync()
+            except Exception:
+                self._last_lsn = lsn - 1
+                self._wal_bytes = good_end
+                self._appends -= 1
+                self._records_since_checkpoint -= 1
+                self._rollback_append(good_end, lsn)
+                raise
+            crash_point("storage.wal.fsync.after")
+            return lsn
+
+    def _rollback_append(self, good_end: int, lsn: int) -> None:
+        """Truncate a failed append off the file; latch if that fails."""
+        try:
+            self._file.truncate(good_end)
+            self._file.seek(0, os.SEEK_END)
+            _fsync_file(self._file)
+        except OSError as error:
+            self._latch(f"could not roll back failed record {lsn}: {error}")
 
     def _sync(self) -> None:
         mode = self.config.sync
@@ -482,16 +567,18 @@ class DurabilityManager:
 
     def flush(self) -> None:
         """Force the log to disk regardless of the sync mode."""
-        if self._file is not None:
-            _fsync_file(self._file)
+        with self._lock:
+            if self._file is not None:
+                _fsync_file(self._file)
 
     # -- checkpoints --------------------------------------------------------
 
     def checkpoint_due(self) -> bool:
-        return (
-            self._records_since_checkpoint >= self.config.checkpoint_every_records
-            or self._wal_bytes >= self.config.checkpoint_every_bytes
-        )
+        with self._lock:
+            return (
+                self._records_since_checkpoint >= self.config.checkpoint_every_records
+                or self._wal_bytes >= self.config.checkpoint_every_bytes
+            )
 
     def checkpoint(self, state: dict, injector=None) -> int:
         """Snapshot ``state`` at the current LSN and truncate the log.
@@ -502,30 +589,32 @@ class DurabilityManager:
         two steps recovers cleanly — the LSN filter skips log records a
         snapshot already covers.
         """
-        if self._file is None:
-            raise DurabilityError("durability manager is not started (or closed)")
-        if injector is not None:
-            injector.maybe_fail(SITE_CHECKPOINT_WRITE)
-        lsn = self._last_lsn
-        crash_point("storage.checkpoint.write.before")
-        self.flush()  # every logged record must be on disk before it is dropped
-        write_snapshot(snapshot_path(self.config.data_dir, lsn), lsn, state)
-        crash_point("storage.checkpoint.truncate.before")
-        self._file.close()
-        self._write_fresh_wal(lsn)
-        self._last_checkpoint_lsn = lsn
-        self._records_since_checkpoint = 0
-        self._checkpoints += 1
-        self._prune_snapshots()
-        crash_point("storage.checkpoint.after")
-        return lsn
+        with self._lock:
+            self._ensure_usable()
+            if injector is not None:
+                injector.maybe_fail(SITE_CHECKPOINT_WRITE)
+            lsn = self._last_lsn
+            crash_point("storage.checkpoint.write.before")
+            self.flush()  # every logged record must be on disk before dropped
+            write_snapshot(snapshot_path(self.config.data_dir, lsn), lsn, state)
+            crash_point("storage.checkpoint.truncate.before")
+            self._file.close()
+            self._write_fresh_wal(lsn)
+            self._last_checkpoint_lsn = lsn
+            self._records_since_checkpoint = 0
+            self._checkpoints += 1
+            self._prune_snapshots()
+            crash_point("storage.checkpoint.after")
+            return lsn
 
     def note_checkpoint_failure(self) -> None:
         self._checkpoint_failures += 1
 
     def _prune_snapshots(self) -> None:
         snapshots = list_snapshots(self.config.data_dir)
-        for _, path in snapshots[: -self.config.snapshots_kept or None]:
+        # snapshots_kept is validated >= 1, so the slice keeps at least
+        # the snapshot the current checkpoint just wrote.
+        for _, path in snapshots[: -self.config.snapshots_kept]:
             try:
                 os.remove(path)
             except OSError:
@@ -546,25 +635,28 @@ class DurabilityManager:
         return self._wal_bytes
 
     def info(self) -> dict:
-        return {
-            "data_dir": self.config.data_dir,
-            "sync": self.config.sync,
-            "wal_bytes": self._wal_bytes,
-            "last_lsn": self._last_lsn,
-            "last_checkpoint_lsn": self._last_checkpoint_lsn,
-            "wal_appends": self._appends,
-            "checkpoints": self._checkpoints,
-            "checkpoint_failures": self._checkpoint_failures,
-            "snapshots": len(list_snapshots(self.config.data_dir)),
-        }
+        with self._lock:
+            return {
+                "data_dir": self.config.data_dir,
+                "sync": self.config.sync,
+                "wal_bytes": self._wal_bytes,
+                "last_lsn": self._last_lsn,
+                "last_checkpoint_lsn": self._last_checkpoint_lsn,
+                "wal_appends": self._appends,
+                "checkpoints": self._checkpoints,
+                "checkpoint_failures": self._checkpoint_failures,
+                "failed": self._failed,
+                "snapshots": len(list_snapshots(self.config.data_dir)),
+            }
 
     def close(self) -> None:
-        if self._file is not None:
-            try:
-                self.flush()
-            finally:
-                self._file.close()
-                self._file = None
+        with self._lock:
+            if self._file is not None:
+                try:
+                    self.flush()
+                finally:
+                    self._file.close()
+                    self._file = None
 
 
 def replay(records: list[LogRecord], apply: Callable[[LogRecord], None]) -> int:

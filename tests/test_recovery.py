@@ -285,9 +285,45 @@ def test_env_armed_wal_fault_counts_once(data_dir, monkeypatch):
         db.execute("INSERT INTO r VALUES (5, 50)")
     monkeypatch.delenv("REPRO_FAULT_SITES")
     assert db.resilience_info()["wal_commit_failures"] == 1
-    # The record was written before the fsync fault: unknown outcome,
-    # which recovery resolves in favor of replaying it.
+    # The record was written but never synced: the WAL rolls it back, so
+    # the unacknowledged statement does not survive a reopen (while the
+    # in-memory mutation stands until then).
+    assert (5, 50) in rows(db, "SELECT * FROM r")
     db.close()
     recovered = open_db(data_dir)
-    assert (5, 50) in rows(recovered, "SELECT * FROM r")
+    assert (5, 50) not in rows(recovered, "SELECT * FROM r")
+    recovered.close()
+
+
+def test_concurrent_dml_commits_in_apply_order(data_dir):
+    """Four writer threads (the server's max_in_flight) hammer DML; the
+    commit lock must keep WAL order consistent with apply order, so a
+    reopen reproduces the exact same table."""
+    import threading
+
+    db = seeded(data_dir)
+    errors: list[Exception] = []
+
+    def worker(i: int) -> None:
+        try:
+            for j in range(10):
+                key = 100 + i * 10 + j
+                db.execute(f"INSERT INTO r VALUES ({key}, {key * 10})")
+                if j % 3 == 0:
+                    db.execute(f"UPDATE r SET b = b + 1 WHERE a = {key}")
+        except Exception as error:  # pragma: no cover - failure detail
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    expected = rows(db, "SELECT * FROM r")
+    assert len(expected) == 3 + 40
+    db.close()
+
+    recovered = open_db(data_dir)
+    assert rows(recovered, "SELECT * FROM r") == expected
     recovered.close()

@@ -28,7 +28,8 @@ from repro.storage.wal import (
 
 
 def manager(tmp_path, **overrides) -> DurabilityManager:
-    config = DurabilityConfig(data_dir=str(tmp_path), sync="none", **overrides)
+    overrides.setdefault("sync", "none")
+    config = DurabilityConfig(data_dir=str(tmp_path), **overrides)
     m = DurabilityManager(config)
     m.start()
     return m
@@ -172,6 +173,49 @@ def test_corrupt_newest_snapshot_falls_back_to_older(tmp_path):
     fresh.close()
 
 
+def test_snapshot_fallback_past_wal_base_fails_loudly(tmp_path):
+    """The WAL is truncated at every checkpoint, so a fallback to an
+    older snapshot has no log records covering the interval in between;
+    replaying the tail onto that state would silently lose a whole
+    checkpoint interval — recovery must refuse instead."""
+    m = manager(tmp_path, snapshots_kept=2)
+    m.log("dml", {"sql": "gen 1"})
+    m.checkpoint({"gen": 1})
+    m.log("dml", {"sql": "gen 2"})
+    m.checkpoint({"gen": 2})  # WAL now based at LSN 2
+    m.log("dml", {"sql": "tail"})
+    m.close()
+    newest = snapshot_path(str(tmp_path), 2)
+    raw = bytearray(open(newest, "rb").read())
+    raw[-1] ^= 0xFF
+    open(newest, "wb").write(bytes(raw))
+
+    fresh = DurabilityManager(DurabilityConfig(data_dir=str(tmp_path), sync="none"))
+    with pytest.raises(DurabilityError, match="recovery gap"):
+        fresh.start()
+
+
+def test_every_snapshot_corrupt_past_wal_base_fails_loudly(tmp_path):
+    m = manager(tmp_path)
+    m.log("dml", {"sql": "x"})
+    m.checkpoint({"gen": 1})
+    m.close()
+    for _, path in list_snapshots(str(tmp_path)):
+        open(path, "wb").write(b"broken")
+    fresh = DurabilityManager(DurabilityConfig(data_dir=str(tmp_path), sync="none"))
+    with pytest.raises(DurabilityError, match="recovery gap"):
+        fresh.start()
+
+
+def test_config_rejects_nonpositive_snapshots_kept(tmp_path):
+    # snapshots_kept=0 would make the post-checkpoint prune delete the
+    # snapshot just written — after the WAL was already truncated.
+    with pytest.raises(DurabilityError, match="snapshots_kept"):
+        DurabilityConfig(data_dir=str(tmp_path), snapshots_kept=0)
+    with pytest.raises(DurabilityError, match="threshold"):
+        DurabilityConfig(data_dir=str(tmp_path), checkpoint_every_records=0)
+
+
 def test_snapshot_lsn_filters_already_covered_records(tmp_path):
     """A crash after the snapshot rename but before WAL truncation leaves
     covered records in the log; recovery must not replay them."""
@@ -211,6 +255,81 @@ def test_checkpoint_truncates_log_and_prunes_snapshots(tmp_path):
     fresh.close()
 
 
+def test_concurrent_appends_keep_lsns_dense(tmp_path):
+    """The query server admits concurrent execute() calls; interleaved
+    appends must still produce a dense, fully recoverable LSN sequence."""
+    import threading
+
+    m = manager(tmp_path)
+    lsns: list[int] = []
+    errors: list[Exception] = []
+
+    def worker(i: int) -> None:
+        try:
+            for j in range(25):
+                lsns.append(m.log("dml", {"sql": f"writer {i} stmt {j}"}))
+        except Exception as error:  # pragma: no cover - failure detail
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert sorted(lsns) == list(range(1, 101))
+    m.close()
+
+    fresh = DurabilityManager(DurabilityConfig(data_dir=str(tmp_path), sync="none"))
+    assert [r.lsn for r in fresh.start().records] == list(range(1, 101))
+    fresh.close()
+
+
+def test_concurrent_appends_survive_auto_checkpoints(tmp_path):
+    """A checkpoint closes and replaces the WAL file; appenders racing it
+    must never write into a dead handle or skip an LSN."""
+    import threading
+
+    m = manager(tmp_path)
+    errors: list[Exception] = []
+    done = threading.Event()
+
+    def appender(i: int) -> None:
+        try:
+            for j in range(30):
+                m.log("dml", {"sql": f"writer {i} stmt {j}"})
+        except Exception as error:  # pragma: no cover - failure detail
+            errors.append(error)
+
+    def checkpointer() -> None:
+        try:
+            while not done.is_set():
+                m.checkpoint({"concurrent": True})
+        except Exception as error:  # pragma: no cover - failure detail
+            errors.append(error)
+
+    threads = [threading.Thread(target=appender, args=(i,)) for i in range(3)]
+    chk = threading.Thread(target=checkpointer)
+    for t in threads:
+        t.start()
+    chk.start()
+    for t in threads:
+        t.join()
+    done.set()
+    chk.join()
+    assert errors == []
+    assert m.last_lsn == 90
+    m.close()
+
+    fresh = DurabilityManager(DurabilityConfig(data_dir=str(tmp_path), sync="none"))
+    result = fresh.start()
+    assert result.snapshot_lsn + len(result.records) == 90
+    assert [r.lsn for r in result.records] == list(
+        range(result.snapshot_lsn + 1, 91)
+    )
+    fresh.close()
+
+
 def test_checkpoint_due_thresholds(tmp_path):
     m = manager(tmp_path, checkpoint_every_records=2, checkpoint_every_bytes=1 << 20)
     m.log("dml", {"sql": "a"})
@@ -242,19 +361,71 @@ def test_append_fault_consumes_no_lsn(tmp_path):
     m.close()
 
 
-def test_fsync_fault_leaves_record_in_file(tmp_path):
+def test_fsync_fault_rolls_the_record_back(tmp_path):
     from repro.errors import InjectedFault
 
     m = manager(tmp_path)
     with pytest.raises(InjectedFault):
         m.log("dml", {"sql": "maybe"}, injector=injector_for("storage.wal.fsync"))
-    # Unknown outcome: the bytes were written, so the LSN is consumed and
-    # recovery will replay the record if it reached disk.
-    assert m.last_lsn == 1
-    assert m.log("dml", {"sql": "next"}) == 2
+    # The bytes were written but never synced: the append is truncated
+    # off the file and its LSN stays free, so later records never build
+    # on a frame whose on-disk fate is unknown.
+    assert m.last_lsn == 0
+    assert m.log("dml", {"sql": "next"}) == 1
     m.close()
     fresh = DurabilityManager(DurabilityConfig(data_dir=str(tmp_path), sync="none"))
-    assert [r.lsn for r in fresh.start().records] == [1, 2]
+    records = fresh.start().records
+    assert [(r.lsn, r.data["sql"]) for r in records] == [(1, "next")]
+    fresh.close()
+
+
+def test_sync_failure_truncates_back_to_good_prefix(tmp_path, monkeypatch):
+    """A real OSError from fsync (ENOSPC/EIO) must not leave the manager
+    appending past possibly-unflushed bytes."""
+    m = manager(tmp_path, sync="fsync")
+    m.log("dml", {"sql": "committed"})
+    real_fsync = wal._fsync_file
+    calls = {"n": 0}
+
+    def flaky_fsync(handle):
+        calls["n"] += 1
+        if calls["n"] == 1:  # fail the append's sync, let the rollback's pass
+            raise OSError(28, "No space left on device")
+        real_fsync(handle)
+
+    monkeypatch.setattr(wal, "_fsync_file", flaky_fsync)
+    with pytest.raises(OSError):
+        m.log("dml", {"sql": "lost"})
+    monkeypatch.setattr(wal, "_fsync_file", real_fsync)
+    assert m.last_lsn == 1
+    assert m.log("dml", {"sql": "after"}) == 2
+    m.close()
+    fresh = DurabilityManager(DurabilityConfig(data_dir=str(tmp_path), sync="none"))
+    assert [r.data["sql"] for r in fresh.start().records] == ["committed", "after"]
+    fresh.close()
+
+
+def test_unrollbackable_sync_failure_latches_the_manager(tmp_path, monkeypatch):
+    m = manager(tmp_path, sync="fsync")
+    m.log("dml", {"sql": "committed"})
+
+    def broken_fsync(handle):
+        raise OSError(5, "Input/output error")
+
+    monkeypatch.setattr(wal, "_fsync_file", broken_fsync)
+    with pytest.raises(OSError):
+        m.log("dml", {"sql": "lost"})
+    monkeypatch.undo()
+    # The rollback's own sync failed too: the log state is unknown, so
+    # the manager refuses everything until the directory is reopened.
+    with pytest.raises(DurabilityError, match="latched"):
+        m.log("dml", {"sql": "refused"})
+    with pytest.raises(DurabilityError, match="latched"):
+        m.checkpoint({})
+    assert m.info()["failed"] is not None
+    m.close()
+    fresh = DurabilityManager(DurabilityConfig(data_dir=str(tmp_path), sync="none"))
+    assert [r.data["sql"] for r in fresh.start().records] == ["committed"]
     fresh.close()
 
 
