@@ -2,10 +2,23 @@
 
 from __future__ import annotations
 
+import random
 import time
 
 from repro.engine import EvalOptions
 from repro.optimizer import plan_query
+
+#: Every benchmark that generates its own data derives its RNG from this
+#: seed, so counters and result checksums in the ``BENCH_*.json``
+#: artifacts are bit-stable across runs — a prerequisite for the CI
+#: regression gate, which diffs those artifacts against committed
+#: baselines (see ``repro bench-report --compare``).
+BENCH_SEED = 20260809
+
+
+def seeded_rng(workload: str) -> random.Random:
+    """A deterministic per-workload RNG (same rows every run)."""
+    return random.Random(f"{BENCH_SEED}:{workload}")
 
 
 def bench_query(benchmark, sql, catalog, strategy, rounds=1, budget=120.0):

@@ -31,6 +31,7 @@ Figure-7 harness).
 
 from __future__ import annotations
 
+import os as _os
 import threading
 from typing import Iterable, Sequence
 
@@ -48,6 +49,7 @@ from repro.service.plancache import CacheInfo, PlanCache
 from repro.service.prepared import PreparedStatement
 from repro.sql.classify import QueryClass
 from repro.storage import Catalog, Column, ColumnType, Schema, Table
+from repro.storage.mvcc import SnapshotCatalog, SnapshotHandle, SnapshotManager
 from repro.storage.wal import DurabilityConfig, DurabilityManager, LogRecord
 
 __version__ = "1.0.0"
@@ -67,6 +69,9 @@ __all__ = [
     "ResourceExhausted",
     "ResourceLimits",
     "Schema",
+    "SnapshotCatalog",
+    "SnapshotHandle",
+    "SnapshotManager",
     "Table",
     "EvalOptions",
     "UnnestOptions",
@@ -106,6 +111,12 @@ class Database:
         durability: DurabilityConfig | None = None,
     ):
         self.catalog = Catalog()
+        # Multi-version concurrency control: every committed mutation
+        # appends per-table versions at a fresh commit LSN; read queries
+        # pin the current LSN and execute against frozen snapshots, so
+        # they never take ``_commit_lock``.  See repro.storage.mvcc and
+        # docs/parallel.md.
+        self._snapshots = SnapshotManager()
         self._views: dict[str, object] = {}
         self._plan_cache = PlanCache(plan_cache_capacity)
         # View DDL changes what a cached plan means without touching any
@@ -126,6 +137,15 @@ class Database:
             "rows_read": 0,
             "rows_skipped": 0,
             "blocks_skipped": 0,
+        }
+        # Cumulative shard-parallel counters (see ExecContext.parallel),
+        # surfaced through parallel_info() and the service /metrics body.
+        self._parallel_totals = {
+            "shard_tasks": 0,
+            "parallel_filters": 0,
+            "parallel_group_bys": 0,
+            "parallel_joins": 0,
+            "inline_fallbacks": 0,
         }
         # Durability (None = pure in-memory).  The original SQL of each
         # view is kept alongside the parsed form so snapshots can store
@@ -213,6 +233,7 @@ class Database:
         }
 
     def _load_snapshot_state(self, state: dict) -> None:
+        loaded: dict[str, Table] = {}
         for name, payload in state.get("tables", {}).items():
             schema = Schema(
                 [Column(col, ColumnType(kind)) for col, kind in payload["columns"]]
@@ -220,6 +241,12 @@ class Database:
             rows = [tuple(row) for row in payload["rows"]]
             table = Table(schema, rows, name=payload.get("table_name") or name)
             self.catalog.register(table, name)
+            loaded[name.lower()] = table
+        if loaded:
+            # One commit LSN covering the whole checkpoint: the snapshot
+            # is a single consistent state, so its version chain entry is
+            # a single consistent LSN too.
+            self._snapshots.commit(loaded)
         for name, sql in state.get("views", []):
             self.create_view(name, sql)
         for index in state.get("indexes", []):
@@ -239,6 +266,7 @@ class Database:
             rows = [tuple(row) for row in data["rows"]]
             table = Table(schema, rows, name=data.get("table_name") or data["name"])
             self.catalog.register(table, data["name"])
+            self._snapshots.commit({data["name"].lower(): table})
         elif kind == "drop_table":
             self.drop_table(data["name"])
         elif kind == "create_view":
@@ -328,6 +356,7 @@ class Database:
         with self._commit_lock:
             self.catalog.register(table)
             self._log_table_registration(table, name)
+            self._snapshots.commit({name.lower(): table})
         return table
 
     def register(self, table: Table, name: str | None = None) -> None:
@@ -335,6 +364,7 @@ class Database:
         with self._commit_lock:
             self.catalog.register(table, name)
             self._log_table_registration(table, name)
+            self._snapshots.commit({(name or table.name).lower(): table})
 
     def _log_table_registration(self, table: Table, name: str | None) -> None:
         if self._durability is None:
@@ -356,6 +386,7 @@ class Database:
             self.catalog.drop(name)
             self._plan_cache.invalidate_table(name)
             self._log_durable("drop_table", {"name": name.lower()})
+            self._snapshots.note_drop(name)
 
     def analyze(self, name: str | None = None) -> None:
         """Refresh optimizer statistics after bulk loads.
@@ -477,6 +508,7 @@ class Database:
         options: EvalOptions | None = None,
         unnest_options: UnnestOptions | None = None,
         params=None,
+        at_lsn: int | None = None,
     ) -> Table:
         """Run ``sql`` and return the result table.
 
@@ -494,6 +526,14 @@ class Database:
         canonical row-engine plan before any error reaches the caller.
         Deliberate verdicts — budget, cancellation, governor limits —
         are not retried.
+
+        Read queries run under **snapshot isolation**: the current commit
+        LSN is pinned before execution and every table scan sees exactly
+        the state as of that LSN, concurrent writers notwithstanding —
+        readers never take the commit lock.  ``at_lsn`` executes against
+        an older pinned LSN instead (the caller must hold a pin from
+        :meth:`pin_snapshot`, e.g. a server session); it is ignored for
+        DML and DDL, which always act on the live state.
         """
         stripped = sql.lstrip().lower()
         if stripped.startswith(("insert", "delete", "update")):
@@ -512,40 +552,67 @@ class Database:
             # table version); the cache's own drift threshold re-costs
             # plans once the table's cardinality moves far enough.
             with self._commit_lock:
-                result = execute_dml(statement, self.catalog, self._views)
-                # The statement commits (is acknowledged) only once its
-                # WAL record is synced; durability fault sites arm from
-                # the same options/env plumbing as the engine sites.
-                injector = None
-                if self._durability is not None:
-                    injector = self._armed_options(options or EvalOptions()).faults
-                self._log_durable("dml", {"sql": sql}, injector=injector)
+                key = statement.table.lower()
+                # Capture the pre-statement state: a reader resolving the
+                # newest LSN mid-apply is served this capture instead of
+                # the half-mutated live table.
+                if key in self.catalog:
+                    self._snapshots.begin(key, self.catalog.table(key))
+                try:
+                    result = execute_dml(statement, self.catalog, self._views)
+                    # The statement commits (is acknowledged) only once its
+                    # WAL record is synced; durability fault sites arm from
+                    # the same options/env plumbing as the engine sites.
+                    injector = None
+                    if self._durability is not None:
+                        injector = self._armed_options(
+                            options or EvalOptions()
+                        ).faults
+                    self._log_durable("dml", {"sql": sql}, injector=injector)
+                except BaseException:
+                    self._snapshots.abort(key)
+                    raise
+                # Applied and logged: publish the statement as a new
+                # readable version at the next commit LSN.
+                self._snapshots.commit({key: self.catalog.table(key)})
             return result.as_table()
         if stripped.startswith(("create", "drop")):
             return self._execute_ddl(sql, params)
-        if unnest_options is not None:
-            return execute_sql(
-                sql, self.catalog, strategy, options, unnest_options,
-                views=self._views, params=params,
-            )
-        base = self._armed_options(options or EvalOptions())
-        engine = "vectorized" if base.vectorized else "row"
-        planned = self._cached_plan(sql, strategy, engine=engine)
+        handle = None
+        if at_lsn is None:
+            handle = self._snapshots.pin()
+            lsn = handle.lsn
+        else:
+            lsn = at_lsn
+        read_catalog = SnapshotCatalog(self.catalog, self._snapshots, lsn)
         try:
-            result, ctx = planned.execute(
-                self.catalog, base, with_context=True, params=params
-            )
-            self._absorb_access(ctx)
-            return result
-        except ReproError as error:
-            if not getattr(error, "retryable", False):
-                raise
-            if engine == "row" and planned.chosen_alternative == "canonical":
-                # Nothing simpler to fall back to.
-                raise
-            return self._heal_execution(
-                sql, strategy, engine, planned, base, params, error
-            )
+            if unnest_options is not None:
+                return execute_sql(
+                    sql, read_catalog, strategy, options, unnest_options,
+                    views=self._views, params=params,
+                )
+            base = self._armed_options(options or EvalOptions())
+            engine = "vectorized" if base.vectorized else "row"
+            planned = self._cached_plan(sql, strategy, engine=engine)
+            try:
+                result, ctx = planned.execute(
+                    read_catalog, base, with_context=True, params=params
+                )
+                self._absorb_access(ctx)
+                return result
+            except ReproError as error:
+                if not getattr(error, "retryable", False):
+                    raise
+                if engine == "row" and planned.chosen_alternative == "canonical":
+                    # Nothing simpler to fall back to.
+                    raise
+                return self._heal_execution(
+                    sql, strategy, engine, planned, base, params, error,
+                    read_catalog,
+                )
+        finally:
+            if handle is not None:
+                self._snapshots.unpin(handle)
 
     def _heal_execution(
         self,
@@ -556,6 +623,7 @@ class Database:
         base: EvalOptions,
         params,
         error: ReproError,
+        read_catalog=None,
     ) -> Table:
         """Degrade a failed execution to the canonical row-engine plan.
 
@@ -587,7 +655,10 @@ class Database:
         healed_options = _dc_replace(base, vectorized=False, faults=None)
         fallback = self._cached_plan(sql, "canonical", engine="row")
         result, ctx = fallback.execute(
-            self.catalog, healed_options, with_context=True, params=params
+            read_catalog if read_catalog is not None else self.catalog,
+            healed_options,
+            with_context=True,
+            params=params,
         )
         self._absorb_access(ctx)
         self._fallback_successes += 1
@@ -609,6 +680,10 @@ class Database:
             limits = ResourceLimits.from_env()
             if limits is not None:
                 updates["resources"] = limits
+        if base.parallel_workers == 0:
+            env_workers = _os.environ.get("REPRO_PARALLEL_WORKERS", "").strip()
+            if env_workers.isdigit() and int(env_workers) >= 2:
+                updates["parallel_workers"] = int(env_workers)
         return _dc_replace(base, **updates) if updates else base
 
     def resilience_info(self) -> dict:
@@ -627,17 +702,63 @@ class Database:
     def _absorb_access(self, ctx) -> None:
         """Fold one execution's access-path counters into the totals."""
         counters = getattr(ctx, "access", None)
-        if not counters:
-            return
-        totals = self._access_totals
-        for key, value in counters.items():
-            totals[key] = totals.get(key, 0) + value
+        if counters:
+            totals = self._access_totals
+            for key, value in counters.items():
+                totals[key] = totals.get(key, 0) + value
+        shard_counters = getattr(ctx, "parallel", None)
+        if shard_counters:
+            totals = self._parallel_totals
+            for key, value in shard_counters.items():
+                totals[key] = totals.get(key, 0) + value
 
     def access_info(self) -> dict:
         """Cumulative access-path counters plus the index inventory."""
         info = dict(self._access_totals)
         info["indexes"] = self.catalog.index_info()
         return info
+
+    def parallel_info(self) -> dict:
+        """Shard-parallel counters for this database plus pool state.
+
+        Per-database counters come from absorbed execution contexts;
+        the ``pool`` sub-dict reports the process-wide worker pool (see
+        :func:`repro.engine.parallel.parallel_totals`).
+        """
+        info = dict(self._parallel_totals)
+        try:
+            from repro.engine.parallel import parallel_totals
+
+            info["pool"] = parallel_totals()
+        except ImportError:  # numpy missing: the row engine never shards
+            info["pool"] = None
+        return info
+
+    # -- snapshots (MVCC) ---------------------------------------------------
+
+    @property
+    def commit_lsn(self) -> int:
+        """The newest committed LSN (what a fresh pin would read)."""
+        return self._snapshots.lsn
+
+    def pin_snapshot(self, lsn: int | None = None) -> SnapshotHandle:
+        """Pin a commit LSN (default: the newest) for repeatable reads.
+
+        Queries run with ``execute(..., at_lsn=handle.lsn)`` observe the
+        database exactly as of that LSN, no matter how many writers
+        commit in between.  The pin keeps the reachable versions from
+        being garbage-collected; release it with
+        :meth:`release_snapshot`.
+        """
+        return self._snapshots.pin(lsn)
+
+    def release_snapshot(self, handle: SnapshotHandle) -> None:
+        """Release a pin taken with :meth:`pin_snapshot` (idempotent)."""
+        self._snapshots.unpin(handle)
+
+    def mvcc_info(self) -> dict:
+        """Version-chain and pin counters (see docs/parallel.md)."""
+        return self._snapshots.info()
 
     def prepare(self, sql: str, strategy: str = "auto") -> PreparedStatement:
         """Plan a parameterized query once; execute it many times."""

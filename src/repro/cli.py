@@ -9,7 +9,8 @@ Commands
 ``generate``     write an RST or TPC-H dataset as CSV files
 ``shell``        a minimal interactive loop
 ``recover``      open a durable --data-dir, report recovery, optionally checkpoint
-``bench-report`` summarize BENCH_*.json benchmark artifacts
+``bench-report`` summarize BENCH_*.json artifacts; ``--compare BASELINE
+CURRENT`` gates CI on non-timing counter regressions
 
 ``run``/``explain``/``shell`` accept repeated ``--index
 name:table:column[:kind]`` options to build secondary indexes before
@@ -148,6 +149,17 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "files", nargs="*", default=[], metavar="FILE",
         help="artifact files (default: BENCH_*.json in the current directory)",
+    )
+    report.add_argument(
+        "--compare", nargs=2, metavar=("BASELINE", "CURRENT"),
+        help="regression gate: diff two artifacts' non-timing numeric "
+             "counters and exit nonzero when CURRENT regresses",
+    )
+    report.add_argument(
+        "--tolerance", type=float, default=0.3,
+        help="relative drift allowed before a counter counts as a "
+             "regression (default 0.3; exact-match counters like result "
+             "checksums always fail on any change)",
     )
 
     serve = sub.add_parser("serve", help="run the JSON-over-HTTP SQL server")
@@ -577,20 +589,126 @@ def cmd_recover(args, out) -> int:
 
 def cmd_bench_report(args, out) -> int:
     import glob
-    import json
 
+    if getattr(args, "compare", None):
+        baseline, current = args.compare
+        return _compare_bench(baseline, current, args.tolerance, out)
     files = list(args.files) or sorted(glob.glob("BENCH_*.json"))
     if not files:
         raise ReproError("no benchmark artifacts (pass files or run the benchmarks)")
     for path in files:
-        try:
-            with open(path) as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError) as error:
-            raise ReproError(f"cannot read benchmark artifact {path!r}: {error}")
+        payload = _load_bench(path)
         out.write(f"{path}\n")
         for line in _flatten_bench(payload):
             out.write(f"  {line}\n")
+    return 0
+
+
+def _load_bench(path: str):
+    import json
+
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as error:
+        raise ReproError(f"cannot read benchmark artifact {path!r}: {error}")
+
+
+# Numeric leaves whose names match this pattern are wall-clock (or derived
+# from wall-clock) and vary run to run; the regression gate never compares
+# them.  Everything else in a BENCH artifact is a structural counter —
+# rows, checksums, operator/task counts — and is deterministic because the
+# benchmarks seed their data (see benchmarks/bench_util.BENCH_SEED).
+_TIMING_KEY = None
+
+
+def _is_timing_key(key: str) -> bool:
+    global _TIMING_KEY
+    if _TIMING_KEY is None:
+        import re
+
+        _TIMING_KEY = re.compile(
+            r"(?i)(seconds|latency|elapsed|duration|p50|p9[059]"
+            r"|ratio|speedup|overhead|per_sec|cores|qps)"
+        )
+    return _TIMING_KEY.search(key) is not None
+
+
+def _counter_leaves(payload, prefix="") -> dict:
+    """Flatten to ``dotted.key -> number``, keeping only gated counters."""
+    leaves = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            leaves.update(_counter_leaves(value, f"{prefix}{key}."))
+        return leaves
+    key = prefix[:-1]
+    # bool is an int subclass; flags like inprocess_mode are environment
+    # descriptors, not counters.
+    if isinstance(payload, bool) or not isinstance(payload, (int, float)):
+        return leaves
+    if not _is_timing_key(key):
+        leaves[key] = float(payload)
+    return leaves
+
+
+def _regression(key: str, base: float, cur: float, tolerance: float) -> str | None:
+    """Return a human-readable reason when ``cur`` regresses, else None."""
+    if "checksum" in key:
+        # Result digests are exact: any drift means the query returned
+        # different rows, which no tolerance excuses.
+        if cur != base:
+            return f"{key}: checksum changed {base:.0f} -> {cur:.0f}"
+        return None
+    drift = (cur - base) / max(abs(base), 1.0)
+    if abs(drift) <= tolerance:
+        return None
+    worse_high = ("fallback", "error", "failure", "retries", "torn", "dropped",
+                  "miss", "rejected", "cancelled")
+    worse_low = ("skipped", "hit")
+    name = key.lower()
+    if any(h in name for h in worse_high) and drift < 0:
+        return None  # fewer failures than baseline: an improvement
+    if any(h in name for h in worse_low) and drift > 0:
+        return None  # e.g. more rows skipped by zone maps: an improvement
+    return f"{key}: {base:g} -> {cur:g} ({drift:+.0%}, tolerance {tolerance:.0%})"
+
+
+def _compare_bench(baseline_path: str, current_path: str, tolerance, out) -> int:
+    """The CI regression gate: nonzero exit when counters drift.
+
+    Timing leaves are excluded (CI runners are too noisy to gate on
+    wall-clock); what remains — row counts, result checksums, access and
+    shard-task counters — is bit-stable under the seeded benchmarks, so a
+    drift past ``tolerance`` means the code changed behaviour, not the
+    machine changed speed.  Counters with an obvious direction (failure
+    counts, skip counts) only fail when they move the *bad* way.
+    """
+    base = _counter_leaves(_load_bench(baseline_path))
+    cur = _counter_leaves(_load_bench(current_path))
+    problems = []
+    for key in sorted(base):
+        if key not in cur:
+            problems.append(f"{key}: tracked counter missing from {current_path}")
+            continue
+        reason = _regression(key, base[key], cur[key], tolerance)
+        if reason is not None:
+            problems.append(reason)
+    new_keys = sorted(set(cur) - set(base))
+    out.write(
+        f"bench-compare: {current_path} vs baseline {baseline_path} "
+        f"({len(base)} counters, tolerance {tolerance:.0%})\n"
+    )
+    for key in new_keys:
+        out.write(f"  note: new counter {key} = {cur[key]:g} (not in baseline)\n")
+    if problems:
+        for reason in problems:
+            out.write(f"  REGRESSION {reason}\n")
+        out.write(
+            f"{len(problems)} regression(s); if intentional, regenerate the "
+            "baseline (see benchmarks/baselines/README.md)\n"
+        )
+        return 1
+    out.write("no regressions\n")
     return 0
 
 

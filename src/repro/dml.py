@@ -175,7 +175,10 @@ def _execute_delete(stmt: ast.DeleteStmt, catalog: Catalog, views) -> DmlResult:
     table = catalog.table(stmt.table)
     if stmt.where is None:
         affected = len(table)
-        table.rows.clear()
+        # Swap in a fresh list instead of clearing in place: MVCC
+        # snapshots pinned at older LSNs keep the old list alive by
+        # reference (see repro.storage.mvcc).
+        table.rows = []
         table.invalidate()
         catalog.refresh_indexes(stmt.table)
         catalog.analyze(stmt.table)
@@ -186,7 +189,9 @@ def _execute_delete(stmt: ast.DeleteStmt, catalog: Catalog, views) -> DmlResult:
     bypass = L.BypassSelect(scan, predicate)
     keep = execute_plan(bypass.negative, catalog).rows
     affected = len(table) - len(keep)
-    table.rows[:] = keep
+    # New list, not in-place splice: older MVCC versions reference the
+    # previous list and must keep seeing the pre-statement rows.
+    table.rows = list(keep)
     table.invalidate()
     catalog.refresh_indexes(stmt.table)
     catalog.analyze(stmt.table)
@@ -236,7 +241,9 @@ def _execute_update(stmt: ast.UpdateStmt, catalog: Catalog, views) -> DmlResult:
         merged.append((row[arity], tuple(row[:arity])))
     merged.sort(key=lambda pair: pair[0])
 
-    table.rows[:] = [row for _, row in merged]
+    # New list, not in-place splice: older MVCC versions reference the
+    # previous list and must keep seeing the pre-statement rows.
+    table.rows = [row for _, row in merged]
     table.invalidate()
     catalog.refresh_indexes(stmt.table)
     catalog.analyze(stmt.table)

@@ -31,13 +31,18 @@ from repro.storage.schema import Schema
 
 
 def compile_plan(
-    plan: L.Operator, catalog: Catalog, vectorized: bool = False
+    plan: L.Operator, catalog: Catalog, vectorized: bool = False, options=None
 ) -> P.PhysicalOperator:
     """Compile a logical plan DAG into a physical plan DAG.
 
     With ``vectorized=True`` the batch compiler is used: operators the
     columnar runtime covers become batch operators, everything else
     falls back per-node to the row interpreter.  Requires numpy.
+
+    ``options`` (an :class:`~repro.engine.context.EvalOptions` or None)
+    lets the compiler make cost-based physical choices — currently the
+    shard-parallel operator selection driven by ``parallel_workers``
+    and the cardinality model.
     """
     if vectorized:
         try:
@@ -47,16 +52,17 @@ def compile_plan(
                 f"the vectorized engine requires numpy ({exc}); "
                 "re-run without vectorized mode"
             ) from exc
-        compiler: _Compiler = VectorCompiler(catalog)
+        compiler: _Compiler = VectorCompiler(catalog, options)
     else:
-        compiler = _Compiler(catalog)
+        compiler = _Compiler(catalog, options)
     compiler.count_references(plan)
     return compiler.compile(plan)
 
 
 class _Compiler:
-    def __init__(self, catalog: Catalog):
+    def __init__(self, catalog: Catalog, options=None):
         self.catalog = catalog
+        self.options = options
         self.memo: dict[int, P.PhysicalOperator] = {}
         self.refcount: dict[int, int] = {}
         #: id(BypassJoin) -> fused negative-stream filter (logical Select)
@@ -155,7 +161,10 @@ class _Compiler:
     def _compile_IndexScan(self, node: L.IndexScan) -> P.PhysicalOperator:
         table = self.catalog.table(node.table_name)
         index = self.catalog.index(node.index_name)
-        if index.table is not table:
+        # An MVCC snapshot view reports the live table it froze; the
+        # ownership check runs against that base (the operators swap in
+        # a per-snapshot transient index at probe time).
+        if index.table is not getattr(table, "base_table", table):
             raise PlanningError(
                 f"index {node.index_name!r} no longer belongs to table "
                 f"{node.table_name!r}; re-plan the query"
@@ -171,7 +180,7 @@ class _Compiler:
     def _compile_IndexNLJoin(self, node: L.IndexNLJoin) -> P.PhysicalOperator:
         table = self.catalog.table(node.right.table_name)
         index = self.catalog.index(node.index_name)
-        if index.table is not table:
+        if index.table is not getattr(table, "base_table", table):
             raise PlanningError(
                 f"index {node.index_name!r} no longer belongs to table "
                 f"{node.right.table_name!r}; re-plan the query"
@@ -305,7 +314,9 @@ class _Compiler:
             residual_expr = None
         return left_positions, right_positions, residual_expr
 
-    def _compile_join_family(self, node, kind: str, defaults: dict | None = None) -> P.PhysicalOperator:
+    def _compile_join_family(
+        self, node, kind: str, defaults: dict | None = None
+    ) -> P.PhysicalOperator:
         left = self.compile(node.left)
         right = self.compile(node.right)
         combined = node.left.schema.concat(node.right.schema)

@@ -25,6 +25,7 @@ from typing import Callable, Sequence
 from repro.algebra.aggregates import AggSpec, evaluate_spec
 from repro.errors import ExecutionError
 from repro.storage.index import probe_bounds
+from repro.storage.mvcc import resolve_index
 from repro.storage.schema import Schema
 
 
@@ -172,9 +173,11 @@ class PIndexScan(PhysicalOperator):
         self.projection = tuple(projection) if projection is not None else None
 
     def _probe(self, ctx, env):
-        self.index.refresh()
+        # Live table: the shared, lazily refreshed index.  MVCC snapshot:
+        # a per-version transient index over exactly the frozen rows.
+        index = resolve_index(self.index, self.table)
         evaluated = tuple((op, fn(ctx, env)(())) for op, fn in self.bounds)
-        lookup = probe_bounds(self.index, evaluated)
+        lookup = probe_bounds(index, evaluated)
         ctx.access["index_scans"] += 1
         ctx.access["blocks_skipped"] += lookup.blocks_skipped
         ctx.tick(max(lookup.rows_examined, 1))
@@ -220,7 +223,7 @@ class PIndexNLJoin(PhysicalOperator):
 
     def _run(self, ctx, env):
         left_rows = self.left.execute(ctx, env)
-        self.index.refresh()
+        index = resolve_index(self.index, self.table)
         fn = self.residual(ctx, env) if self.residual is not None else None
         rows = self.table.rows
         position = self.left_position
@@ -230,7 +233,7 @@ class PIndexNLJoin(PhysicalOperator):
             value = left_row[position]
             if value is None:
                 continue
-            matches = self.index.eq_positions(value)
+            matches = index.eq_positions(value)
             examined += len(matches)
             for match in matches:
                 combined = left_row + rows[match]

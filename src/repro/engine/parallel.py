@@ -1,0 +1,512 @@
+"""Shard-parallel batch operators over a ``multiprocessing`` worker pool.
+
+The vectorized engine's :class:`~repro.storage.batch.Batch` is the wire
+unit: an operator splits its input batch into hash/range shards, ships
+each shard to a worker process, and gathers the per-shard results.
+Three operator families parallelise:
+
+* **filters** (:class:`VParallelFilter`) — each worker compiles the
+  logical predicate against the child schema and filters its shard;
+* **aggregation** (:class:`VParallelHashGroupBy`,
+  :class:`VParallelScalarAgg`) — workers compute the *inner partials*
+  ``fI(...)`` of Equivalence 4 per shard (``spec.with_partial()``), and
+  the gather step merges them with ``Aggregate.combine`` and finalises
+  with ``fO`` — exactly the paper's decomposable-aggregate contract, so
+  only specs with ``is_decomposable`` reach this path;
+* **hash joins** (:class:`VParallelHashJoin`) — key codes are already
+  factorised; workers match ``code % workers`` partitions and the
+  gather re-sorts pairs into the serial left-major order, keeping the
+  output bit-identical to :class:`~repro.engine.vector_ops.VHashJoin`.
+
+Compiled kernels are closures and cannot cross a process boundary, so
+workers receive *logical* expressions (picklable dataclasses) plus the
+input schema and recompile locally — compilation is microseconds,
+shipping rows is the real cost.
+
+The pool is a lazily created, process-wide ``ProcessPoolExecutor`` with
+the ``spawn`` start method (``fork`` is unsafe under the SQL server's
+threads).  Three fallbacks keep behaviour correct everywhere:
+
+* ``REPRO_PARALLEL_INPROCESS=1`` runs the worker functions inline in
+  the parent — same code path minus the processes; this is what CI uses
+  on single-core runners for deterministic coverage;
+* a broken or unavailable pool (sandboxes without ``/dev/shm``, spawn
+  failures) degrades to inline execution permanently;
+* fault injection, correlated environments, and tiny batches keep the
+  serial operator path at runtime.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.algebra.aggregates import STAR, AggSpec, evaluate_spec
+from repro.engine import vector_ops as V
+from repro.engine.context import EvalOptions, ExecContext
+from repro.storage.batch import Batch, column_to_pylist
+from repro.storage.schema import Schema
+
+# ---------------------------------------------------------------------------
+# Worker pool
+# ---------------------------------------------------------------------------
+
+_POOL: ProcessPoolExecutor | None = None
+_POOL_WORKERS = 0
+_POOL_BROKEN = False
+_POOL_LOCK = threading.Lock()
+
+#: Process-wide totals, absorbed by ``Database.parallel_info`` and the
+#: server's ``/metrics`` endpoint.
+_TOTALS = {
+    "shard_tasks": 0,
+    "parallel_filters": 0,
+    "parallel_group_bys": 0,
+    "parallel_joins": 0,
+    "inline_fallbacks": 0,
+}
+_TOTALS_LOCK = threading.Lock()
+
+
+def inprocess_mode() -> bool:
+    """True when ``REPRO_PARALLEL_INPROCESS`` forces inline execution."""
+    return os.environ.get("REPRO_PARALLEL_INPROCESS", "") not in ("", "0")
+
+
+def _ensure_import_path() -> None:
+    """Make ``repro`` importable in spawned children via ``PYTHONPATH``.
+
+    ``spawn`` children inherit the environment, not ``sys.path``; when
+    the parent imported ``repro`` through a path manipulation only, the
+    children would fail at unpickle time.  Mutating the parent's
+    environment is deliberate — the pool outlives this call and workers
+    spawn lazily on first submit.
+    """
+    src_root = str(Path(__file__).resolve().parents[2])
+    existing = os.environ.get("PYTHONPATH", "")
+    parts = existing.split(os.pathsep) if existing else []
+    if src_root not in parts:
+        os.environ["PYTHONPATH"] = os.pathsep.join([src_root] + parts)
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor | None:
+    """The shared pool, grown to at least ``workers``; None when broken."""
+    global _POOL, _POOL_WORKERS
+    with _POOL_LOCK:
+        if _POOL_BROKEN:
+            return None
+        if _POOL is not None and _POOL_WORKERS >= workers:
+            return _POOL
+        old = _POOL
+        _POOL = None
+        if old is not None:
+            old.shutdown(wait=False, cancel_futures=True)
+        try:
+            _ensure_import_path()
+            _POOL = ProcessPoolExecutor(
+                max_workers=workers, mp_context=get_context("spawn")
+            )
+            _POOL_WORKERS = workers
+        except Exception:
+            _mark_broken_locked()
+            return None
+        return _POOL
+
+
+def _mark_broken_locked() -> None:
+    global _POOL, _POOL_WORKERS, _POOL_BROKEN
+    _POOL_BROKEN = True
+    _POOL = None
+    _POOL_WORKERS = 0
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared pool (tests; harmless when never started)."""
+    global _POOL, _POOL_WORKERS, _POOL_BROKEN
+    with _POOL_LOCK:
+        old = _POOL
+        _POOL = None
+        _POOL_WORKERS = 0
+        _POOL_BROKEN = False
+    if old is not None:
+        old.shutdown(wait=True, cancel_futures=True)
+
+
+def run_tasks(fn: Callable, arg_tuples: Sequence[tuple], workers: int, ctx=None) -> list:
+    """Run ``fn(*args)`` for each tuple, on the pool or inline.
+
+    Pool-infrastructure failures (broken pool, spawn errors, pickling
+    surprises) fall back to inline execution and poison the pool so
+    later queries skip the attempt; genuine worker exceptions — the
+    query's own errors — propagate to the caller unchanged.
+    """
+    if not inprocess_mode():
+        pool = _get_pool(workers)
+        if pool is not None:
+            try:
+                futures = [pool.submit(fn, *args) for args in arg_tuples]
+                return [future.result() for future in futures]
+            except (BrokenProcessPool, OSError, pickle.PicklingError):
+                with _POOL_LOCK:
+                    _mark_broken_locked()
+    if ctx is not None:
+        ctx.parallel["inline_fallbacks"] += 1
+        _note_total("inline_fallbacks", 1)
+    return [fn(*args) for args in arg_tuples]
+
+
+def _note(ctx, kind: str, tasks: int) -> None:
+    ctx.parallel[kind] += 1
+    ctx.parallel["shard_tasks"] += tasks
+    with _TOTALS_LOCK:
+        _TOTALS[kind] += 1
+        _TOTALS["shard_tasks"] += tasks
+
+
+def _note_total(kind: str, amount: int) -> None:
+    with _TOTALS_LOCK:
+        _TOTALS[kind] += amount
+
+
+def parallel_totals() -> dict:
+    """Snapshot of the process-wide shard counters plus pool state."""
+    with _TOTALS_LOCK:
+        snapshot = dict(_TOTALS)
+    snapshot["pool_alive"] = _POOL is not None
+    snapshot["pool_workers"] = _POOL_WORKERS
+    snapshot["pool_broken"] = _POOL_BROKEN
+    snapshot["inprocess_mode"] = inprocess_mode()
+    return snapshot
+
+
+# ---------------------------------------------------------------------------
+# Batch wire format and sharding
+# ---------------------------------------------------------------------------
+
+
+def pack_batch(batch: Batch) -> tuple:
+    """Compact a batch into a picklable (schema, data, valid, length) tuple."""
+    compacted = batch.compact()
+    return (compacted.schema, tuple(compacted.data), tuple(compacted.valid), len(compacted))
+
+
+def unpack_batch(payload: tuple) -> Batch:
+    schema, data, valid, length = payload
+    return Batch(schema, list(data), list(valid), length)
+
+
+def split_batch(batch: Batch, shards: int) -> list[Batch]:
+    """Cut ``batch`` into up to ``shards`` contiguous, compact slices."""
+    compacted = batch.compact()
+    n = len(compacted)
+    bounds = np.linspace(0, n, shards + 1).astype(np.int64)
+    parts = []
+    for index in range(shards):
+        lo, hi = int(bounds[index]), int(bounds[index + 1])
+        if hi > lo:
+            parts.append(compacted.take(np.arange(lo, hi, dtype=np.int64)))
+    return parts
+
+
+def _runtime_workers(ctx, rows: int, configured: int) -> int:
+    """Re-check the fan-out decision against runtime state.
+
+    The compile-time choice used *estimated* rows; actual inputs can be
+    far smaller.  Fault injection keeps the serial path so chaos configs
+    hit deterministic sites.
+    """
+    if configured < 2 or ctx.faults is not None:
+        return 0
+    if rows < 2 * configured:
+        return 0
+    return configured
+
+
+def _worker_ctx(params) -> ExecContext:
+    return ExecContext(EvalOptions(params=params))
+
+
+def _rehydrate_spec(spec: AggSpec) -> AggSpec:
+    """Restore the STAR sentinel's identity after a pickle round-trip."""
+    if spec.arg == STAR and spec.arg is not STAR:
+        return AggSpec(spec.func, STAR, spec.distinct, spec.as_partial)
+    return spec
+
+
+def _agg_column(spec: AggSpec, schema: Schema, star_positions) -> V.VAggColumn:
+    if spec.arg is STAR:
+        return V.VAggColumn(spec, None, star_positions)
+    from repro.engine.vector_kernels import compile_value
+
+    return V.VAggColumn(spec, compile_value(spec.arg, schema), star_positions)
+
+
+# ---------------------------------------------------------------------------
+# Worker functions (module-level: pickled by reference under ``spawn``)
+# ---------------------------------------------------------------------------
+
+
+def _filter_shard(payload: tuple, predicate, schema: Schema, params) -> tuple:
+    """Filter one shard by a locally compiled predicate kernel."""
+    from repro.engine.vector_kernels import compile_predicate
+
+    batch = unpack_batch(payload)
+    ctx = _worker_ctx(params)
+    kernel = compile_predicate(predicate, schema)
+    is_true, _ = kernel(ctx, {})(batch)
+    return pack_batch(batch.filter(is_true))
+
+
+def _group_shard(
+    payload: tuple,
+    key_positions: tuple,
+    agg_items: Sequence[tuple],
+    out_schema: Schema,
+    params,
+) -> tuple:
+    """Per-shard grouped partials: ``Γkeys; fI(...)`` over one shard."""
+    batch = unpack_batch(payload)
+    ctx = _worker_ctx(params)
+    columns = []
+    for spec, star_positions in agg_items:
+        spec = _rehydrate_spec(spec).with_partial(True)
+        columns.append(_agg_column(spec, batch.schema, star_positions))
+    grouped = V.VHashGroupBy(_BatchSource(batch), out_schema, key_positions, columns, ())
+    return pack_batch(grouped.execute_batch(ctx, {}))
+
+
+def _scalar_shard(payload: tuple, agg_items: Sequence[tuple], params) -> list:
+    """Per-shard scalar partials: one ``fI`` state per aggregate."""
+    batch = unpack_batch(payload)
+    ctx = _worker_ctx(params)
+    states = []
+    for spec, star_positions in agg_items:
+        spec = _rehydrate_spec(spec).with_partial(True)
+        if spec.resolved_name() == "count_star":
+            states.append(len(batch))
+            continue
+        column = _agg_column(spec, batch.schema, star_positions)
+        extracted = column.values(ctx, {}, batch)
+        if not isinstance(extracted, list):
+            extracted = column_to_pylist(*extracted)
+        states.append(evaluate_spec(spec, extracted))
+    return states
+
+
+def _match_shard(lcodes: np.ndarray, rcodes: np.ndarray) -> tuple:
+    """Equi-match one ``code % workers`` partition (codes pre-filtered)."""
+    ones_l = np.ones(len(lcodes), dtype=bool)
+    ones_r = np.ones(len(rcodes), dtype=bool)
+    return V._match_pairs(lcodes, rcodes, ones_l, ones_r)
+
+
+class _BatchSource(V.VecOperator):
+    """A constant batch as a vectorized leaf (worker-side plan input)."""
+
+    __slots__ = ("batch",)
+
+    def __init__(self, batch: Batch):
+        super().__init__(batch.schema, ())
+        self.batch = batch
+
+    def _run_batch(self, ctx, env):
+        return self.batch
+
+
+# ---------------------------------------------------------------------------
+# Parallel operators
+# ---------------------------------------------------------------------------
+
+
+class VParallelFilter(V.VFilter):
+    """Selection fanned across shard workers.
+
+    Falls back to the inherited serial path for correlated environments
+    (the bind closure may capture env values a worker cannot see), under
+    fault injection, and for batches too small to amortise the fan-out.
+    """
+
+    __slots__ = ("predicate", "child_schema", "workers")
+
+    def __init__(self, child, kernel, free_names, predicate, child_schema, workers):
+        super().__init__(child, kernel, free_names)
+        self.predicate = predicate
+        self.child_schema = child_schema
+        self.workers = workers
+
+    def _run_batch(self, ctx, env):
+        batch = self.child.execute_batch(ctx, env)
+        ctx.tick(len(batch))
+        workers = 0 if env else _runtime_workers(ctx, len(batch), self.workers)
+        if workers < 2:
+            is_true, _ = self.kernel(ctx, env)(batch)
+            return batch.filter(is_true)
+        shards = split_batch(batch, workers)
+        params = ctx.params
+        results = run_tasks(
+            _filter_shard,
+            [(pack_batch(shard), self.predicate, self.child_schema, params) for shard in shards],
+            workers,
+            ctx,
+        )
+        _note(ctx, "parallel_filters", len(shards))
+        return Batch.concat(self.schema, [unpack_batch(result) for result in results])
+
+
+class VParallelHashGroupBy(V.VHashGroupBy):
+    """Grouping via per-shard partials and an ``fO`` merge at gather.
+
+    Workers run the inherited serial operator over their shard with
+    every spec flipped to partial mode; the gather combines states with
+    ``Aggregate.combine`` keyed on the group tuple and finalises each
+    column (specs already marked ``as_partial`` — Equivalence 4's inner
+    aggregates — stay partial, their ``fO`` lives in the recombining
+    map above this operator).  Output order is first appearance across
+    shards, a legal GROUP BY order.
+    """
+
+    __slots__ = ("workers",)
+
+    def __init__(self, child, schema, key_positions, agg_columns, free_names, workers):
+        super().__init__(child, schema, key_positions, agg_columns, free_names)
+        self.workers = workers
+
+    def _run_batch(self, ctx, env):
+        if env:
+            return super()._run_batch(ctx, env)
+        batch = self.child.execute_batch(ctx, env)
+        workers = _runtime_workers(ctx, len(batch), self.workers)
+        if workers < 2:
+            return super()._run_batch(ctx, env)
+        ctx.tick(len(batch))
+        shards = split_batch(batch, workers)
+        agg_items = [(column.spec, column.star_positions) for column in self.agg_columns]
+        params = ctx.params
+        results = run_tasks(
+            _group_shard,
+            [
+                (pack_batch(shard), self.key_positions, agg_items, self.schema, params)
+                for shard in shards
+            ],
+            workers,
+            ctx,
+        )
+        _note(ctx, "parallel_group_bys", len(shards))
+        return self._merge_partials([unpack_batch(result) for result in results])
+
+    def _merge_partials(self, partials: list[Batch]) -> Batch:
+        key_arity = len(self.key_positions)
+        aggregates = [column.spec.aggregate for column in self.agg_columns]
+        merged: dict[tuple, list] = {}
+        order: list[tuple] = []
+        for partial in partials:
+            for row in partial.to_rows():
+                key = row[:key_arity]
+                states = merged.get(key)
+                if states is None:
+                    merged[key] = list(row[key_arity:])
+                    order.append(key)
+                else:
+                    for index, aggregate in enumerate(aggregates):
+                        states[index] = aggregate.combine(
+                            states[index], row[key_arity + index]
+                        )
+        rows = []
+        for key in order:
+            states = merged[key]
+            values = tuple(
+                states[index]
+                if column.spec.as_partial
+                else aggregate.finalize_partial(states[index])
+                for index, (column, aggregate) in enumerate(
+                    zip(self.agg_columns, aggregates)
+                )
+            )
+            rows.append(key + values)
+        return Batch.from_rows(self.schema, rows)
+
+
+class VParallelScalarAgg(V.VScalarAgg):
+    """Scalar aggregation via per-shard ``fI`` states combined at gather."""
+
+    __slots__ = ("workers",)
+
+    def __init__(self, child, schema, agg_columns, free_names, workers):
+        super().__init__(child, schema, agg_columns, free_names)
+        self.workers = workers
+
+    def _run_batch(self, ctx, env):
+        if env:
+            return super()._run_batch(ctx, env)
+        batch = self.child.execute_batch(ctx, env)
+        workers = _runtime_workers(ctx, len(batch), self.workers)
+        if workers < 2:
+            return super()._run_batch(ctx, env)
+        ctx.tick(len(batch))
+        shards = split_batch(batch, workers)
+        agg_items = [(column.spec, column.star_positions) for column in self.agg_columns]
+        params = ctx.params
+        shard_states = run_tasks(
+            _scalar_shard,
+            [(pack_batch(shard), agg_items, params) for shard in shards],
+            workers,
+            ctx,
+        )
+        _note(ctx, "parallel_group_bys", len(shards))
+        row = []
+        for index, column in enumerate(self.agg_columns):
+            aggregate = column.spec.aggregate
+            state = shard_states[0][index]
+            for states in shard_states[1:]:
+                state = aggregate.combine(state, states[index])
+            row.append(state if column.spec.as_partial else aggregate.finalize_partial(state))
+        return Batch.from_rows(self.schema, [tuple(row)])
+
+
+class VParallelHashJoin(V.VHashJoin):
+    """Equi-join whose code-matching step fans across key partitions.
+
+    Keys are factorised to int codes by the inherited ``_run_batch``;
+    this subclass partitions both sides by ``code % workers``, matches
+    each partition in a worker, and re-sorts the gathered pairs into
+    left-major order — bit-identical output to the serial operator, so
+    semi/anti/outer post-processing is inherited unchanged.
+    """
+
+    __slots__ = ("workers",)
+
+    def __init__(self, *args, workers: int):
+        super().__init__(*args)
+        self.workers = workers
+
+    def _match(self, ctx, lcodes, rcodes, l_ok, r_ok):
+        workers = _runtime_workers(ctx, len(lcodes) + len(rcodes), self.workers)
+        if workers < 2:
+            return super()._match(ctx, lcodes, rcodes, l_ok, r_ok)
+        left_parts, right_parts, tasks = [], [], []
+        for shard in range(workers):
+            left_indices = np.nonzero(l_ok & (lcodes % workers == shard))[0]
+            right_indices = np.nonzero(r_ok & (rcodes % workers == shard))[0]
+            left_parts.append(left_indices)
+            right_parts.append(right_indices)
+            tasks.append((lcodes[left_indices], rcodes[right_indices]))
+        results = run_tasks(_match_shard, tasks, workers, ctx)
+        lefts, rights = [], []
+        for (local_left, local_right), left_indices, right_indices in zip(
+            results, left_parts, right_parts
+        ):
+            lefts.append(left_indices[local_left])
+            rights.append(right_indices[local_right])
+        left_idx = np.concatenate(lefts) if lefts else np.empty(0, dtype=np.int64)
+        right_idx = np.concatenate(rights) if rights else np.empty(0, dtype=np.int64)
+        order = np.lexsort((right_idx, left_idx))
+        _note(ctx, "parallel_joins", workers)
+        return left_idx[order], right_idx[order]

@@ -34,6 +34,7 @@ from repro.algebra.aggregates import AggSpec, evaluate_spec
 from repro.engine import operators as P
 from repro.storage.batch import Batch, build_column, column_to_pylist
 from repro.storage.index import probe_bounds
+from repro.storage.mvcc import resolve_index
 from repro.storage.schema import Schema
 
 
@@ -94,6 +95,12 @@ def table_batch(table) -> Batch:
     itself runs under the table's lock so concurrent server queries
     build the column arrays at most once per version.  Shared by
     :class:`VScan` and :class:`VIndexScan`.
+
+    An MVCC :class:`~repro.storage.mvcc.TableSnapshot` whose version
+    matches its live base table holds rows identical to the base's, so
+    the pivot is shared both ways: reused from the base when warm there,
+    published back when built here.  Older pinned snapshots pivot (once)
+    on their own.
     """
     cached = table.batch_cache
     if cached is not None and cached[0] == table.version:
@@ -102,8 +109,22 @@ def table_batch(table) -> Batch:
         cached = table.batch_cache
         if cached is not None and cached[0] == table.version:
             return cached[1]
+        base_table = getattr(table, "base_table", None)
+        if base_table is not None:
+            live_cached = base_table.batch_cache
+            if live_cached is not None and live_cached[0] == table.version:
+                table.batch_cache = (table.version, live_cached[1])
+                return live_cached[1]
         base = Batch.from_rows(table.schema, table.rows)
         table.batch_cache = (table.version, base)
+        if base_table is not None and base_table.version == table.version:
+            # A racing writer may bump the base version concurrently; the
+            # worst case is publishing a pair whose version no longer
+            # matches, which every consumer detects and rebuilds.
+            with base_table.batch_lock:
+                live_cached = base_table.batch_cache
+                if live_cached is None or live_cached[0] != table.version:
+                    base_table.batch_cache = (table.version, base)
         return base
 
 
@@ -161,9 +182,11 @@ class VIndexScan(VecOperator):
     def _run_batch(self, ctx, env):
         if ctx.faults is not None:
             ctx.faults.maybe_fail("storage.scan")
-        self.index.refresh()
+        # Snapshot tables probe a per-version transient index (never the
+        # shared one, which a concurrent writer may be rebuilding).
+        index = resolve_index(self.index, self.table)
         evaluated = tuple((op, fn(ctx, env)(())) for op, fn in self.bounds)
-        lookup = probe_bounds(self.index, evaluated)
+        lookup = probe_bounds(index, evaluated)
         ctx.access["index_scans"] += 1
         ctx.access["blocks_skipped"] += lookup.blocks_skipped
         ctx.tick(max(lookup.rows_examined, 1))
@@ -554,6 +577,10 @@ class VHashJoin(VecOperator):
         self.kind = kind
         self.default_row = default_row
 
+    def _match(self, ctx, lcodes, rcodes, l_ok, r_ok):
+        """Matching step, overridable by the shard-parallel subclass."""
+        return _match_pairs(lcodes, rcodes, l_ok, r_ok)
+
     def _run_batch(self, ctx, env):
         left = self.left.execute_batch(ctx, env).compact()
         right = self.right.execute_batch(ctx, env).compact()
@@ -565,7 +592,7 @@ class VHashJoin(VecOperator):
             n_left,
             n_right,
         )
-        left_idx, right_idx = _match_pairs(lcodes, rcodes, l_ok, r_ok)
+        left_idx, right_idx = self._match(ctx, lcodes, rcodes, l_ok, r_ok)
         ctx.tick(len(left_idx))
 
         joined = None

@@ -1,0 +1,92 @@
+"""Cost-based shard-parallel plan choice.
+
+The vectorized compiler asks :func:`choose_workers` whether lowering an
+operator to its shard-parallel variant is worth the fan-out overhead.
+The decision is the classic one: estimated input rows (from the
+System-R-style :class:`~repro.optimizer.cardinality.CardinalityModel`)
+against a per-process break-even threshold.  Shipping a batch to a
+worker costs a pickle round-trip plus scheduling latency, so small
+inputs always stay serial — parallelising them would only add overhead
+without any win.
+
+The threshold is, in order of precedence:
+
+1. ``EvalOptions.parallel_min_rows`` (per-query override),
+2. the ``REPRO_PARALLEL_MIN_ROWS`` environment variable,
+3. :data:`DEFAULT_MIN_ROWS`.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.algebra import ops as L
+from repro.optimizer.cardinality import CardinalityModel
+from repro.storage.catalog import Catalog
+
+#: Below this many estimated input rows a shard fan-out costs more in
+#: serialisation than it recovers in parallel work.
+DEFAULT_MIN_ROWS = 5000
+
+
+def parallel_min_rows(options=None) -> int:
+    """Resolve the break-even row threshold for parallel lowering."""
+    override = getattr(options, "parallel_min_rows", None)
+    if override is not None:
+        return int(override)
+    env = os.environ.get("REPRO_PARALLEL_MIN_ROWS", "").strip()
+    if env:
+        try:
+            return int(env)
+        except ValueError:
+            pass
+    return DEFAULT_MIN_ROWS
+
+
+class _LiveCardinalityModel(CardinalityModel):
+    """Cardinality model with base-table leaves anchored to live counts.
+
+    Catalog statistics refresh only on explicit ``analyze``; a table
+    grown by appends since its last analyze would estimate (near) zero
+    and never parallelise.  The actual row count of a base table is an
+    O(1) ``len``, so the parallel decision reads it directly — the
+    statistics still drive every selectivity above the leaves.
+    """
+
+    def _card(self, node: L.Operator) -> float:
+        if isinstance(node, L.Scan) and node.table_name in self.catalog:
+            return float(len(self.catalog.table(node.table_name).rows))
+        return super()._card(node)
+
+
+def estimated_input_rows(node: L.Operator, catalog: Catalog) -> float:
+    """Estimated rows *entering* ``node`` — the work a fan-out would split.
+
+    For unary operators this is the child's output cardinality; for
+    joins, the sum of both inputs; for leaves, the node's own estimate.
+    """
+    model = _LiveCardinalityModel(catalog)
+    children = list(node.children())
+    if not children:
+        return model.cardinality(node)
+    return float(sum(model.cardinality(child) for child in children))
+
+
+def choose_workers(node: L.Operator, catalog: Catalog, options=None) -> int:
+    """Shard count for ``node``, or ``0`` to keep it serial.
+
+    Serial whenever workers are not configured (``parallel_workers`` <
+    2) or the estimated input is below the break-even threshold.  A
+    failing estimate (missing statistics, exotic operators) degrades to
+    serial rather than guessing.
+    """
+    workers = int(getattr(options, "parallel_workers", 0) or 0)
+    if workers < 2:
+        return 0
+    try:
+        estimate = estimated_input_rows(node, catalog)
+    except Exception:
+        return 0
+    if estimate < parallel_min_rows(options):
+        return 0
+    return workers

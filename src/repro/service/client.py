@@ -197,9 +197,12 @@ class ServiceClient:
 
     # -- sessions and prepared statements -----------------------------------
 
-    def session(self) -> "ClientSession":
-        body = self._request("POST", "/session")
-        return ClientSession(self, body["session"])
+    def session(self, pin_snapshot: bool = False) -> "ClientSession":
+        payload = {"pin_snapshot": True} if pin_snapshot else {}
+        body = self._request("POST", "/session", payload)
+        session = ClientSession(self, body["session"])
+        session.snapshot_lsn = body.get("snapshot_lsn")
+        return session
 
     # -- operations ---------------------------------------------------------
 
@@ -219,12 +222,45 @@ class ClientSession:
     def __init__(self, client: ServiceClient, session_id: str):
         self.client = client
         self.id = session_id
+        #: The LSN this session reads at, or None when unpinned.
+        self.snapshot_lsn: int | None = None
 
     def prepare(self, sql: str, strategy: str = "auto") -> "ClientStatement":
         body = self.client._request(
             "POST", "/prepare", {"session": self.id, "sql": sql, "strategy": strategy}
         )
         return ClientStatement(self, body["statement"], body["params"])
+
+    def query(
+        self,
+        sql: str,
+        params=None,
+        strategy: str = "auto",
+        timeout: float | None = None,
+        engine: str = "row",
+    ) -> QueryResult:
+        """Ad-hoc query inside this session (reads its pinned snapshot)."""
+        payload = {
+            "sql": sql,
+            "strategy": strategy,
+            "engine": engine,
+            "session": self.id,
+        }
+        if params is not None:
+            payload["params"] = params
+        if timeout is not None:
+            payload["timeout"] = timeout
+        return _result(self.client._request("POST", "/query", payload))
+
+    def pin(self) -> int:
+        """Pin (or move the pin) to the current commit LSN; returns it."""
+        body = self.client._request("POST", "/session/pin", {"session": self.id})
+        self.snapshot_lsn = body["snapshot_lsn"]
+        return self.snapshot_lsn
+
+    def unpin(self) -> None:
+        self.client._request("POST", "/session/unpin", {"session": self.id})
+        self.snapshot_lsn = None
 
     def close(self) -> None:
         self.client._request("POST", "/session/close", {"session": self.id})

@@ -52,18 +52,38 @@ class PreparedStatement:
         self,
         params=None,
         options: EvalOptions | None = None,
+        at_lsn: int | None = None,
     ) -> Table:
         """Bind ``params`` (sequence or mapping) and run the template.
 
         The plan is fetched from the database's cache on every call, so
         executions after DDL or heavy DML on a dependency see a freshly
         costed plan instead of a stale one.
+
+        Execution reads through an MVCC snapshot like
+        :meth:`repro.Database.execute`: the current commit LSN is pinned
+        for the duration (or ``at_lsn`` is used — the caller must hold
+        that pin, e.g. a pinned server session).
         """
         planned = self._db._cached_plan(
             self.sql, self.strategy, statement=self._statement
         )
         self._spec = planned.param_spec
-        return planned.execute(self._db.catalog, options, params=params)
+        from repro.storage.mvcc import SnapshotCatalog
+
+        database = self._db
+        handle = None
+        if at_lsn is None:
+            handle = database._snapshots.pin()
+            lsn = handle.lsn
+        else:
+            lsn = at_lsn
+        read_catalog = SnapshotCatalog(database.catalog, database._snapshots, lsn)
+        try:
+            return planned.execute(read_catalog, options, params=params)
+        finally:
+            if handle is not None:
+                database._snapshots.unpin(handle)
 
     def explain(self) -> str:
         """Render the current plan for this template."""

@@ -26,8 +26,10 @@ Wire protocol (see ``docs/service.md`` for the full reference)::
     GET  /health                          -> {"live": ..., "ready": ...}
                                              (503 while draining)
     GET  /metrics                         -> counters, latency, cache
-    POST /session        {}               -> {"session": id}
+    POST /session        {pin_snapshot?}   -> {"session": id, "snapshot_lsn"?}
     POST /session/close  {session}        -> {"closed": true}
+    POST /session/pin    {session}        -> {"pinned": true, "snapshot_lsn"}
+    POST /session/unpin  {session}        -> {"pinned": false}
     POST /prepare        {session, sql, strategy?}
                                           -> {"statement": id, "params": ...}
     POST /execute        {session, statement, params?, timeout?, engine?}
@@ -103,6 +105,10 @@ class _Session:
         self.created = time.time()
         self.statements: dict[str, object] = {}
         self.lock = threading.Lock()
+        #: MVCC pin: while set, every query in this session reads the
+        #: pinned LSN — a stable snapshot across requests, immune to
+        #: concurrent commits (released on unpin/close).
+        self.snapshot: object | None = None
 
 
 class _Admission:
@@ -220,9 +226,13 @@ class QueryService:
             if method == "GET" and path == "/metrics":
                 return 200, self._metrics_body()
             if method == "POST" and path == "/session":
-                return 200, self._create_session()
+                return 200, self._create_session(payload)
             if method == "POST" and path == "/session/close":
                 return 200, self._close_session(payload)
+            if method == "POST" and path == "/session/pin":
+                return 200, self._pin_session(payload)
+            if method == "POST" and path == "/session/unpin":
+                return 200, self._unpin_session(payload)
             if method == "POST" and path == "/prepare":
                 return 200, self._prepare(payload)
             if method == "POST" and path == "/execute":
@@ -290,20 +300,60 @@ class QueryService:
         durability = getattr(database, "durability_info", None)
         if durability is not None:
             body["durability"] = durability()
+        mvcc = getattr(database, "mvcc_info", None)
+        if mvcc is not None:
+            body["mvcc"] = mvcc()
+        parallel = getattr(database, "parallel_info", None)
+        if parallel is not None:
+            body["parallel"] = parallel()
         return body
 
-    def _create_session(self) -> dict:
+    def _create_session(self, payload: dict) -> dict:
         session = _Session(uuid.uuid4().hex)
+        body = {"session": session.id}
+        if payload.get("pin_snapshot"):
+            session.snapshot = self.db.pin_snapshot()
+            body["snapshot_lsn"] = session.snapshot.lsn
         with self._sessions_lock:
             self._sessions[session.id] = session
-        return {"session": session.id}
+        return body
 
     def _close_session(self, payload: dict) -> dict:
         session_id = _required_str(payload, "session")
         with self._sessions_lock:
-            if self._sessions.pop(session_id, None) is None:
-                raise SessionError(f"unknown session {session_id!r}")
+            session = self._sessions.pop(session_id, None)
+        if session is None:
+            raise SessionError(f"unknown session {session_id!r}")
+        self._release_pin(session)
         return {"closed": True}
+
+    def _release_pin(self, session: _Session) -> None:
+        with session.lock:
+            handle = session.snapshot
+            session.snapshot = None
+        if handle is not None:
+            self.db.release_snapshot(handle)
+
+    def _pin_session(self, payload: dict) -> dict:
+        """Pin the session at the current commit LSN (re-pin moves it)."""
+        session = self._session(payload)
+        handle = self.db.pin_snapshot()
+        with session.lock:
+            old = session.snapshot
+            session.snapshot = handle
+        if old is not None:
+            self.db.release_snapshot(old)
+        return {"pinned": True, "snapshot_lsn": handle.lsn}
+
+    def _unpin_session(self, payload: dict) -> dict:
+        session = self._session(payload)
+        self._release_pin(session)
+        return {"pinned": False}
+
+    def _session_lsn(self, session: _Session) -> int | None:
+        with session.lock:
+            handle = session.snapshot
+        return None if handle is None else handle.lsn
 
     def _session(self, payload: dict) -> _Session:
         session_id = _required_str(payload, "session")
@@ -331,17 +381,24 @@ class QueryService:
         if statement is None:
             raise BadRequestError(f"unknown statement {statement_id!r} in session")
         params = _params_of(payload)
+        at_lsn = self._session_lsn(session)
         return self._run(
-            lambda options: statement.execute(params, options=options), payload
+            lambda options: statement.execute(params, options=options, at_lsn=at_lsn),
+            payload,
         )
 
     def _query(self, payload: dict) -> dict:
         sql = _required_str(payload, "sql")
         strategy = _optional_str(payload, "strategy", "auto")
         params = _params_of(payload)
+        # An optional pinned session makes ad-hoc queries read the
+        # session's stable snapshot instead of the current commit LSN.
+        at_lsn = None
+        if isinstance(payload.get("session"), str):
+            at_lsn = self._session_lsn(self._session(payload))
         return self._run(
             lambda options: self.db.execute(
-                sql, strategy, options=options, params=params
+                sql, strategy, options=options, params=params, at_lsn=at_lsn
             ),
             payload,
         )
