@@ -1,0 +1,334 @@
+"""Replication benchmarks: read scaling, staleness, and catch-up time.
+
+Everything lands in ``BENCH_replication.json`` (cwd, like the other
+BENCH artifacts; uploaded and gated by CI):
+
+* **read-throughput scaling** — the same read workload at a fixed
+  offered load (``CLIENT_THREADS`` aggressive clients) while the
+  primary sustains a saturating write burst, against the primary alone
+  and against clusters of 1, 2, and 3 replicas.  Every server runs
+  admission-limited (``max_in_flight=1``, no queue): on the primary the
+  write stream occupies that slot, so co-located reads are rejected
+  into the client's backoff — the production overload behaviour — while
+  replicas serve the same reads from their own slots, isolated from the
+  write path.  The headline ``scaling_ratio_3_replicas`` compares the
+  3-replica cluster against primary-only; the host core count is
+  recorded alongside so the numbers stay honest on small CI runners.
+* **replica staleness under a write burst** — commit-to-visible lag
+  sampled per marker write while a background writer streams commits;
+  reported as p50/p99 seconds.
+* **catch-up after rejoin** — a replica stops while the primary commits
+  ``CATCH_UP_RECORDS`` more records, then rejoins: the artifact records
+  the (deterministic) backlog and replay counters plus the wall-clock
+  catch-up time.
+
+Row values derive from :func:`benchmarks.bench_util.seeded_rng`, so the
+non-timing keys (row counts, result checksum, backlog sizes, resync
+counters) are bit-stable across runs — that is what the CI regression
+gate diffs against the committed baseline; rates, ratios, and seconds
+are excluded by key name.
+
+Wall-clock assertions live under the ``timing`` marker (excluded from
+CI smoke, like every other timing test in this suite).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import threading
+import time
+
+import pytest
+
+from benchmarks.bench_util import seeded_rng
+from repro import Database
+from repro.errors import ReproError
+from repro.replication.replica import ReplicaConfig, ReplicaServer, ReplicationFollower
+from repro.replication.routing import ReplicaSetClient
+from repro.service.client import ServiceClient
+from repro.service.server import QueryServer, ServerConfig
+
+#: Base rows scale with REPRO_BENCH_ROWS like the RST grids: the default
+#: 250 gives 2_000 rows, the CI smoke setting of 40 gives 320.
+ROWS = 8 * int(os.environ.get("REPRO_BENCH_ROWS", "250"))
+
+READ_SQL = "SELECT COUNT(*), SUM(A4) FROM r WHERE A2 = 1"
+CLIENT_THREADS = 4
+WRITER_THREADS = 2
+MEASURE_SECONDS = 1.2
+RETRY_BACKOFF = 0.02
+REPLICA_COUNTS = (1, 2, 3)
+STALENESS_SAMPLES = 20
+CATCH_UP_RECORDS = 40
+
+#: One query slot per server and no wait queue: the scaling story is
+#: about multiplying admission capacity, so each endpoint's capacity is
+#: pinned to the minimum.
+SERVER_LIMITS = dict(max_in_flight=1, max_queue=0, queue_timeout=0.01)
+
+
+def _checksum(table) -> int:
+    return sum(hash(row) for row in table.rows) & 0xFFFFFFFF
+
+
+class Cluster:
+    """One primary plus three replica servers, all in-process."""
+
+    def __init__(self, root):
+        rng = seeded_rng("replication")
+        self.db = Database.open(str(root / "primary"))
+        self.db.create_table(
+            "r",
+            ["A1", "A2", "A3", "A4"],
+            [(i, rng.randrange(5), rng.randrange(3), rng.randrange(10_000)) for i in range(ROWS)],
+        )
+        self.primary = QueryServer(self.db, ServerConfig(port=0, **SERVER_LIMITS)).start()
+        self.replicas = []
+        self.replica_dirs = []
+        for i in range(max(REPLICA_COUNTS)):
+            data_dir = root / f"replica{i}"
+            self.replica_dirs.append(data_dir)
+            self.replicas.append(
+                ReplicaServer(
+                    ReplicaConfig(
+                        primary_url=self.primary.url,
+                        data_dir=str(data_dir),
+                        poll_wait=0.5,
+                    ),
+                    ServerConfig(port=0, **SERVER_LIMITS),
+                ).start()
+            )
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if all(r.follower.applied_lsn == self.db.wal_lsn for r in self.replicas):
+                break
+            time.sleep(0.02)
+
+    def wait_applied(self, lsn: int, deadline: float = 30.0) -> None:
+        for replica in self.replicas:
+            replica.follower.wait_for_lsn(lsn, timeout=deadline)
+
+    def close(self) -> None:
+        for replica in self.replicas:
+            replica.stop()
+        self.primary.stop()
+        self.db.close()
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    built = Cluster(tmp_path_factory.mktemp("replication-bench"))
+    yield built
+    built.close()
+
+
+def _measure_reads_per_sec(primary_url: str, replica_urls: list[str]) -> float:
+    """Read goodput of ``CLIENT_THREADS`` clients for ``MEASURE_SECONDS``
+    while ``WRITER_THREADS`` keep the primary's write path saturated.
+
+    A rejected read costs the client a backoff sleep — the same shape
+    as the production retry policy — so goodput reflects how much read
+    capacity the endpoint set actually offers under write load.
+    """
+    stop = threading.Event()
+    counts = [0] * CLIENT_THREADS
+
+    def writer(index: int) -> None:
+        client = ServiceClient(primary_url)
+        i = 0
+        while not stop.is_set():
+            try:
+                # A2=0 keeps these rows out of READ_SQL's filter, so the
+                # read result stays stable while the burst runs.
+                client.query(f"INSERT INTO r VALUES ({50_000 + index}, 0, 0, {i})")
+            except ReproError as error:
+                if not error.retryable:
+                    raise
+                time.sleep(0.001)
+            i += 1
+
+    def worker(index: int) -> None:
+        client = ReplicaSetClient(primary_url, replica_urls, lsn_wait=5.0, read_your_writes=False)
+        while not stop.is_set():
+            try:
+                client.query(READ_SQL)
+            except ReproError as error:
+                if not error.retryable:
+                    raise
+                time.sleep(RETRY_BACKOFF)
+                continue
+            counts[index] += 1
+
+    threads = [
+        threading.Thread(target=writer, args=(i,), daemon=True) for i in range(WRITER_THREADS)
+    ]
+    threads += [
+        threading.Thread(target=worker, args=(i,), daemon=True) for i in range(CLIENT_THREADS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    time.sleep(MEASURE_SECONDS)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=10)
+    elapsed = time.perf_counter() - start
+    return sum(counts) / elapsed
+
+
+def _measure_staleness(cluster: Cluster) -> dict:
+    """Commit-to-visible lag on one replica while a writer streams."""
+    follower = cluster.replicas[0].follower
+    client = ServiceClient(cluster.primary.url)
+    stop = threading.Event()
+
+    def burst() -> None:
+        i = 0
+        while not stop.is_set():
+            try:
+                client.query(f"INSERT INTO r VALUES ({10_000 + i}, 0, 0, 1)")
+            except ReproError as error:
+                if not error.retryable:
+                    raise
+            i += 1
+            time.sleep(0.002)
+
+    noise = threading.Thread(target=burst, daemon=True)
+    noise.start()
+    marker_client = ServiceClient(cluster.primary.url)
+    lags = []
+    try:
+        for i in range(STALENESS_SAMPLES):
+            while True:
+                try:
+                    token = marker_client.query(
+                        f"INSERT INTO r VALUES ({20_000 + i}, 0, 0, 1)"
+                    ).commit_lsn
+                    break
+                except ReproError as error:
+                    if not error.retryable:
+                        raise
+                    time.sleep(RETRY_BACKOFF)
+            start = time.perf_counter()
+            follower.wait_for_lsn(token, timeout=30.0)
+            lags.append(time.perf_counter() - start)
+    finally:
+        stop.set()
+        noise.join(timeout=10)
+    lags.sort()
+    return {
+        "samples": len(lags),
+        "p50_seconds": round(statistics.median(lags), 6),
+        "p99_seconds": round(lags[min(len(lags) - 1, int(len(lags) * 0.99))], 6),
+    }
+
+
+def _measure_catch_up(cluster: Cluster) -> dict:
+    """Stop the last replica, build a backlog, time its rejoin."""
+    victim = cluster.replicas.pop()
+    data_dir = cluster.replica_dirs[-1]
+    victim.follower.wait_for_lsn(cluster.db.wal_lsn, timeout=30.0)
+    stopped_at = victim.follower.applied_lsn
+    assert stopped_at == cluster.db.wal_lsn
+    victim.stop()
+    for i in range(CATCH_UP_RECORDS):
+        cluster.db.execute(f"INSERT INTO r VALUES ({30_000 + i}, 0, 0, 1)")
+    backlog = cluster.db.wal_lsn - stopped_at
+
+    rejoined = ReplicationFollower(
+        ReplicaConfig(primary_url=cluster.primary.url, data_dir=str(data_dir), poll_wait=0.2)
+    )
+    start = time.perf_counter()
+    rejoined.bootstrap()
+    while rejoined.applied_lsn < cluster.db.wal_lsn:
+        rejoined.step(wait=0.0)
+    elapsed = time.perf_counter() - start
+    counters = dict(rejoined.counters)
+    applied = rejoined.applied_lsn
+    rejoined.close()
+    rejoined.db.close()
+    return {
+        "records_behind": backlog,
+        "records_applied_on_rejoin": counters["records_applied"],
+        "resyncs": counters["resyncs"],
+        "converged": applied == cluster.db.wal_lsn,
+        "catch_up_seconds": round(elapsed, 6),
+    }
+
+
+def test_replication_emits_bench_json(cluster):
+    """Measure every cluster configuration; write the artifact.
+
+    The JSON is the deliverable — CI uploads it and runs the regression
+    gate on its non-timing keys.  Assertions here are sanity bounds
+    only, so the smoke run stays timing-agnostic.
+    """
+    baseline_read = cluster.db.execute(READ_SQL)
+    read_result = {
+        "rows": len(baseline_read.rows),
+        "checksum": _checksum(baseline_read),
+    }
+
+    replica_urls = [replica.url for replica in cluster.replicas]
+    throughput = {
+        "primary_only_reads_per_sec": round(_measure_reads_per_sec(cluster.primary.url, []), 2)
+    }
+    for count in REPLICA_COUNTS:
+        throughput[f"replicas_{count}_reads_per_sec"] = round(
+            _measure_reads_per_sec(cluster.primary.url, replica_urls[:count]), 2
+        )
+    throughput["scaling_ratio_3_replicas"] = round(
+        throughput["replicas_3_reads_per_sec"]
+        / max(throughput["primary_only_reads_per_sec"], 1e-9),
+        2,
+    )
+    assert throughput["primary_only_reads_per_sec"] > 0
+    assert throughput["replicas_3_reads_per_sec"] > 0
+
+    staleness = _measure_staleness(cluster)
+    assert staleness["samples"] == STALENESS_SAMPLES
+
+    catch_up = _measure_catch_up(cluster)
+    assert catch_up["records_behind"] == CATCH_UP_RECORDS
+    assert catch_up["records_applied_on_rejoin"] == CATCH_UP_RECORDS
+    assert catch_up["resyncs"] == 0
+    assert catch_up["converged"] is True
+
+    payload = {
+        "workload": (
+            "admission-limited read scaling (one query slot per server) "
+            f"under a sustained primary write burst, {CLIENT_THREADS} "
+            f"aggressive read clients over {ROWS} seeded rows; staleness "
+            "and catch-up under live WAL streaming"
+        ),
+        "rows": ROWS,
+        "client_threads": CLIENT_THREADS,
+        "writer_threads": WRITER_THREADS,
+        "max_in_flight_per_server": SERVER_LIMITS["max_in_flight"],
+        "replica_counts": list(REPLICA_COUNTS),
+        "cores": os.cpu_count(),
+        "read_result": read_result,
+        "throughput": throughput,
+        "staleness": staleness,
+        "catch_up": catch_up,
+    }
+    with open("BENCH_replication.json", "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+@pytest.mark.timing
+class TestShape:
+    """The ISSUE acceptance criterion, asserted at the default scale."""
+
+    def test_three_replicas_scale_reads_2_5x(self, cluster):
+        primary_only = _measure_reads_per_sec(cluster.primary.url, [])
+        three = _measure_reads_per_sec(
+            cluster.primary.url, [replica.url for replica in cluster.replicas]
+        )
+        assert three >= 2.5 * primary_only, (
+            f"3-replica cluster served {three:.0f} reads/s vs "
+            f"{primary_only:.0f} primary-only"
+        )

@@ -40,7 +40,13 @@ from dataclasses import replace as _dc_replace
 from repro.algebra.explain import explain as explain_plan
 from repro.engine import EvalOptions
 from repro.engine.governor import ResourceLimits
-from repro.errors import DurabilityError, InjectedFault, ReproError, ResourceExhausted
+from repro.errors import (
+    DurabilityError,
+    InjectedFault,
+    ReplicationError,
+    ReproError,
+    ResourceExhausted,
+)
 from repro.faults import FaultConfig, FaultInjector, injector_from_env
 from repro.optimizer import plan_query, execute_sql, PlannedQuery, Strategy
 from repro.optimizer.planner import STRATEGIES
@@ -50,7 +56,13 @@ from repro.service.prepared import PreparedStatement
 from repro.sql.classify import QueryClass
 from repro.storage import Catalog, Column, ColumnType, Schema, Table
 from repro.storage.mvcc import SnapshotCatalog, SnapshotHandle, SnapshotManager
-from repro.storage.wal import DurabilityConfig, DurabilityManager, LogRecord
+from repro.storage.wal import (
+    DurabilityConfig,
+    DurabilityManager,
+    LogRecord,
+    WalTail,
+    read_wal_tail,
+)
 
 __version__ = "1.0.0"
 
@@ -66,6 +78,7 @@ __all__ = [
     "FaultInjector",
     "PlanCache",
     "PreparedStatement",
+    "ReplicationError",
     "ResourceExhausted",
     "ResourceLimits",
     "Schema",
@@ -158,6 +171,13 @@ class Database:
         # claim).  Reentrant: recovery replays records through the same
         # public mutation paths.
         self._commit_lock = threading.RLock()
+        # Pins handed out through the public pin_snapshot() facade (the
+        # server's sessions, library callers).  close() force-releases
+        # whatever is still here: a leaked pin would block version GC
+        # forever.  Guarded by its own small lock — pinning must never
+        # contend with a writer's commit section.
+        self._issued_pins: set[SnapshotHandle] = set()
+        self._pins_lock = threading.Lock()
         self._durability: DurabilityManager | None = None
         self._recovery: dict = {}
         self._wal_commit_failures = 0
@@ -331,8 +351,82 @@ class Database:
         info["wal_commit_failures"] = self._wal_commit_failures
         return info
 
+    # -- replication (primary side; see repro.replication) ------------------
+
+    def _require_durability(self) -> DurabilityManager:
+        manager = self._durability
+        if manager is None:
+            raise ReplicationError(
+                "replication requires durable storage: open the primary with"
+                " a data_dir so there is a WAL to stream"
+            )
+        return manager
+
+    @property
+    def wal_lsn(self) -> int:
+        """The durability (WAL) LSN of the newest acknowledged mutation.
+
+        This — not :attr:`commit_lsn`, which counts MVCC versions and
+        skips view/index DDL — is the replication causality token: a
+        replica's applied LSN is directly comparable to it.  0 on a
+        pure in-memory database.
+        """
+        manager = self._durability
+        return 0 if manager is None else manager.last_lsn
+
+    def replication_snapshot(self) -> dict:
+        """A consistent ``{"lsn", "state"}`` bootstrap payload.
+
+        Taken under the commit lock so the state and the LSN it claims
+        to cover cannot be split by a concurrent writer — the same
+        guarantee a checkpoint gets.  A follower writes this state as
+        its own local checkpoint file and recovers from it, which bases
+        its local WAL at exactly the primary's LSN (see
+        docs/replication.md for why the two logs then stay aligned).
+        """
+        manager = self._require_durability()
+        with self._commit_lock:
+            return {"lsn": manager.last_lsn, "state": self._snapshot_state()}
+
+    def replication_wal_tail(
+        self,
+        from_lsn: int,
+        max_records: int = 512,
+        max_bytes: int = 1 << 20,
+        wait: float = 0.0,
+    ) -> WalTail:
+        """The raw WAL frames past ``from_lsn`` (catch-up / live tail).
+
+        With ``wait > 0`` this long-polls: it blocks until a record past
+        ``from_lsn`` is durable or the wait budget elapses, then answers
+        either way.  The frames keep their on-disk CRC framing so the
+        follower re-validates every byte (torn frames injected or real
+        are detected on the receiving side, exactly like recovery).
+        """
+        manager = self._require_durability()
+        if wait > 0 and manager.last_lsn <= from_lsn:
+            manager.wait_for_lsn(from_lsn + 1, wait)
+        # Make buffered records (sync="none"/"flush" modes) visible to
+        # the file-level reader below.
+        manager.flush()
+        return read_wal_tail(
+            manager.config.data_dir, from_lsn, max_records, max_bytes
+        )
+
     def close(self) -> None:
-        """Flush and release the WAL file handle (idempotent)."""
+        """Flush and release the WAL file handle (idempotent).
+
+        Any snapshot pins still outstanding from :meth:`pin_snapshot`
+        are force-released first — a leaked pin would keep every table
+        version at its LSN alive forever, and after close there is no
+        caller left to read them.  Force releases are counted in
+        :meth:`mvcc_info` (``pins_force_released``).
+        """
+        with self._pins_lock:
+            leaked = list(self._issued_pins)
+            self._issued_pins.clear()
+        for handle in leaked:
+            self._snapshots.force_unpin(handle)
         if self._durability is not None:
             self._durability.close()
 
@@ -750,10 +844,15 @@ class Database:
         being garbage-collected; release it with
         :meth:`release_snapshot`.
         """
-        return self._snapshots.pin(lsn)
+        handle = self._snapshots.pin(lsn)
+        with self._pins_lock:
+            self._issued_pins.add(handle)
+        return handle
 
     def release_snapshot(self, handle: SnapshotHandle) -> None:
         """Release a pin taken with :meth:`pin_snapshot` (idempotent)."""
+        with self._pins_lock:
+            self._issued_pins.discard(handle)
         self._snapshots.unpin(handle)
 
     def mvcc_info(self) -> dict:

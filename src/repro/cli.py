@@ -10,7 +10,10 @@ Commands
 ``shell``        a minimal interactive loop
 ``recover``      open a durable --data-dir, report recovery, optionally checkpoint
 ``bench-report`` summarize BENCH_*.json artifacts; ``--compare BASELINE
-CURRENT`` gates CI on non-timing counter regressions
+CURRENT`` gates CI on non-timing counter regressions and
+``--update-baseline`` copies CURRENT over BASELINE instead of gating
+``serve``        run the JSON-over-HTTP SQL server (the primary)
+``replica``      run a read-only replica streaming a primary's WAL
 
 ``run``/``explain``/``shell`` accept repeated ``--index
 name:table:column[:kind]`` options to build secondary indexes before
@@ -161,6 +164,12 @@ def build_parser() -> argparse.ArgumentParser:
              "regression (default 0.3; exact-match counters like result "
              "checksums always fail on any change)",
     )
+    report.add_argument(
+        "--update-baseline", action="store_true",
+        help="with --compare: copy CURRENT over BASELINE (after printing "
+             "the diff) instead of failing on regressions — the blessed "
+             "way to refresh benchmarks/baselines/ intentionally",
+    )
 
     serve = sub.add_parser("serve", help="run the JSON-over-HTTP SQL server")
     add_dataset_args(serve)
@@ -185,6 +194,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-grace", type=float, default=10.0,
         help="seconds a SIGTERM drain waits for in-flight queries "
              "before cancelling them",
+    )
+
+    replica = sub.add_parser(
+        "replica", help="run a read-only replica streaming a primary's WAL"
+    )
+    replica.add_argument(
+        "--primary", required=True, metavar="URL",
+        help="base URL of the primary server to replicate from",
+    )
+    replica.add_argument(
+        "--data-dir", required=True, metavar="DIR",
+        help="local durable directory for the replica's copy; existing "
+             "state is recovered and streaming resumes from its last "
+             "applied LSN (the kill-and-rejoin path)",
+    )
+    replica.add_argument("--host", default="127.0.0.1")
+    replica.add_argument(
+        "--port", type=int, default=8081,
+        help="listening port (0 picks a free ephemeral port)",
+    )
+    replica.add_argument(
+        "--poll-wait", type=float, default=5.0,
+        help="long-poll budget per WAL tail request, in seconds",
+    )
+    replica.add_argument(
+        "--max-in-flight", type=int, default=4,
+        help="queries executing concurrently before admission control queues",
     )
 
     return parser
@@ -551,6 +587,49 @@ def cmd_serve(args, out) -> int:
     return 0
 
 
+def cmd_replica(args, out) -> int:
+    """Run a read-only replica: bootstrap from the primary, tail its WAL."""
+    import signal
+    import threading
+
+    from repro.replication.replica import ReplicaConfig, ReplicaServer
+    from repro.service.server import ServerConfig
+
+    replica = ReplicaServer(
+        ReplicaConfig(
+            primary_url=args.primary,
+            data_dir=args.data_dir,
+            poll_wait=args.poll_wait,
+        ),
+        ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_in_flight=args.max_in_flight,
+        ),
+    )
+    host, port = replica.address
+    out.write(f"replica serving on http://{host}:{port}\n")
+    out.write(f"replicating from {args.primary} into {args.data_dir}\n")
+    if hasattr(out, "flush"):
+        out.flush()  # scripts parse the port line before the first request
+
+    def _graceful(signum, frame):
+        out.write("replica stopping (signal received)...\n")
+        if hasattr(out, "flush"):
+            out.flush()
+        threading.Thread(target=replica.stop, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _graceful)
+        signal.signal(signal.SIGINT, _graceful)
+    except ValueError:
+        pass  # not on the main thread (embedded use); signals stay default
+
+    replica.serve_forever()
+    out.write("replica stopped\n")
+    return 0
+
+
 def cmd_recover(args, out) -> int:
     """Open a durable directory, report the recovery, optionally checkpoint.
 
@@ -592,7 +671,11 @@ def cmd_bench_report(args, out) -> int:
 
     if getattr(args, "compare", None):
         baseline, current = args.compare
+        if getattr(args, "update_baseline", False):
+            return _update_baseline(baseline, current, args.tolerance, out)
         return _compare_bench(baseline, current, args.tolerance, out)
+    if getattr(args, "update_baseline", False):
+        raise ReproError("--update-baseline requires --compare BASELINE CURRENT")
     files = list(args.files) or sorted(glob.glob("BENCH_*.json"))
     if not files:
         raise ReproError("no benchmark artifacts (pass files or run the benchmarks)")
@@ -712,6 +795,28 @@ def _compare_bench(baseline_path: str, current_path: str, tolerance, out) -> int
     return 0
 
 
+def _update_baseline(baseline_path: str, current_path: str, tolerance, out) -> int:
+    """Bless CURRENT as the new baseline (prints the diff first).
+
+    Validates CURRENT parses as JSON before overwriting, and writes it
+    re-serialized (sorted keys, trailing newline) so committed baselines
+    diff cleanly regardless of how the benchmark emitted them.
+    """
+    import json
+    import os
+
+    payload = _load_bench(current_path)
+    if os.path.exists(baseline_path):
+        # Informational only: show what the update changes.
+        _compare_bench(baseline_path, current_path, tolerance, out)
+    os.makedirs(os.path.dirname(baseline_path) or ".", exist_ok=True)
+    with open(baseline_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    out.write(f"baseline updated: {baseline_path} <- {current_path}\n")
+    return 0
+
+
 def _flatten_bench(payload, prefix="") -> list[str]:
     """Flatten a benchmark JSON payload into sorted ``key = value`` lines."""
     if isinstance(payload, dict):
@@ -735,6 +840,7 @@ COMMANDS = {
     "generate": cmd_generate,
     "shell": cmd_shell,
     "serve": cmd_serve,
+    "replica": cmd_replica,
     "recover": cmd_recover,
     "bench-report": cmd_bench_report,
 }

@@ -225,6 +225,63 @@ class DurabilityError(ReproError):
     code = "DURABILITY_ERROR"
 
 
+class ReplicationError(ReproError):
+    """Raised for replication misuse and stream-protocol violations.
+
+    Covers configuration problems (streaming from a non-durable primary,
+    pointing a replica at itself), torn or short frames detected in a
+    received batch, and an applied-LSN drift between a follower's local
+    log and the primary stream.  Not retryable as a *class* — the
+    follower's streaming loop handles transient damage itself (it simply
+    refetches the batch), so anything that escapes is a configuration or
+    protocol bug a blind retry would only repeat.
+    """
+
+    code = "REPLICATION_ERROR"
+
+
+class ReplicaLagging(ReplicationError):
+    """Raised when a replica cannot satisfy a ``min_lsn`` read gate.
+
+    The client sent a causality token (the commit LSN of its own write)
+    and the replica's applied LSN is still behind it after the
+    configured wait.  Retryable: the same read succeeds on a
+    caught-up replica or on the primary — the replica-set client uses
+    this signal to redirect.
+    """
+
+    code = "REPLICA_LAGGING"
+    retryable = True
+
+    def __init__(self, min_lsn: int, applied_lsn: int, message: str | None = None):
+        if message is None:
+            message = (
+                f"replica applied LSN {applied_lsn} is behind the requested"
+                f" min_lsn {min_lsn}; retry on the primary or a fresher replica"
+            )
+        super().__init__(message)
+        self.min_lsn = min_lsn
+        self.applied_lsn = applied_lsn
+
+    def as_dict(self) -> dict:
+        # The LSNs ride along so the client can rebuild the exception
+        # and routing can update its freshness estimate per endpoint.
+        body = super().as_dict()
+        body["min_lsn"] = self.min_lsn
+        body["applied_lsn"] = self.applied_lsn
+        return body
+
+
+class ReadOnlyReplica(ReplicationError):
+    """Raised when DML (or DDL) is sent to a read-only replica.
+
+    Final, never retryable: writes must go to the primary, and the
+    replica-set client's read/write split routes them there.
+    """
+
+    code = "READ_ONLY_REPLICA"
+
+
 class ServiceError(ReproError):
     """Base class for SQL-server errors (sessions, admission, protocol)."""
 

@@ -18,6 +18,9 @@ Sites form a dotted hierarchy and configuration matches by prefix::
     storage.wal.fsync               WAL fsync before acknowledgement
     storage.checkpoint.write        checkpoint snapshot writes
     service.request                 the SQL server's per-query path
+    replication.stream.serve        primary answering snapshot/tail calls
+    replication.stream.torn         tail batches cut mid-frame when served
+    replication.stream.apply        follower stalls before applying a record
 
 The ``storage.wal.*`` / ``storage.checkpoint.*`` sites model disk
 faults, not plan bugs: the self-healing layer retries them without

@@ -1,0 +1,483 @@
+"""The replica: a WAL-shipping follower plus a read-only query server.
+
+A :class:`ReplicationFollower` bootstraps from the primary's state
+snapshot, then tails its WAL (long-polling ``POST /replication/wal``)
+and replays every record through the **same public mutation paths crash
+recovery uses** — ``execute`` for DML, ``register``/``create_view``/
+``create_index`` for DDL — so index epochs, view epochs, and MVCC
+versions advance on the replica exactly as they did live on the primary.
+
+The follower's local store is itself a durable :class:`~repro.Database`,
+and the two logs stay **record-for-record aligned** by construction: the
+bootstrap writes the primary's state as a *local* snapshot at the
+primary's LSN, so the local WAL bases there, and each applied primary
+record logs exactly one local record.  ``applied_lsn`` is therefore just
+the local ``wal_lsn`` — no side table, and a SIGKILLed replica resumes
+from whatever its own recovery reports, torn tail discarded and all.
+After every record the follower asserts the alignment; drift is fatal
+(:class:`~repro.errors.ReplicationError`), never papered over.
+
+:class:`ReplicaServer` wraps the follower and a :class:`QueryServer`
+whose service subclass rejects writes (``READ_ONLY_REPLICA``) and
+honors ``min_lsn`` read gates: wait up to ``lsn_wait`` for replication
+to catch up, then answer — or fail with a retryable ``REPLICA_LAGGING``
+the replica-set client uses to redirect.  See ``docs/replication.md``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+
+from repro import Database
+from repro.errors import (
+    BadRequestError,
+    InjectedFault,
+    ReadOnlyReplica,
+    ReplicaLagging,
+    ReplicationError,
+    ReproError,
+)
+from repro.faults import injector_from_env
+from repro.replication.stream import SITE_STREAM_APPLY, decode_frames, frames_from_wire
+from repro.service.client import ServiceClient
+from repro.service.resilience import RetryPolicy
+from repro.service.server import QueryServer, QueryService, ServerConfig
+from repro.storage import Column, ColumnType, Schema, Table
+from repro.storage.wal import (
+    WAL_NAME,
+    DurabilityConfig,
+    LogRecord,
+    list_snapshots,
+    snapshot_path,
+    write_snapshot,
+)
+
+
+@dataclass(frozen=True)
+class ReplicaConfig:
+    """Tunables for one replica (follower + server)."""
+
+    #: Base URL of the primary query server to stream from.
+    primary_url: str
+    #: Local directory for the replica's own durable store.  Survives a
+    #: kill: on restart the follower recovers it and resumes tailing
+    #: from its last applied LSN instead of re-bootstrapping.
+    data_dir: str
+    #: Long-poll budget per tail request (the primary answers sooner
+    #: when a record lands); must stay below ``http_timeout``.
+    poll_wait: float = 5.0
+    #: Records per tail batch.
+    max_records: int = 512
+    #: HTTP timeout of the follower's client.
+    http_timeout: float = 30.0
+    #: Sync mode of the local store.  ``"none"`` is safe here — a
+    #: replica that loses buffered records simply refetches them, its
+    #: recovery truncating the local log back to a clean prefix.
+    sync: str = "none"
+    #: How long an injected ``replication.stream.apply`` fault stalls
+    #: the follower (it then proceeds — a slow follower, not a dead one).
+    stall_seconds: float = 0.05
+    #: Fetch-error backoff: start, and cap.
+    retry_backoff: float = 0.05
+    retry_backoff_max: float = 2.0
+
+
+class ReplicationFollower:
+    """Tails the primary's WAL into a local database; owns the loop.
+
+    ``on_install`` (optional callable) is invoked with the database
+    object whenever one is (re)built — at bootstrap and after a full
+    resync — so an embedding server can swap what it serves from.
+    """
+
+    def __init__(
+        self,
+        config: ReplicaConfig,
+        client: ServiceClient | None = None,
+        on_install=None,
+    ):
+        self.config = config
+        # max_attempts=1: the follower loop is its own retry policy —
+        # a fetch that fails backs off and refetches from applied_lsn,
+        # which is always correct, so inner retries only hide lag.
+        self.client = client or ServiceClient(
+            config.primary_url,
+            timeout=config.http_timeout,
+            retry_policy=RetryPolicy(max_attempts=1),
+        )
+        self.on_install = on_install
+        self._db: Database | None = None
+        self._cond = threading.Condition()
+        self._closed = False
+        #: Set (with a reason) when apply detected drift; the follower
+        #: refuses further work rather than serve divergent state.
+        self.broken: str | None = None
+        #: Newest primary LSN observed in any response (lag = this
+        #: minus applied_lsn).
+        self.primary_lsn = 0
+        self.counters = {
+            "batches": 0,
+            "records_applied": 0,
+            "torn_batches": 0,
+            "resyncs": 0,
+            "fetch_errors": 0,
+            "apply_stalls": 0,
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @property
+    def db(self) -> Database:
+        database = self._db
+        if database is None:
+            raise ReplicationError("follower is not bootstrapped")
+        return database
+
+    @property
+    def applied_lsn(self) -> int:
+        """The local WAL LSN — aligned with the primary's by design."""
+        database = self._db
+        return 0 if database is None else database.wal_lsn
+
+    def bootstrap(self) -> Database:
+        """Open (or build) the local store; returns the database.
+
+        A data directory with prior state is *recovered*, not wiped:
+        the replica resumes streaming from its own last clean LSN —
+        this is the kill-and-rejoin path.  An empty directory gets a
+        full state snapshot from the primary.
+        """
+        if self._db is not None:
+            return self._db
+        if self._has_local_state():
+            db = Database.open(self.config.data_dir, durability=self._durability_config())
+            self._install(db)
+            return db
+        return self._resync()
+
+    def _has_local_state(self) -> bool:
+        directory = self.config.data_dir
+        if os.path.exists(os.path.join(directory, WAL_NAME)):
+            return True
+        return bool(list_snapshots(directory))
+
+    def _durability_config(self) -> DurabilityConfig:
+        return DurabilityConfig(data_dir=self.config.data_dir, sync=self.config.sync)
+
+    def _resync(self) -> Database:
+        """Full re-bootstrap: primary state snapshot -> local checkpoint.
+
+        Writing the fetched state as a *local* ``snapshot.<lsn>`` file
+        and recovering from it is the whole alignment trick: recovery
+        bases the fresh local WAL at exactly the primary's LSN.
+        """
+        body = self.client.replication_snapshot()
+        lsn, state = body["lsn"], body["state"]
+        old, self._db = self._db, None
+        if old is not None:
+            old.close()
+        self._wipe_data_dir()
+        os.makedirs(self.config.data_dir, exist_ok=True)
+        write_snapshot(snapshot_path(self.config.data_dir, lsn), lsn, state)
+        db = Database.open(self.config.data_dir, durability=self._durability_config())
+        if db.wal_lsn != lsn:
+            raise ReplicationError(
+                f"bootstrap misalignment: local store recovered to LSN"
+                f" {db.wal_lsn}, primary snapshot claimed {lsn}"
+            )
+        self._install(db)
+        return db
+
+    def _wipe_data_dir(self) -> None:
+        """Remove replication state files (WAL + snapshots), keep the dir."""
+        directory = self.config.data_dir
+        try:
+            entries = os.listdir(directory)
+        except OSError:
+            return
+        for entry in entries:
+            if entry == WAL_NAME or entry.startswith("snapshot.") or entry.endswith(".tmp"):
+                try:
+                    os.remove(os.path.join(directory, entry))
+                except OSError:
+                    pass
+
+    def _install(self, db: Database) -> None:
+        self._db = db
+        if self.on_install is not None:
+            self.on_install(db)
+        with self._cond:
+            self._cond.notify_all()
+
+    # -- the streaming loop -------------------------------------------------
+
+    def step(self, wait: float | None = None) -> int:
+        """One fetch+apply round; returns how many records were applied.
+
+        Raises the client's transport/service errors on fetch problems
+        (the caller backs off and calls again) and
+        :class:`ReplicationError` on apply drift (fatal).
+        """
+        if self.broken is not None:
+            raise ReplicationError(f"follower is broken: {self.broken}")
+        db = self.bootstrap()
+        body = self.client.replication_wal(
+            from_lsn=db.wal_lsn,
+            max_records=self.config.max_records,
+            wait=self.config.poll_wait if wait is None else wait,
+        )
+        self.primary_lsn = max(self.primary_lsn, int(body.get("last_lsn", 0)))
+        if body.get("snapshot_required"):
+            # A primary checkpoint truncated the records we still need
+            # (we were down too long); start over from a state snapshot.
+            self.counters["resyncs"] += 1
+            self._resync()
+            return 0
+        frames = frames_from_wire(body.get("frames", ""))
+        if not frames:
+            return 0
+        records, clean = decode_frames(frames, db.wal_lsn)
+        if not clean:
+            # Damaged in flight or deliberately torn by fault injection:
+            # the clean prefix still applies; the rest is refetched.
+            self.counters["torn_batches"] += 1
+        if not records:
+            return 0
+        self.counters["batches"] += 1
+        injector = injector_from_env()
+        for record in records:
+            self._apply_record(db, record, injector)
+        return len(records)
+
+    def _apply_record(self, db: Database, record: LogRecord, injector=None) -> None:
+        """Replay one primary record through the public mutation paths.
+
+        Every branch below *logs* — that is the invariant that keeps the
+        local WAL aligned with the primary's.  (``_apply_log_record``'s
+        ``create_table`` branch deliberately skips logging for recovery;
+        using it here would silently desynchronize the LSNs, which is
+        why ``register`` is called instead.)  Unknown kinds from a newer
+        primary are logged verbatim so the LSN advances even though this
+        replica cannot interpret them.
+        """
+        if injector is not None:
+            try:
+                injector.maybe_fail(SITE_STREAM_APPLY)
+            except InjectedFault:
+                # A stalled follower, not a dead one: lag grows, the
+                # min_lsn read gates feel it, and then we proceed.
+                self.counters["apply_stalls"] += 1
+                time.sleep(self.config.stall_seconds)
+        kind, data = record.kind, record.data
+        if kind == "dml":
+            db.execute(data["sql"])
+        elif kind == "create_table":
+            schema = Schema([Column(col, ColumnType(t)) for col, t in data["columns"]])
+            table = Table(
+                schema,
+                [tuple(row) for row in data["rows"]],
+                name=data.get("table_name") or data["name"],
+            )
+            db.register(table, data["name"])
+        elif kind == "drop_table":
+            db.drop_table(data["name"])
+        elif kind == "create_view":
+            db.create_view(data["name"], data["sql"])
+        elif kind == "drop_view":
+            db.drop_view(data["name"])
+        elif kind == "create_index":
+            db.create_index(data["name"], data["table"], data["column"], data["kind"])
+        elif kind == "drop_index":
+            db.drop_index(data["name"])
+        else:
+            with db._commit_lock:
+                db._log_durable(kind, data)
+        self.counters["records_applied"] += 1
+        if db.wal_lsn != record.lsn:
+            self.broken = (
+                f"applied-LSN drift: local log at {db.wal_lsn} after applying"
+                f" primary record {record.lsn}"
+            )
+            raise ReplicationError(self.broken)
+        with self._cond:
+            self._cond.notify_all()
+
+    def run(self, stop_event: threading.Event | None = None) -> None:
+        """Stream until stopped.  Fetch errors back off and refetch
+        (refetching from ``applied_lsn`` is always correct); apply drift
+        propagates after marking the follower broken."""
+        backoff = self.config.retry_backoff
+        while not self._closed and not (stop_event is not None and stop_event.is_set()):
+            try:
+                self.step()
+            except ReplicationError:
+                raise
+            except ReproError:
+                self.counters["fetch_errors"] += 1
+                if stop_event is not None:
+                    stop_event.wait(backoff)
+                else:
+                    time.sleep(backoff)
+                backoff = min(backoff * 2, self.config.retry_backoff_max)
+                continue
+            backoff = self.config.retry_backoff
+
+    def wait_for_lsn(self, lsn: int, timeout: float) -> int:
+        """Block until ``applied_lsn >= lsn`` or ``timeout``; returns
+        the applied LSN either way (the ``min_lsn`` read-gate wait)."""
+        with self._cond:
+            self._cond.wait_for(
+                lambda: self.applied_lsn >= lsn or self._closed or self.broken,
+                timeout=timeout,
+            )
+            return self.applied_lsn
+
+    def info(self) -> dict:
+        """The ``/metrics`` replication section of a replica."""
+        applied = self.applied_lsn
+        primary = max(self.primary_lsn, applied)
+        info = {
+            "role": "replica",
+            "primary_url": self.config.primary_url,
+            "applied_lsn": applied,
+            "primary_lsn": primary,
+            "lag_records": primary - applied,
+            "broken": self.broken,
+        }
+        info.update(self.counters)
+        return info
+
+    def close(self) -> None:
+        """Stop the loop and wake every read-gate waiter (idempotent)."""
+        self._closed = True
+        with self._cond:
+            self._cond.notify_all()
+
+
+#: Statement prefixes a replica refuses (everything that mutates:
+#: DML plus table/view/index DDL — the same split Database.execute makes).
+_WRITE_PREFIXES = ("insert", "delete", "update", "create", "drop")
+
+
+class ReplicaService(QueryService):
+    """A read-only :class:`QueryService` gated on replication progress."""
+
+    def __init__(self, database, config: ServerConfig | None, follower: ReplicationFollower):
+        super().__init__(database, config)
+        self.follower = follower
+
+    def _read_gate(self, payload: dict) -> None:
+        """Honor a ``min_lsn`` causality token: wait, then serve or 503."""
+        min_lsn = payload.get("min_lsn")
+        if min_lsn is None:
+            return
+        if isinstance(min_lsn, bool) or not isinstance(min_lsn, int) or min_lsn < 0:
+            raise BadRequestError("'min_lsn' must be a non-negative integer")
+        wait = payload.get("lsn_wait", 1.0)
+        if isinstance(wait, bool) or not isinstance(wait, (int, float)) or wait < 0:
+            raise BadRequestError("'lsn_wait' must be a non-negative number of seconds")
+        wait = min(float(wait), self.config.max_wait_seconds)
+        applied = self.follower.applied_lsn
+        if applied < min_lsn:
+            applied = self.follower.wait_for_lsn(min_lsn, wait)
+        if applied < min_lsn:
+            raise ReplicaLagging(min_lsn, applied)
+
+    def _query(self, payload: dict) -> dict:
+        sql = payload.get("sql")
+        if isinstance(sql, str) and sql.lstrip().lower().startswith(_WRITE_PREFIXES):
+            raise ReadOnlyReplica("this server is a read-only replica; send writes to the primary")
+        self._read_gate(payload)
+        return super()._query(payload)
+
+    def _execute(self, payload: dict) -> dict:
+        self._read_gate(payload)
+        return super()._execute(payload)
+
+    def _annotate(self, body: dict) -> dict:
+        # A replica's causality stamp is how far it has applied, not a
+        # commit it performed (it performs none).
+        body["applied_lsn"] = self.follower.applied_lsn
+        return body
+
+    def _metrics_body(self) -> dict:
+        body = super()._metrics_body()
+        body["replication"] = self.follower.info()
+        return body
+
+
+class ReplicaServer:
+    """One process's worth of replica: follower thread + HTTP server.
+
+    The server starts immediately and reports ``ready: false`` while the
+    bootstrap (snapshot fetch or local recovery) runs on the startup
+    thread — the same deferred-database machinery the primary uses for
+    WAL replay.  After a resync the follower swaps the served database
+    through ``on_install``.
+    """
+
+    def __init__(self, config: ReplicaConfig, server_config: ServerConfig | None = None):
+        self.config = config
+        self.follower = ReplicationFollower(config, on_install=self._install)
+        self.server = QueryServer(
+            self._startup,
+            server_config or ServerConfig(),
+            service_factory=self._make_service,
+        )
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _make_service(self, database, config: ServerConfig) -> ReplicaService:
+        return ReplicaService(database, config, self.follower)
+
+    def _startup(self) -> Database:
+        return self.follower.bootstrap()
+
+    def _install(self, db: Database) -> None:
+        self.server.service._db = db
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.address
+
+    def start(self) -> "ReplicaServer":
+        self.server.start()
+        self._thread = threading.Thread(target=self._follow, name="repro-replication", daemon=True)
+        self._thread.start()
+        return self
+
+    def _follow(self) -> None:
+        service = self.server.service
+        while not service.ready.is_set():
+            if service.startup_error is not None or self._stop.is_set():
+                return
+            time.sleep(0.02)
+        try:
+            self.follower.run(self._stop)
+        except ReplicationError:
+            # Recorded in follower.broken and surfaced via /metrics; the
+            # server keeps answering reads at its last consistent LSN.
+            pass
+
+    def serve_forever(self) -> None:
+        """Follower on a daemon thread, HTTP on the calling thread (CLI)."""
+        self._thread = threading.Thread(target=self._follow, name="repro-replication", daemon=True)
+        self._thread.start()
+        self.server.serve_forever()
+
+    def stop(self) -> None:
+        self._stop.set()
+        self.follower.close()
+        if self._thread is not None and self._thread is not threading.current_thread():
+            self._thread.join(timeout=5)
+        self.server.stop()
+        database = self.follower._db
+        if database is not None:
+            database.close()

@@ -1,0 +1,186 @@
+"""Read/write-split routing over a primary plus a set of read replicas.
+
+:class:`ReplicaSetClient` composes the existing resilience pieces — one
+:class:`~repro.service.client.ServiceClient` per endpoint, each with its
+own circuit breaker — into a topology-aware client:
+
+* **writes** always go to the primary; its response's ``commit_lsn`` is
+  remembered as the session's causality token;
+* **reads** prefer replicas, rotating among the ones believed fresh
+  enough (lag-aware: each response's ``applied_lsn`` updates a local
+  estimate) and carrying ``min_lsn = last written commit_lsn`` so a
+  replica can never answer staler than this client's own writes;
+* a replica that is lagging (``REPLICA_LAGGING``), unreachable, tripped
+  its breaker, or shedding load is skipped for the next candidate, and
+  the **primary is the final fallback** — a read never fails because
+  replicas do when the primary could have answered it.
+
+Per-endpoint retry policies are ``max_attempts=1`` on purpose: this
+layer *is* the retry policy, and failing over to a different endpoint
+beats hammering the same one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.errors import (
+    AdmissionRejected,
+    CircuitOpen,
+    ReplicaLagging,
+    ServiceUnavailable,
+)
+from repro.service.client import QueryResult, ServiceClient
+from repro.service.resilience import RetryPolicy
+
+#: Errors that mean "try the next endpoint", not "fail the read".
+_FAILOVER_ERRORS = (ServiceUnavailable, CircuitOpen, AdmissionRejected)
+
+
+class ReplicaSetClient:
+    """A read/write-splitting client over one primary and N replicas."""
+
+    def __init__(
+        self,
+        primary_url: str,
+        replica_urls: tuple | list = (),
+        timeout: float = 60.0,
+        lsn_wait: float = 2.0,
+        read_your_writes: bool = True,
+        sleep=time.sleep,
+    ):
+        policy = RetryPolicy(max_attempts=1)
+        self.primary = ServiceClient(primary_url, timeout=timeout, retry_policy=policy, sleep=sleep)
+        self.replicas = [
+            ServiceClient(url, timeout=timeout, retry_policy=policy, sleep=sleep)
+            for url in replica_urls
+        ]
+        #: Per-replica freshness estimate (applied LSN from responses).
+        self._applied = {client.base_url: 0 for client in self.replicas}
+        self.lsn_wait = lsn_wait
+        self.read_your_writes = read_your_writes
+        #: The causality token: the commit LSN of this client's newest
+        #: acknowledged write (0 = never wrote).
+        self.last_commit_lsn = 0
+        self._rr = 0
+        self._lock = threading.Lock()
+        self.counters = {
+            "primary_reads": 0,
+            "replica_reads": 0,
+            "writes": 0,
+            "failovers": 0,
+            "lagging_redirects": 0,
+        }
+
+    # -- writes -------------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        params=None,
+        strategy: str = "auto",
+        timeout: float | None = None,
+        engine: str = "row",
+    ) -> QueryResult:
+        """Run a write (or any statement) on the primary; remember its LSN."""
+        result = self.primary.query(
+            sql, params=params, strategy=strategy, timeout=timeout, engine=engine
+        )
+        with self._lock:
+            self.counters["writes"] += 1
+            if result.commit_lsn:
+                self.last_commit_lsn = max(self.last_commit_lsn, result.commit_lsn)
+        return result
+
+    # -- reads --------------------------------------------------------------
+
+    def query(
+        self,
+        sql: str,
+        params=None,
+        strategy: str = "auto",
+        timeout: float | None = None,
+        engine: str = "row",
+        min_lsn: int | None = None,
+    ) -> QueryResult:
+        """Run a read, preferring replicas; never staler than ``min_lsn``.
+
+        ``min_lsn`` defaults to this client's own last write (when
+        ``read_your_writes`` is on), which is exactly the
+        read-your-writes guarantee; pass an explicit token to read
+        no-staler-than someone else's write instead.
+        """
+        if min_lsn is None:
+            min_lsn = self.last_commit_lsn if self.read_your_writes else 0
+        last_error = None
+        for client in self._read_order(min_lsn):
+            is_primary = client is self.primary
+            try:
+                if is_primary:
+                    # The primary *is* the source of truth: every commit
+                    # is already visible, so no gate is needed.
+                    result = client.query(
+                        sql,
+                        params=params,
+                        strategy=strategy,
+                        timeout=timeout,
+                        engine=engine,
+                    )
+                else:
+                    result = client.query(
+                        sql,
+                        params=params,
+                        strategy=strategy,
+                        timeout=timeout,
+                        engine=engine,
+                        min_lsn=min_lsn or None,
+                        lsn_wait=self.lsn_wait,
+                    )
+            except ReplicaLagging as error:
+                with self._lock:
+                    self.counters["lagging_redirects"] += 1
+                    self._applied[client.base_url] = error.applied_lsn
+                last_error = error
+                continue
+            except _FAILOVER_ERRORS as error:
+                with self._lock:
+                    self.counters["failovers"] += 1
+                last_error = error
+                continue
+            with self._lock:
+                key = "primary_reads" if is_primary else "replica_reads"
+                self.counters[key] += 1
+                if result.applied_lsn is not None and not is_primary:
+                    self._applied[client.base_url] = max(
+                        self._applied[client.base_url], result.applied_lsn
+                    )
+            return result
+        if last_error is not None:
+            raise last_error
+        raise ServiceUnavailable("replica set has no endpoints configured")
+
+    def _read_order(self, min_lsn: int) -> list[ServiceClient]:
+        """Fresh replicas round-robin, then stale ones freshest-first,
+        then the primary as the fallback of last resort."""
+        with self._lock:
+            fresh = [c for c in self.replicas if self._applied[c.base_url] >= min_lsn]
+            stale = sorted(
+                (c for c in self.replicas if self._applied[c.base_url] < min_lsn),
+                key=lambda c: self._applied[c.base_url],
+                reverse=True,
+            )
+            if fresh:
+                pivot = self._rr % len(fresh)
+                self._rr += 1
+                fresh = fresh[pivot:] + fresh[:pivot]
+        return [*fresh, *stale, self.primary]
+
+    # -- introspection ------------------------------------------------------
+
+    def info(self) -> dict:
+        with self._lock:
+            info = dict(self.counters)
+            info["last_commit_lsn"] = self.last_commit_lsn
+            info["replica_applied"] = dict(self._applied)
+        return info

@@ -33,6 +33,8 @@ from repro.errors import (
     BudgetExceeded,
     ParameterError,
     QueryCancelled,
+    ReadOnlyReplica,
+    ReplicaLagging,
     ReproError,
     ServiceError,
     ServiceUnavailable,
@@ -49,6 +51,7 @@ _EXCEPTION_BY_CODE = {
     "PARAMETER_ERROR": ParameterError,
     "QUERY_CANCELLED": QueryCancelled,
     "SERVICE_UNAVAILABLE": ServiceUnavailable,
+    "READ_ONLY_REPLICA": ReadOnlyReplica,
 }
 
 
@@ -57,6 +60,14 @@ def _raise_for(error: dict) -> None:
     message = error.get("message", "unknown server error")
     if code == "QUERY_TIMEOUT":
         raise BudgetExceeded(message=message)
+    if code == "REPLICA_LAGGING":
+        # Reconstruct with the LSNs the replica reported so routing can
+        # update its freshness estimate for that endpoint.
+        raise ReplicaLagging(
+            int(error.get("min_lsn", 0)),
+            int(error.get("applied_lsn", 0)),
+            message=message,
+        )
     exc_class = _EXCEPTION_BY_CODE.get(code)
     if exc_class is not None:
         raise exc_class(message)
@@ -67,13 +78,21 @@ def _raise_for(error: dict) -> None:
 
 @dataclass
 class QueryResult:
-    """One query's response: column names, row tuples, server timing."""
+    """One query's response: column names, row tuples, server timing.
+
+    ``commit_lsn`` is set on responses from a durable primary — the WAL
+    LSN after the statement, i.e. the causality token to hand a replica
+    as ``min_lsn``.  ``applied_lsn`` is set on responses from a replica:
+    how far it had replicated when it answered.
+    """
 
     columns: list[str]
     rows: list[tuple]
     row_count: int
     truncated: bool
     elapsed: float
+    commit_lsn: int | None = None
+    applied_lsn: int | None = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -187,12 +206,22 @@ class ServiceClient:
         strategy: str = "auto",
         timeout: float | None = None,
         engine: str = "row",
+        min_lsn: int | None = None,
+        lsn_wait: float | None = None,
     ) -> QueryResult:
+        """Run one statement.  Against a replica, ``min_lsn`` demands the
+        answer reflect at least that commit LSN (waiting up to
+        ``lsn_wait`` seconds for replication) — pass the ``commit_lsn``
+        of your own write for read-your-writes."""
         payload = {"sql": sql, "strategy": strategy, "engine": engine}
         if params is not None:
             payload["params"] = params
         if timeout is not None:
             payload["timeout"] = timeout
+        if min_lsn is not None:
+            payload["min_lsn"] = min_lsn
+        if lsn_wait is not None:
+            payload["lsn_wait"] = lsn_wait
         return _result(self._request("POST", "/query", payload))
 
     # -- sessions and prepared statements -----------------------------------
@@ -214,6 +243,26 @@ class ServiceClient:
 
     def shutdown(self) -> dict:
         return self._request("POST", "/shutdown")
+
+    # -- replication stream (used by the replica's follower) ----------------
+
+    def replication_snapshot(self) -> dict:
+        """Fetch the primary's full-state bootstrap payload."""
+        return self._request("POST", "/replication/snapshot", {})
+
+    def replication_wal(
+        self,
+        from_lsn: int,
+        max_records: int | None = None,
+        wait: float | None = None,
+    ) -> dict:
+        """Fetch raw WAL frames past ``from_lsn`` (long-polls ``wait``s)."""
+        payload: dict = {"from_lsn": from_lsn}
+        if max_records is not None:
+            payload["max_records"] = max_records
+        if wait is not None:
+            payload["wait"] = wait
+        return self._request("POST", "/replication/wal", payload)
 
 
 class ClientSession:
@@ -304,4 +353,6 @@ def _result(body: dict) -> QueryResult:
         row_count=body["row_count"],
         truncated=body["truncated"],
         elapsed=body["elapsed"],
+        commit_lsn=body.get("commit_lsn"),
+        applied_lsn=body.get("applied_lsn"),
     )

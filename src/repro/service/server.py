@@ -34,7 +34,17 @@ Wire protocol (see ``docs/service.md`` for the full reference)::
                                           -> {"statement": id, "params": ...}
     POST /execute        {session, statement, params?, timeout?, engine?}
     POST /query          {sql, params?, strategy?, timeout?, engine?}
+    POST /replication/snapshot {}         -> {"lsn", "state", "commit_lsn"}
+    POST /replication/wal {from_lsn, max_records?, wait?}
+                                          -> {"base_lsn", "last_lsn",
+                                              "records", "frames",
+                                              "snapshot_required", ...}
     POST /shutdown       {}               -> {"shutting_down": true}
+
+Write responses (``/query`` and ``/execute`` against a durable primary)
+carry ``commit_lsn`` — the WAL LSN after the statement — as a causality
+token a client can hand to a replica as ``min_lsn`` to guarantee
+read-your-writes (see ``docs/replication.md``).
 
 Every error body is ``{"error": {"code": ..., "message": ...}}`` — the
 ``code`` comes from :mod:`repro.errors`; tracebacks never cross the wire.
@@ -42,6 +52,7 @@ Every error body is ``{"error": {"code": ..., "message": ...}}`` — the
 
 from __future__ import annotations
 
+import base64
 import json
 import threading
 import time
@@ -54,12 +65,14 @@ from repro.errors import (
     AdmissionRejected,
     BadRequestError,
     BudgetExceeded,
+    InjectedFault,
     QueryCancelled,
     ReproError,
     ServiceUnavailable,
     SessionError,
 )
 from repro.faults import injector_from_env
+from repro.replication.stream import SITE_STREAM_SERVE, SITE_STREAM_TORN
 from repro.service.metrics import ServerMetrics
 
 #: repro.errors code -> HTTP status.  Anything not listed is a client
@@ -73,6 +86,8 @@ _STATUS_BY_CODE = {
     "RESOURCE_EXHAUSTED": 413,
     "UNKNOWN_SESSION": 404,
     "CATALOG_ERROR": 404,
+    "REPLICA_LAGGING": 503,
+    "READ_ONLY_REPLICA": 403,
     "INTERNAL_ERROR": 500,
 }
 
@@ -97,18 +112,29 @@ class ServerConfig:
     #: Seconds a graceful drain waits for in-flight queries to finish
     #: before cancelling them (see QueryServer.drain).
     drain_grace: float = 10.0
+    #: Sessions idle longer than this are expired (their snapshot pin is
+    #: released — a leaked pin blocks MVCC version GC).  None disables.
+    session_ttl: float | None = 3600.0
+    #: Ceiling on the per-request long-poll/read-gate waits (the
+    #: ``wait`` of /replication/wal and the ``lsn_wait`` of a min_lsn
+    #: read): a client cannot park a handler thread longer than this.
+    max_wait_seconds: float = 30.0
 
 
 class _Session:
     def __init__(self, session_id: str):
         self.id = session_id
         self.created = time.time()
+        self.last_used = time.monotonic()
         self.statements: dict[str, object] = {}
         self.lock = threading.Lock()
         #: MVCC pin: while set, every query in this session reads the
         #: pinned LSN — a stable snapshot across requests, immune to
         #: concurrent commits (released on unpin/close).
         self.snapshot: object | None = None
+
+    def touch(self) -> None:
+        self.last_used = time.monotonic()
 
 
 class _Admission:
@@ -187,6 +213,15 @@ class QueryService:
         )
         self._sessions: dict[str, _Session] = {}
         self._sessions_lock = threading.Lock()
+        self._sessions_expired = 0
+        self._last_session_sweep = time.monotonic()
+        self._repl_lock = threading.Lock()
+        self._repl_counters = {
+            "snapshots_served": 0,
+            "tails_served": 0,
+            "records_streamed": 0,
+            "torn_frames_injected": 0,
+        }
         self._shutdown_callback = None
 
     @property
@@ -218,6 +253,7 @@ class QueryService:
     def handle(self, method: str, path: str, payload: dict) -> tuple[int, dict]:
         """Route one request; returns ``(http_status, response_body)``."""
         self.metrics.record_request()
+        self._expire_sessions()
         try:
             if method == "GET" and path == "/healthz":
                 return 200, {"status": "ok", "in_flight": self.metrics.snapshot()["in_flight"]}
@@ -239,6 +275,10 @@ class QueryService:
                 return 200, self._execute(payload)
             if method == "POST" and path == "/query":
                 return 200, self._query(payload)
+            if method == "POST" and path == "/replication/snapshot":
+                return 200, self._replication_snapshot(payload)
+            if method == "POST" and path == "/replication/wal":
+                return 200, self._replication_wal(payload)
             if method == "POST" and path == "/shutdown":
                 return 200, self._shutdown()
             raise BadRequestError(f"no such endpoint: {method} {path}")
@@ -283,6 +323,7 @@ class QueryService:
             "server": self.metrics.snapshot(),
             "admission": self._admission.snapshot(),
             "sessions": session_count,
+            "sessions_expired": self._sessions_expired,
             "draining": self.draining.is_set(),
             "ready": self.ready.is_set(),
         }
@@ -306,6 +347,11 @@ class QueryService:
         parallel = getattr(database, "parallel_info", None)
         if parallel is not None:
             body["parallel"] = parallel()
+        with self._repl_lock:
+            replication = dict(self._repl_counters)
+        replication["role"] = "primary"
+        replication["commit_lsn"] = getattr(database, "wal_lsn", 0)
+        body["replication"] = replication
         return body
 
     def _create_session(self, payload: dict) -> dict:
@@ -361,7 +407,36 @@ class QueryService:
             session = self._sessions.get(session_id)
         if session is None:
             raise SessionError(f"unknown session {session_id!r}")
+        session.touch()
         return session
+
+    def _expire_sessions(self) -> None:
+        """Drop sessions idle past ``session_ttl`` and release their pins.
+
+        Runs inline on the request path (no reaper thread to manage) but
+        only actually sweeps every ``ttl/4`` seconds.  Releasing the
+        snapshot pin is the point, not a nicety: an expired session that
+        kept its pin would block MVCC version GC forever.
+        """
+        ttl = self.config.session_ttl
+        if not ttl:
+            return
+        now = time.monotonic()
+        if now - self._last_session_sweep < min(max(ttl / 4.0, 0.01), 60.0):
+            return
+        self._last_session_sweep = now
+        expired = []
+        with self._sessions_lock:
+            for session_id, session in list(self._sessions.items()):
+                if now - session.last_used > ttl:
+                    del self._sessions[session_id]
+                    expired.append(session)
+        for session in expired:
+            self._sessions_expired += 1
+            try:
+                self._release_pin(session)
+            except ReproError:
+                pass  # db not attached yet/any more; the pin died with it
 
     def _prepare(self, payload: dict) -> dict:
         session = self._session(payload)
@@ -382,9 +457,11 @@ class QueryService:
             raise BadRequestError(f"unknown statement {statement_id!r} in session")
         params = _params_of(payload)
         at_lsn = self._session_lsn(session)
-        return self._run(
-            lambda options: statement.execute(params, options=options, at_lsn=at_lsn),
-            payload,
+        return self._annotate(
+            self._run(
+                lambda options: statement.execute(params, options=options, at_lsn=at_lsn),
+                payload,
+            )
         )
 
     def _query(self, payload: dict) -> dict:
@@ -396,12 +473,97 @@ class QueryService:
         at_lsn = None
         if isinstance(payload.get("session"), str):
             at_lsn = self._session_lsn(self._session(payload))
-        return self._run(
-            lambda options: self.db.execute(
-                sql, strategy, options=options, params=params, at_lsn=at_lsn
-            ),
-            payload,
+        return self._annotate(
+            self._run(
+                lambda options: self.db.execute(
+                    sql, strategy, options=options, params=params, at_lsn=at_lsn
+                ),
+                payload,
+            )
         )
+
+    def _annotate(self, body: dict) -> dict:
+        """Stamp the causality token: the WAL LSN after this statement.
+
+        A client that just wrote holds ``commit_lsn`` and can demand
+        ``min_lsn=commit_lsn`` from any replica — read-your-writes
+        without waiting for replication on the write path itself.
+        """
+        database = self._db
+        if database is not None:
+            lsn = getattr(database, "wal_lsn", 0)
+            if lsn:
+                body["commit_lsn"] = lsn
+        return body
+
+    # -- replication stream (primary side) ----------------------------------
+
+    def _replication_snapshot(self, payload: dict) -> dict:
+        """Full-state bootstrap for a new (or resyncing) replica.
+
+        Returns the snapshot-file state shape at a consistent LSN; the
+        follower writes it as a *local* snapshot so its own WAL bases at
+        the same LSN and stays record-for-record aligned with ours.
+        """
+        injector = injector_from_env()
+        if injector is not None:
+            injector.maybe_fail(SITE_STREAM_SERVE)
+        snapshot = self.db.replication_snapshot()
+        with self._repl_lock:
+            self._repl_counters["snapshots_served"] += 1
+        return {
+            "lsn": snapshot["lsn"],
+            "state": snapshot["state"],
+            "commit_lsn": snapshot["lsn"],
+        }
+
+    def _replication_wal(self, payload: dict) -> dict:
+        """Stream WAL frames after ``from_lsn`` (long-polls via ``wait``).
+
+        The response reuses the on-disk record framing verbatim — raw
+        CRC-framed bytes, base64-armored for JSON — so the follower
+        validates them with the same checksum scan recovery uses and a
+        torn tail (injected or real) degrades to a clean shorter batch.
+        """
+        from_lsn = payload.get("from_lsn")
+        if isinstance(from_lsn, bool) or not isinstance(from_lsn, int) or from_lsn < 0:
+            raise BadRequestError("'from_lsn' must be a non-negative integer")
+        max_records = payload.get("max_records", 512)
+        if (
+            isinstance(max_records, bool)
+            or not isinstance(max_records, int)
+            or not 1 <= max_records <= 4096
+        ):
+            raise BadRequestError("'max_records' must be an integer in [1, 4096]")
+        wait = payload.get("wait", 0.0)
+        if isinstance(wait, bool) or not isinstance(wait, (int, float)) or wait < 0:
+            raise BadRequestError("'wait' must be a non-negative number of seconds")
+        wait = min(float(wait), self.config.max_wait_seconds)
+        injector = injector_from_env()
+        if injector is not None:
+            injector.maybe_fail(SITE_STREAM_SERVE)
+        tail = self.db.replication_wal_tail(from_lsn, max_records=max_records, wait=wait)
+        frames = tail.frames
+        if injector is not None and frames:
+            try:
+                injector.maybe_fail(SITE_STREAM_TORN)
+            except InjectedFault:
+                # Serve a deliberately torn batch: cut mid-frame so the
+                # follower's CRC scan must discard the damaged suffix.
+                frames = frames[: max(1, len(frames) // 2)]
+                with self._repl_lock:
+                    self._repl_counters["torn_frames_injected"] += 1
+        with self._repl_lock:
+            self._repl_counters["tails_served"] += 1
+            self._repl_counters["records_streamed"] += tail.records
+        return {
+            "base_lsn": tail.base_lsn,
+            "last_lsn": tail.last_lsn,
+            "records": tail.records,
+            "snapshot_required": tail.snapshot_required,
+            "frames": base64.b64encode(frames).decode("ascii"),
+            "commit_lsn": tail.last_lsn,
+        }
 
     def _shutdown(self) -> dict:
         self.cancel_event.set()
@@ -567,9 +729,10 @@ class _Handler(BaseHTTPRequestHandler):
 class QueryServer:
     """Owns the listening socket and the service; start/stop lifecycle."""
 
-    def __init__(self, database, config: ServerConfig | None = None):
+    def __init__(self, database, config: ServerConfig | None = None, service_factory=None):
         self.config = config or ServerConfig()
-        self.service = QueryService(database, self.config)
+        factory = service_factory or QueryService
+        self.service = factory(database, self.config)
         handler = type("BoundHandler", (_Handler,), {"service": self.service})
         self._httpd = ThreadingHTTPServer(
             (self.config.host, self.config.port), handler

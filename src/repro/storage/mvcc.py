@@ -186,6 +186,7 @@ class SnapshotManager:
         self._versions_created = 0
         self._versions_collected = 0
         self._pins_taken = 0
+        self._pins_force_released = 0
 
     # -- write side (called under the database commit lock) ----------------
 
@@ -257,6 +258,21 @@ class SnapshotManager:
             else:
                 self._pins.pop(handle.lsn, None)
                 self._collect_locked()
+
+    def force_unpin(self, handle: SnapshotHandle) -> bool:
+        """Release a pin its holder leaked (``Database.close`` cleanup).
+
+        Identical to :meth:`unpin` except the release is *counted*: a
+        leaked pin blocks version GC forever, so the caller wants the
+        evidence in :meth:`info` (``pins_force_released``) rather than a
+        silent fix.  Returns True when the handle was still active.
+        """
+        if handle.released:
+            return False
+        self.unpin(handle)
+        with self._lock:
+            self._pins_force_released += 1
+        return True
 
     def version_at(self, name: str, lsn: int) -> TableVersion | None:
         """The newest version of ``name`` with ``version.lsn <= lsn``."""
@@ -343,6 +359,7 @@ class SnapshotManager:
                 "active_pins": sum(self._pins.values()),
                 "pinned_lsns": sorted(self._pins),
                 "pins_taken": self._pins_taken,
+                "pins_force_released": self._pins_force_released,
                 "versions_created": self._versions_created,
                 "versions_collected": self._versions_collected,
             }

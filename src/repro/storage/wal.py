@@ -265,6 +265,70 @@ def load_snapshot(path: str) -> tuple[int, dict]:
     return lsn, state
 
 
+def read_wal_tail(
+    data_dir: str,
+    from_lsn: int,
+    max_records: int = 512,
+    max_bytes: int = 1 << 20,
+) -> "WalTail":
+    """Read the clean WAL frames with LSN > ``from_lsn`` (replication).
+
+    Returns the raw, still-framed bytes so a follower can re-validate
+    every CRC itself — the wire format *is* the log format.  The scan
+    reuses the recovery validation (:func:`_scan_frames`), so a torn or
+    corrupt tail simply ends the readable range; it is never served.
+
+    ``snapshot_required`` is set when ``from_lsn`` predates the log's
+    base LSN: a checkpoint truncated the records the caller still needs,
+    so it must re-bootstrap from a state snapshot instead.  At least one
+    record is returned even when it alone exceeds ``max_bytes``.
+    """
+    path = os.path.join(data_dir, WAL_NAME)
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError:
+        return WalTail(0, 0, b"", 0, False)
+    if len(raw) < WAL_HEADER_SIZE or not raw.startswith(WAL_MAGIC):
+        return WalTail(0, 0, b"", 0, False)
+    (base_lsn,) = _BASE.unpack_from(raw, len(WAL_MAGIC))
+    records, good_end = _scan_frames(raw, WAL_HEADER_SIZE, base_lsn + 1)
+    last_lsn = records[-1].lsn if records else base_lsn
+    if from_lsn < base_lsn:
+        return WalTail(base_lsn, last_lsn, b"", 0, True)
+    # Within the validated prefix the frame headers are trusted: walk
+    # them cheaply to find the byte range covering (from_lsn, stop].
+    offset = WAL_HEADER_SIZE
+    start = None
+    end = offset
+    count = 0
+    while offset + _FRAME.size <= good_end:
+        lsn, length, _ = _FRAME.unpack_from(raw, offset)
+        next_offset = offset + _FRAME.size + length
+        if next_offset > good_end:
+            break
+        if lsn > from_lsn:
+            if start is None:
+                start = offset
+            if count >= max_records or (count > 0 and next_offset - start > max_bytes):
+                break
+            count += 1
+            end = next_offset
+        offset = next_offset
+    frames = raw[start:end] if start is not None and count else b""
+    return WalTail(base_lsn, last_lsn, frames, count, False)
+
+
+class WalTail(NamedTuple):
+    """One bounded :func:`read_wal_tail` result (the streaming unit)."""
+
+    base_lsn: int
+    last_lsn: int
+    frames: bytes
+    records: int
+    snapshot_required: bool
+
+
 def snapshot_path(data_dir: str, lsn: int) -> str:
     return os.path.join(data_dir, f"{SNAPSHOT_PREFIX}{lsn:016d}")
 
@@ -370,6 +434,9 @@ class DurabilityManager:
         os.makedirs(path, exist_ok=True)
         self.wal_path = os.path.join(path, WAL_NAME)
         self._lock = threading.RLock()
+        #: Signalled after every durable append; long-poll readers (the
+        #: replication tail endpoint) block on it instead of spinning.
+        self._append_cond = threading.Condition(self._lock)
         self._file = None
         #: Set when the log can no longer be trusted (a failed append
         #: could not be rolled back); every later operation refuses.
@@ -401,6 +468,7 @@ class DurabilityManager:
                 handle.close()
             except OSError:
                 pass
+        self._append_cond.notify_all()  # wake long-poll waiters
 
     # -- recovery -----------------------------------------------------------
 
@@ -547,7 +615,23 @@ class DurabilityManager:
                 self._rollback_append(good_end, lsn)
                 raise
             crash_point("storage.wal.fsync.after")
+            self._append_cond.notify_all()
             return lsn
+
+    def wait_for_lsn(self, lsn: int, timeout: float) -> int:
+        """Block until ``last_lsn >= lsn`` or ``timeout`` elapses.
+
+        Returns the last LSN either way — the long-poll contract of the
+        replication tail endpoint: "answer when there is news, or after
+        the wait budget, whichever is first".  A closed/latched manager
+        returns immediately.
+        """
+        with self._append_cond:
+            self._append_cond.wait_for(
+                lambda: self._last_lsn >= lsn or self._file is None,
+                timeout=timeout,
+            )
+            return self._last_lsn
 
     def _rollback_append(self, good_end: int, lsn: int) -> None:
         """Truncate a failed append off the file; latch if that fails."""
@@ -657,6 +741,7 @@ class DurabilityManager:
                 finally:
                     self._file.close()
                     self._file = None
+            self._append_cond.notify_all()  # wake long-poll waiters
 
 
 def replay(records: list[LogRecord], apply: Callable[[LogRecord], None]) -> int:

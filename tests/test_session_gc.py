@@ -1,0 +1,147 @@
+"""Pin hygiene: Database.close force-release and server session expiry.
+
+A snapshot pin blocks MVCC version GC for as long as it lives, so every
+way a pin can leak needs a janitor: ``Database.close()`` sweeps pins the
+embedding application never released, and the query server expires idle
+sessions (releasing *their* pins) after ``session_ttl``.  Both janitors
+leave an audit trail — ``pins_force_released`` in ``mvcc_info`` and
+``sessions_expired`` in ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import Database
+from repro.service import QueryService, ServerConfig
+
+
+def make_db(data_dir=None) -> Database:
+    db = Database(data_dir=str(data_dir) if data_dir else None)
+    db.create_table("t", ["a", "b"], [(1, 10), (2, 20)])
+    return db
+
+
+class TestCloseReleasesPins:
+    def test_close_force_releases_leaked_pins(self, tmp_path):
+        db = make_db(tmp_path / "d")
+        held = [db.pin_snapshot() for _ in range(3)]
+        assert db.mvcc_info()["active_pins"] == 3
+        db.close()
+        assert db.mvcc_info()["active_pins"] == 0
+        assert db.mvcc_info()["pins_force_released"] == 3
+        assert all(handle.released for handle in held)
+
+    def test_close_skips_properly_released_pins(self, tmp_path):
+        db = make_db(tmp_path / "d")
+        handle = db.pin_snapshot()
+        db.release_snapshot(handle)
+        db.close()
+        assert db.mvcc_info()["pins_force_released"] == 0
+
+    def test_release_after_close_is_idempotent(self, tmp_path):
+        db = make_db(tmp_path / "d")
+        handle = db.pin_snapshot()
+        db.close()
+        db.release_snapshot(handle)  # already force-released: a no-op
+        assert db.mvcc_info()["active_pins"] == 0
+
+    def test_close_on_pure_in_memory_database(self):
+        db = make_db()
+        db.pin_snapshot()
+        db.close()  # no durability manager, but the pin sweep still runs
+        assert db.mvcc_info()["pins_force_released"] == 1
+
+
+class TestSessionExpiry:
+    def make_service(self, ttl) -> tuple[QueryService, Database]:
+        db = make_db()
+        service = QueryService(db, ServerConfig(port=0, session_ttl=ttl))
+        return service, db
+
+    def expire_now(self, service) -> None:
+        """Age every session past the TTL and force the next sweep."""
+        with service._sessions_lock:
+            for session in service._sessions.values():
+                session.last_used -= 10_000.0
+        service._last_session_sweep = time.monotonic() - 10_000.0
+
+    def test_idle_session_is_expired_and_its_pin_released(self):
+        service, db = self.make_service(ttl=0.5)
+        status, body = service.handle("POST", "/session", {"pin_snapshot": True})
+        assert status == 200
+        session_id = body["session"]
+        assert db.mvcc_info()["active_pins"] == 1
+        self.expire_now(service)
+        # Any request triggers the sweep.
+        service.handle("GET", "/healthz", {})
+        status, body = service.handle("POST", "/session/pin", {"session": session_id})
+        assert status == 404
+        assert body["error"]["code"] == "UNKNOWN_SESSION"
+        assert db.mvcc_info()["active_pins"] == 0
+        assert service._metrics_body()["sessions_expired"] == 1
+
+    def test_active_session_survives_the_sweep(self):
+        service, _ = self.make_service(ttl=3600.0)
+        _, body = service.handle("POST", "/session", {})
+        service._last_session_sweep = time.monotonic() - 10_000.0
+        service.handle("GET", "/healthz", {})
+        status, _ = service.handle("POST", "/session/pin", {"session": body["session"]})
+        assert status == 200
+
+    def test_ttl_none_disables_expiry(self):
+        service, _ = self.make_service(ttl=None)
+        _, body = service.handle("POST", "/session", {})
+        self.expire_now(service)
+        service.handle("GET", "/healthz", {})
+        status, _ = service.handle("POST", "/session/pin", {"session": body["session"]})
+        assert status == 200
+
+    def test_touch_keeps_a_session_alive(self):
+        service, _ = self.make_service(ttl=0.5)
+        _, body = service.handle("POST", "/session", {})
+        session_id = body["session"]
+        # Using the session refreshes last_used, so only *idle* time
+        # counts against the TTL.
+        status, _ = service.handle(
+            "POST", "/query", {"sql": "SELECT a FROM t", "session": session_id}
+        )
+        assert status == 200
+
+
+class TestUnpinEdgeCases:
+    def make_service(self) -> tuple[QueryService, Database]:
+        db = make_db()
+        return QueryService(db, ServerConfig(port=0)), db
+
+    def test_double_unpin_is_idempotent(self):
+        service, db = self.make_service()
+        _, body = service.handle("POST", "/session", {"pin_snapshot": True})
+        session_id = body["session"]
+        status, first = service.handle("POST", "/session/unpin", {"session": session_id})
+        assert status == 200 and first == {"pinned": False}
+        status, second = service.handle("POST", "/session/unpin", {"session": session_id})
+        assert status == 200 and second == {"pinned": False}
+        assert db.mvcc_info()["active_pins"] == 0
+
+    def test_unpin_unknown_session_is_a_404(self):
+        service, _ = self.make_service()
+        status, body = service.handle("POST", "/session/unpin", {"session": "ghost"})
+        assert status == 404
+        assert body["error"]["code"] == "UNKNOWN_SESSION"
+
+    def test_unpin_missing_session_field_is_a_400(self):
+        service, _ = self.make_service()
+        status, body = service.handle("POST", "/session/unpin", {})
+        assert status == 400
+        assert body["error"]["code"] == "BAD_REQUEST"
+
+    def test_close_then_unpin_is_a_404(self):
+        service, db = self.make_service()
+        _, body = service.handle("POST", "/session", {"pin_snapshot": True})
+        session_id = body["session"]
+        service.handle("POST", "/session/close", {"session": session_id})
+        assert db.mvcc_info()["active_pins"] == 0
+        status, body = service.handle("POST", "/session/unpin", {"session": session_id})
+        assert status == 404
+        assert body["error"]["code"] == "UNKNOWN_SESSION"

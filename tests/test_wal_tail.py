@@ -1,0 +1,194 @@
+"""The replication WAL-tail reader against every torn-frame boundary.
+
+``read_wal_tail`` is the primary side of the replication stream: it must
+serve only frames the recovery scan would accept, because the follower
+applies whatever it validates.  These tests reuse the every-byte damage
+corpus of ``test_torn_writes`` and assert the tail API's invariant at
+each boundary: a cut or flip anywhere inside the final record makes the
+tail end exactly at the previous record — never a partial frame, never
+an exception — and the served bytes always round-trip through the
+follower's decoder (:func:`repro.replication.stream.decode_frames`).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from repro import Database
+from repro.replication.stream import decode_frames
+from repro.storage import wal
+from repro.storage.wal import DurabilityConfig, DurabilityManager, read_wal_tail
+
+from tests.test_torn_writes import STATEMENTS, build_log, last_record_offset
+
+#: create_table + the four statements of the corpus.
+TOTAL_RECORDS = len(STATEMENTS) + 1
+
+
+def damage(data_dir: str, content: bytes) -> str:
+    path = os.path.join(data_dir, wal.WAL_NAME)
+    with open(path, "wb") as handle:
+        handle.write(content)
+    return path
+
+
+def read_pristine(data_dir: str) -> bytes:
+    with open(os.path.join(data_dir, wal.WAL_NAME), "rb") as handle:
+        return handle.read()
+
+
+class TestCleanTail:
+    def test_full_tail_from_zero(self, tmp_path):
+        data_dir = build_log(tmp_path, STATEMENTS)
+        tail = read_wal_tail(data_dir, 0)
+        assert tail.base_lsn == 0
+        assert tail.last_lsn == TOTAL_RECORDS
+        assert tail.records == TOTAL_RECORDS
+        assert not tail.snapshot_required
+        records, clean = decode_frames(tail.frames, 0)
+        assert clean and [r.lsn for r in records] == list(range(1, TOTAL_RECORDS + 1))
+
+    def test_tail_from_every_position(self, tmp_path):
+        data_dir = build_log(tmp_path, STATEMENTS)
+        for from_lsn in range(TOTAL_RECORDS + 1):
+            tail = read_wal_tail(data_dir, from_lsn)
+            assert tail.records == TOTAL_RECORDS - from_lsn
+            records, clean = decode_frames(tail.frames, from_lsn)
+            assert clean
+            assert [r.lsn for r in records] == list(range(from_lsn + 1, TOTAL_RECORDS + 1))
+
+    def test_max_records_bounds_the_batch(self, tmp_path):
+        data_dir = build_log(tmp_path, STATEMENTS)
+        tail = read_wal_tail(data_dir, 0, max_records=2)
+        assert tail.records == 2
+        records, clean = decode_frames(tail.frames, 0)
+        assert clean and [r.lsn for r in records] == [1, 2]
+        # last_lsn still reports the log's true end, so the follower
+        # knows it is behind and fetches again immediately.
+        assert tail.last_lsn == TOTAL_RECORDS
+
+    def test_max_bytes_always_serves_at_least_one_record(self, tmp_path):
+        data_dir = build_log(tmp_path, STATEMENTS)
+        tail = read_wal_tail(data_dir, 0, max_bytes=1)
+        assert tail.records == 1
+        records, clean = decode_frames(tail.frames, 0)
+        assert clean and len(records) == 1
+
+    def test_missing_and_degenerate_files_yield_empty_tails(self, tmp_path):
+        data_dir = str(tmp_path / "nowhere")
+        assert read_wal_tail(data_dir, 0) == wal.WalTail(0, 0, b"", 0, False)
+        os.makedirs(data_dir)
+        for content in (b"", b"RP", wal.WAL_MAGIC, wal.WAL_MAGIC + b"\x01"):
+            damage(data_dir, content)
+            tail = read_wal_tail(data_dir, 0)
+            assert tail.records == 0 and tail.frames == b""
+
+
+class TestTornBoundaries:
+    def test_truncation_at_every_byte_of_the_final_record(self, tmp_path):
+        data_dir = build_log(tmp_path, STATEMENTS)
+        pristine = read_pristine(data_dir)
+        start = last_record_offset(pristine)
+        for cut in range(start, len(pristine)):
+            damage(data_dir, pristine[:cut])
+            tail = read_wal_tail(data_dir, 0)
+            # The torn final record is invisible: the tail ends at the
+            # last intact record, and the served bytes end exactly at
+            # the damage boundary.
+            assert tail.records == TOTAL_RECORDS - 1, f"cut at {cut}"
+            assert tail.last_lsn == TOTAL_RECORDS - 1, f"cut at {cut}"
+            assert len(tail.frames) == start - wal.WAL_HEADER_SIZE
+            records, clean = decode_frames(tail.frames, 0)
+            assert clean and len(records) == TOTAL_RECORDS - 1
+
+    def test_corruption_at_every_byte_of_the_final_record(self, tmp_path):
+        data_dir = build_log(tmp_path, STATEMENTS)
+        pristine = read_pristine(data_dir)
+        start = last_record_offset(pristine)
+        for position in range(start, len(pristine)):
+            damaged = bytearray(pristine)
+            damaged[position] ^= 0xA5
+            damage(data_dir, bytes(damaged))
+            tail = read_wal_tail(data_dir, 0)
+            assert tail.records == TOTAL_RECORDS - 1, f"flip at {position}"
+            records, clean = decode_frames(tail.frames, 0)
+            assert clean and len(records) == TOTAL_RECORDS - 1
+
+    def test_truncation_anywhere_yields_a_clean_prefix(self, tmp_path):
+        """Coarser whole-file sweep: every cut point serves a decodable
+        prefix whose length equals the number of surviving records."""
+        data_dir = build_log(tmp_path, STATEMENTS)
+        pristine = read_pristine(data_dir)
+        for cut in range(wal.WAL_HEADER_SIZE, len(pristine), 3):
+            damage(data_dir, pristine[:cut])
+            tail = read_wal_tail(data_dir, 0)
+            records, clean = decode_frames(tail.frames, 0)
+            assert clean
+            assert len(records) == tail.records <= TOTAL_RECORDS
+            assert [r.lsn for r in records] == list(range(1, tail.records + 1))
+
+    def test_tail_from_midpoint_over_damaged_log(self, tmp_path):
+        """A follower already past the early records sees the same torn
+        boundary: frames start after from_lsn and stop before damage."""
+        data_dir = build_log(tmp_path, STATEMENTS)
+        pristine = read_pristine(data_dir)
+        start = last_record_offset(pristine)
+        damage(data_dir, pristine[: start + 3])  # torn final header
+        for from_lsn in range(TOTAL_RECORDS):
+            tail = read_wal_tail(data_dir, from_lsn)
+            expect = max(0, (TOTAL_RECORDS - 1) - from_lsn)
+            assert tail.records == expect, f"from_lsn={from_lsn}"
+            records, clean = decode_frames(tail.frames, from_lsn)
+            assert clean and len(records) == expect
+
+
+class TestCheckpointGap:
+    def test_snapshot_required_when_checkpoint_truncated_the_log(self, tmp_path):
+        data_dir = build_log(tmp_path, STATEMENTS)
+        db = Database.open(data_dir, durability=DurabilityConfig(data_dir, sync="none"))
+        db.checkpoint()  # truncates: base LSN jumps to TOTAL_RECORDS
+        db.execute("INSERT INTO t VALUES (9, 90)")
+        db.close()
+        # A follower that stopped before the checkpoint cannot catch up
+        # from the log alone; the tail says so instead of serving a gap.
+        tail = read_wal_tail(data_dir, 2)
+        assert tail.snapshot_required
+        assert tail.base_lsn == TOTAL_RECORDS
+        assert tail.frames == b""
+        # One that is at (or past) the base LSN streams normally.
+        tail = read_wal_tail(data_dir, TOTAL_RECORDS)
+        assert not tail.snapshot_required and tail.records == 1
+
+
+class TestLongPoll:
+    def test_wait_for_lsn_wakes_on_append(self, tmp_path):
+        manager = DurabilityManager(DurabilityConfig(data_dir=str(tmp_path / "d"), sync="none"))
+        manager.start()
+        seen = []
+
+        def waiter():
+            seen.append(manager.wait_for_lsn(1, timeout=10.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        manager.log("dml", {"sql": "x"})
+        thread.join(timeout=5)
+        assert not thread.is_alive() and seen == [1]
+        manager.close()
+
+    def test_wait_for_lsn_times_out_and_reports_position(self, tmp_path):
+        manager = DurabilityManager(DurabilityConfig(data_dir=str(tmp_path / "d"), sync="none"))
+        manager.start()
+        manager.log("dml", {"sql": "x"})
+        assert manager.wait_for_lsn(99, timeout=0.05) == 1
+        manager.close()
+
+    def test_close_wakes_long_poll_waiters(self, tmp_path):
+        manager = DurabilityManager(DurabilityConfig(data_dir=str(tmp_path / "d"), sync="none"))
+        manager.start()
+        thread = threading.Thread(target=lambda: manager.wait_for_lsn(99, timeout=30.0))
+        thread.start()
+        manager.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
