@@ -182,6 +182,17 @@ class Database:
         self._recovery: dict = {}
         self._wal_commit_failures = 0
         self._durability_exemptions = 0
+        # Fencing era (replication failover): a monotonic term persisted
+        # as an ``era`` WAL control record.  ``_era_lsn`` is the LSN of
+        # the record that installed the current era — the first record
+        # of the current primary's reign, which is what lets a rejoining
+        # node detect a divergent WAL suffix (see docs/replication.md).
+        # ``_era_history`` keeps every (era, lsn) reign boundary (one
+        # entry per failover) so a node that slept through *several*
+        # eras can still locate the first reign record its log missed.
+        self._era = 0
+        self._era_lsn = 0
+        self._era_history: list[tuple[int, int]] = []
         if durability is None and data_dir is not None:
             durability = DurabilityConfig(data_dir=data_dir)
         if durability is not None:
@@ -250,6 +261,9 @@ class Database:
             "tables": tables,
             "views": [[name, sql] for name, sql in self._view_sql.items()],
             "indexes": indexes,
+            "era": self._era,
+            "era_lsn": self._era_lsn,
+            "era_history": [[era, lsn] for era, lsn in self._era_history],
         }
 
     def _load_snapshot_state(self, state: dict) -> None:
@@ -273,6 +287,14 @@ class Database:
             self.create_index(
                 index["name"], index["table"], index["column"], index["kind"]
             )
+        # Old snapshots predate the fencing era and default to era 0.
+        self._era = max(self._era, int(state.get("era", 0)))
+        self._era_lsn = max(self._era_lsn, int(state.get("era_lsn", 0)))
+        for era, lsn in state.get("era_history", []):
+            entry = (int(era), int(lsn))
+            if entry not in self._era_history:
+                self._era_history.append(entry)
+        self._era_history.sort()
 
     def _apply_log_record(self, record: LogRecord) -> None:
         """Redo one WAL record through the ordinary mutation paths."""
@@ -297,6 +319,17 @@ class Database:
             self.create_index(data["name"], data["table"], data["column"], data["kind"])
         elif kind == "drop_index":
             self.drop_index(data["name"])
+        elif kind == "era":
+            # A fencing-era control record (replication failover).  The
+            # era LSN is the record's own: the first LSN of that era's
+            # primary reign.  Replay runs before the manager attaches,
+            # so this never re-logs.
+            self._era = max(self._era, int(data["era"]))
+            self._era_lsn = record.lsn
+            entry = (int(data["era"]), record.lsn)
+            if entry not in self._era_history:
+                self._era_history.append(entry)
+                self._era_history.sort()
         # Unknown kinds are skipped, not fatal: a newer writer may have
         # logged record types this reader predates.
 
@@ -373,6 +406,50 @@ class Database:
         """
         manager = self._durability
         return 0 if manager is None else manager.last_lsn
+
+    @property
+    def era(self) -> int:
+        """The fencing era this node believes in (0 = pre-failover)."""
+        return self._era
+
+    @property
+    def era_lsn(self) -> int:
+        """The WAL LSN of the record that installed the current era.
+
+        The first record of the current primary's reign: any node whose
+        log already extends to (or past) this LSN while still believing
+        an *older* era holds a divergent suffix and must truncate.
+        """
+        return self._era_lsn
+
+    @property
+    def era_history(self) -> tuple[tuple[int, int], ...]:
+        """Every (era, era_lsn) reign boundary this node knows of.
+
+        One entry per failover, shipped with the replication stream so a
+        follower that slept through several eras can still find the first
+        reign record its own log never applied (see docs/replication.md).
+        """
+        return tuple(self._era_history)
+
+    def bump_era(self, era: int) -> int:
+        """Install a newer fencing era, durably (an ``era`` WAL record).
+
+        This is the promotion commit point: the record is the first of
+        the new primary's reign, so its LSN becomes :attr:`era_lsn`.
+        Eras only move forward; a stale bump is a protocol error.
+        """
+        with self._commit_lock:
+            if era <= self._era:
+                raise ReplicationError(
+                    f"fencing era must be monotonic: cannot move from"
+                    f" {self._era} to {era}"
+                )
+            self._log_durable("era", {"era": era})
+            self._era = era
+            self._era_lsn = self.wal_lsn
+            self._era_history.append((era, self._era_lsn))
+            return self._era
 
     def replication_snapshot(self) -> dict:
         """A consistent ``{"lsn", "state"}`` bootstrap payload.

@@ -14,6 +14,9 @@ CURRENT`` gates CI on non-timing counter regressions and
 ``--update-baseline`` copies CURRENT over BASELINE instead of gating
 ``serve``        run the JSON-over-HTTP SQL server (the primary)
 ``replica``      run a read-only replica streaming a primary's WAL
+``coordinator``  health-check a replica set and drive automatic failover
+``promote``      manually promote a replica to primary (fenced, new era)
+``scrub``        offline CRC walk of a data directory's WAL + snapshots
 
 ``run``/``explain``/``shell`` accept repeated ``--index
 name:table:column[:kind]`` options to build secondary indexes before
@@ -195,6 +198,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds a SIGTERM drain waits for in-flight queries "
              "before cancelling them",
     )
+    serve.add_argument(
+        "--advertise-url", metavar="URL",
+        help="the URL other nodes should use to reach this server "
+             "(reported as leader_url in /replication/topology)",
+    )
+    serve.add_argument(
+        "--fenced", action="store_true",
+        help="start fenced: refuse writes with NOT_PRIMARY until a "
+             "/replication/promote confirms this node's reign — the safe "
+             "way to restart an ex-primary after a failover",
+    )
 
     replica = sub.add_parser(
         "replica", help="run a read-only replica streaming a primary's WAL"
@@ -221,6 +235,52 @@ def build_parser() -> argparse.ArgumentParser:
     replica.add_argument(
         "--max-in-flight", type=int, default=4,
         help="queries executing concurrently before admission control queues",
+    )
+    replica.add_argument(
+        "--advertise-url", metavar="URL",
+        help="the URL other nodes should use to reach this replica "
+             "(becomes leader_url if it is ever promoted)",
+    )
+
+    coordinator = sub.add_parser(
+        "coordinator",
+        help="health-check a replica set and drive automatic failover",
+    )
+    coordinator.add_argument(
+        "--node", action="append", required=True, metavar="URL", dest="nodes",
+        help="a cluster node's base URL (repeat for every node; at least two)",
+    )
+    coordinator.add_argument(
+        "--interval", type=float, default=0.5,
+        help="seconds between health-check rounds",
+    )
+    coordinator.add_argument(
+        "--threshold", type=int, default=3,
+        help="consecutive missed rounds before a failover fires",
+    )
+    coordinator.add_argument(
+        "--http-timeout", type=float, default=5.0,
+        help="timeout of each probe/promote/demote RPC, in seconds",
+    )
+
+    promote = sub.add_parser(
+        "promote", help="manually promote a replica to primary (fenced, new era)"
+    )
+    promote.add_argument("url", metavar="URL", help="base URL of the replica to promote")
+    promote.add_argument(
+        "--era", type=int,
+        help="the fencing era to install (default: the node's current era + 1)",
+    )
+
+    scrub = sub.add_parser(
+        "scrub",
+        help="offline integrity walk of a data directory (CRC-check WAL "
+             "frames and snapshots without opening the database)",
+    )
+    scrub.add_argument(
+        "--data-dir", required=True, metavar="DIR",
+        help="durable storage directory to scrub (read-only; safe on a "
+             "directory another process is writing, modulo a torn tail)",
     )
 
     return parser
@@ -552,6 +612,8 @@ def cmd_serve(args, out) -> int:
         max_queue=args.max_queue,
         default_timeout=args.timeout,
         drain_grace=args.drain_grace,
+        advertise_url=getattr(args, "advertise_url", None),
+        fenced=bool(getattr(args, "fenced", False)),
     )
     if getattr(args, "data_dir", None):
         # Defer the open: the socket binds immediately and /health reports
@@ -605,6 +667,7 @@ def cmd_replica(args, out) -> int:
             host=args.host,
             port=args.port,
             max_in_flight=args.max_in_flight,
+            advertise_url=getattr(args, "advertise_url", None),
         ),
     )
     host, port = replica.address
@@ -627,6 +690,151 @@ def cmd_replica(args, out) -> int:
 
     replica.serve_forever()
     out.write("replica stopped\n")
+    return 0
+
+
+def cmd_coordinator(args, out) -> int:
+    """Health-check a replica set; elect and promote on primary failure."""
+    import signal
+    import threading
+
+    from repro.replication.failover import ClusterCoordinator, CoordinatorConfig
+
+    if len(args.nodes) < 2:
+        raise ReproError("coordinator needs at least two --node URLs to fail over between")
+    config = CoordinatorConfig(
+        nodes=tuple(args.nodes),
+        health_interval=args.interval,
+        failure_threshold=args.threshold,
+        http_timeout=args.http_timeout,
+    )
+
+    def emit(message: str) -> None:
+        out.write(f"{message}\n")
+        if hasattr(out, "flush"):
+            out.flush()
+
+    coordinator = ClusterCoordinator(config, on_event=emit)
+    emit(f"coordinating {len(config.nodes)} nodes: {', '.join(config.nodes)}")
+    stop = threading.Event()
+
+    def _graceful(signum, frame):
+        emit("coordinator stopping (signal received)...")
+        stop.set()
+
+    try:
+        signal.signal(signal.SIGTERM, _graceful)
+        signal.signal(signal.SIGINT, _graceful)
+    except ValueError:
+        pass  # not on the main thread (embedded use); signals stay default
+
+    coordinator.run(stop)
+    info = coordinator.info()
+    out.write(
+        f"coordinator stopped after {info['rounds']} rounds "
+        f"(leader {info['leader_url']}, era {info['era']}, "
+        f"{info['promotions']} promotions)\n"
+    )
+    return 0
+
+
+def cmd_promote(args, out) -> int:
+    """Manually promote one replica: the operator's failover lever."""
+    from repro.service.client import ServiceClient
+    from repro.service.resilience import RetryPolicy
+
+    client = ServiceClient(args.url, retry_policy=RetryPolicy(max_attempts=1))
+    era = args.era
+    if era is None:
+        topology = client.replication_topology()
+        era = max(int(topology.get("era", 0)), int(topology.get("fenced_era", 0))) + 1
+    body = client.replication_promote(era)
+    out.write(
+        f"promoted {args.url} to primary of era {body.get('era', era)} "
+        f"(era_lsn {body.get('era_lsn', 0)}, applied_lsn {body.get('applied_lsn', 0)})\n"
+    )
+    return 0
+
+
+def cmd_scrub(args, out) -> int:
+    """Offline integrity walk: CRC-check the WAL and every snapshot.
+
+    Reuses the recovery validators (``_scan_frames``/``load_snapshot``)
+    without opening a :class:`Database` — no replay, no table rebuild,
+    no lock on the directory.  Reports torn WAL tails, corrupt frames,
+    damaged snapshots, and recovery gaps (a WAL that bases past the
+    newest loadable snapshot); exits 1 when any anomaly is found.
+    """
+    from repro.errors import DurabilityError
+    from repro.storage.wal import (
+        WAL_HEADER_SIZE,
+        WAL_MAGIC,
+        WAL_NAME,
+        _BASE,
+        _scan_frames,
+        list_snapshots,
+        load_snapshot,
+    )
+
+    directory = args.data_dir
+    if not os.path.isdir(directory):
+        raise ReproError(f"scrub: {directory!r} is not a directory")
+    anomalies = 0
+    wal_path = os.path.join(directory, WAL_NAME)
+    have_wal = os.path.exists(wal_path)
+    base_lsn = 0
+    if have_wal:
+        with open(wal_path, "rb") as handle:
+            raw = handle.read()
+        if len(raw) < WAL_HEADER_SIZE or not raw.startswith(WAL_MAGIC):
+            anomalies += 1
+            out.write(f"wal {WAL_NAME}: ANOMALY — bad magic header ({len(raw)} bytes)\n")
+        else:
+            (base_lsn,) = _BASE.unpack_from(raw, len(WAL_MAGIC))
+            records, good_end = _scan_frames(raw, WAL_HEADER_SIZE, base_lsn + 1)
+            last_lsn = records[-1].lsn if records else base_lsn
+            torn = len(raw) - good_end
+            out.write(
+                f"wal {WAL_NAME}: base lsn {base_lsn}, {len(records)} clean "
+                f"records through lsn {last_lsn}\n"
+            )
+            if torn:
+                anomalies += 1
+                out.write(
+                    f"  ANOMALY: {torn} torn/corrupt trailing bytes past byte "
+                    f"{good_end} (recovery would truncate them)\n"
+                )
+    else:
+        out.write("wal: missing\n")
+    snapshots = list_snapshots(directory)
+    newest_ok = None
+    for _, path in snapshots:
+        name = os.path.basename(path)
+        try:
+            snap_lsn, state = load_snapshot(path)
+        except DurabilityError as error:
+            anomalies += 1
+            out.write(f"snapshot {name}: ANOMALY — {error}\n")
+            continue
+        out.write(
+            f"snapshot {name}: ok (lsn {snap_lsn}, {len(state.get('tables', {}))} tables)\n"
+        )
+        if newest_ok is None or snap_lsn > newest_ok:
+            newest_ok = snap_lsn
+    if have_wal and base_lsn > 0 and (newest_ok is None or newest_ok < base_lsn):
+        anomalies += 1
+        where = "missing" if newest_ok is None else f"at lsn {newest_ok}"
+        out.write(
+            f"  ANOMALY: recovery gap — the WAL bases at lsn {base_lsn} but "
+            f"the newest loadable snapshot is {where}; records up to the "
+            f"base are unrecoverable\n"
+        )
+    if not have_wal and not snapshots:
+        out.write("no durable state found\n")
+    if anomalies:
+        out.write(f"scrub: FAILED ({anomalies} anomalies)\n")
+        return 1
+    out.write("scrub: clean\n")
     return 0
 
 
@@ -841,6 +1049,9 @@ COMMANDS = {
     "shell": cmd_shell,
     "serve": cmd_serve,
     "replica": cmd_replica,
+    "coordinator": cmd_coordinator,
+    "promote": cmd_promote,
+    "scrub": cmd_scrub,
     "recover": cmd_recover,
     "bench-report": cmd_bench_report,
 }

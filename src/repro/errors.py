@@ -272,6 +272,38 @@ class ReplicaLagging(ReplicationError):
         return body
 
 
+class NotPrimary(ReplicationError):
+    """Raised when a write (or a replication stream) hits a superseded node.
+
+    The fencing-era protocol's one refusal: a node that is fenced — or
+    that learns from the request itself that a newer era exists — answers
+    writes with this error instead of acknowledging them, carrying the
+    newest ``era`` it knows of and, when known, the ``leader_url`` of
+    that era's primary.  Followers raise it too when a tail response
+    arrives from a lower era than the one they follow.  Not retryable
+    *against the same endpoint* — the replica-set client handles it by
+    re-discovering the leader and retrying there.
+    """
+
+    code = "NOT_PRIMARY"
+
+    def __init__(self, era: int, leader_url: str | None = None, message: str | None = None):
+        if message is None:
+            suffix = f"; current leader: {leader_url}" if leader_url else ""
+            message = f"this node is not the primary of era {era}{suffix}"
+        super().__init__(message)
+        self.era = era
+        self.leader_url = leader_url
+
+    def as_dict(self) -> dict:
+        # The era and leader ride along so a client can rebuild the
+        # exception and fail over without a separate topology probe.
+        body = super().as_dict()
+        body["era"] = self.era
+        body["leader_url"] = self.leader_url
+        return body
+
+
 class ReadOnlyReplica(ReplicationError):
     """Raised when DML (or DDL) is sent to a read-only replica.
 

@@ -21,6 +21,9 @@ Sites form a dotted hierarchy and configuration matches by prefix::
     replication.stream.serve        primary answering snapshot/tail calls
     replication.stream.torn         tail batches cut mid-frame when served
     replication.stream.apply        follower stalls before applying a record
+    replication.failover.health     coordinator topology probe fails
+    replication.failover.promote    coordinator promotion RPC fails
+    replication.failover.demote     coordinator demote/repoint RPC fails
 
 The ``storage.wal.*`` / ``storage.checkpoint.*`` sites model disk
 faults, not plan bugs: the self-healing layer retries them without

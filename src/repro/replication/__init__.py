@@ -7,8 +7,15 @@ through the same public mutation paths crash recovery uses and serves
 read-only queries at its applied LSN.  Consistency is explicit: every
 primary write response carries its commit LSN as a causality token, and
 a replica read may demand ``min_lsn`` — wait briefly, then redirect —
-so a client never reads staler than its own writes.  See
-``docs/replication.md`` for the design and the LSN-alignment argument.
+so a client never reads staler than its own writes.
+
+When the primary dies, a :class:`~repro.replication.failover.ClusterCoordinator`
+detects the loss, elects the most-caught-up replica, and promotes it
+under a **fencing era** (a monotonic term persisted as a WAL control
+record) that fences the deposed primary out of the write path and lets
+a rejoining one truncate its divergent WAL suffix.  See
+``docs/replication.md`` for the design, the LSN-alignment argument, and
+the failover protocol.
 
 This package initializer stays import-light on purpose:
 ``repro.service.server`` imports :mod:`repro.replication.stream` at
@@ -22,7 +29,13 @@ _EXPORTS = {
     "SITE_STREAM_APPLY": "repro.replication.stream",
     "SITE_STREAM_SERVE": "repro.replication.stream",
     "SITE_STREAM_TORN": "repro.replication.stream",
+    "SITE_FAILOVER_HEALTH": "repro.replication.failover",
+    "SITE_FAILOVER_PROMOTE": "repro.replication.failover",
+    "SITE_FAILOVER_DEMOTE": "repro.replication.failover",
     "decode_frames": "repro.replication.stream",
+    "ClusterCoordinator": "repro.replication.failover",
+    "CoordinatorConfig": "repro.replication.failover",
+    "NodeView": "repro.replication.failover",
     "ReplicaConfig": "repro.replication.replica",
     "ReplicaServer": "repro.replication.replica",
     "ReplicationFollower": "repro.replication.replica",

@@ -26,7 +26,9 @@ the replica-set client uses to redirect.  See ``docs/replication.md``.
 
 from __future__ import annotations
 
+import dataclasses
 import os
+import random
 import threading
 import time
 from dataclasses import dataclass
@@ -35,16 +37,25 @@ from repro import Database
 from repro.errors import (
     BadRequestError,
     InjectedFault,
+    NotPrimary,
     ReadOnlyReplica,
     ReplicaLagging,
     ReplicationError,
     ReproError,
+    ServiceUnavailable,
 )
 from repro.faults import injector_from_env
 from repro.replication.stream import SITE_STREAM_APPLY, decode_frames, frames_from_wire
 from repro.service.client import ServiceClient
 from repro.service.resilience import RetryPolicy
-from repro.service.server import QueryServer, QueryService, ServerConfig
+from repro.service.server import (
+    WRITE_PREFIXES,
+    QueryServer,
+    QueryService,
+    ServerConfig,
+    _era_of,
+    _required_str,
+)
 from repro.storage import Column, ColumnType, Schema, Table
 from repro.storage.wal import (
     WAL_NAME,
@@ -83,6 +94,11 @@ class ReplicaConfig:
     #: Fetch-error backoff: start, and cap.
     retry_backoff: float = 0.05
     retry_backoff_max: float = 2.0
+    #: Relative jitter applied to each backoff sleep (±50% by default),
+    #: so a fleet of replicas does not reconnect in lockstep when the
+    #: primary restarts.  The *doubling* stays deterministic; only the
+    #: sleep is randomized.  0 disables.
+    retry_jitter: float = 0.5
 
 
 class ReplicationFollower:
@@ -98,6 +114,7 @@ class ReplicationFollower:
         config: ReplicaConfig,
         client: ServiceClient | None = None,
         on_install=None,
+        rng: random.Random | None = None,
     ):
         self.config = config
         # max_attempts=1: the follower loop is its own retry policy —
@@ -112,12 +129,18 @@ class ReplicationFollower:
         self._db: Database | None = None
         self._cond = threading.Condition()
         self._closed = False
+        self._rng = rng or random.Random()
         #: Set (with a reason) when apply detected drift; the follower
         #: refuses further work rather than serve divergent state.
         self.broken: str | None = None
         #: Newest primary LSN observed in any response (lag = this
         #: minus applied_lsn).
         self.primary_lsn = 0
+        #: The fencing era this follower believes in: the max of every
+        #: era record it applied and every repoint it accepted.  A tail
+        #: response from a *lower* era is a stale ex-primary's stream
+        #: and is rejected, never applied.
+        self.era = 0
         self.counters = {
             "batches": 0,
             "records_applied": 0,
@@ -125,6 +148,8 @@ class ReplicationFollower:
             "resyncs": 0,
             "fetch_errors": 0,
             "apply_stalls": 0,
+            "stale_stream_rejected": 0,
+            "truncations": 0,
         }
 
     # -- lifecycle ----------------------------------------------------------
@@ -175,6 +200,16 @@ class ReplicationFollower:
         bases the fresh local WAL at exactly the primary's LSN.
         """
         body = self.client.replication_snapshot()
+        snapshot_era = int(body.get("era", 0))
+        if snapshot_era < self.era:
+            self.counters["stale_stream_rejected"] += 1
+            raise NotPrimary(
+                self.era,
+                message=(
+                    f"bootstrap snapshot is from era {snapshot_era}, a stale"
+                    f" primary; this follower is at era {self.era}"
+                ),
+            )
         lsn, state = body["lsn"], body["state"]
         old, self._db = self._db, None
         if old is not None:
@@ -207,10 +242,30 @@ class ReplicationFollower:
 
     def _install(self, db: Database) -> None:
         self._db = db
+        # A recovered (or freshly bootstrapped) store may carry era
+        # records from before the kill; never move backwards.
+        self.era = max(self.era, getattr(db, "era", 0))
         if self.on_install is not None:
             self.on_install(db)
         with self._cond:
             self._cond.notify_all()
+
+    def repoint(self, primary_url: str, era: int | None = None) -> None:
+        """Follow a different primary (failover): swap client + config.
+
+        ``era`` is the coordinator's view of the current era; adopting
+        it arms the stale-stream rejection immediately — a late tail
+        response from the deposed primary (lower era) is refused even
+        before the new primary's era record arrives in-stream.
+        """
+        self.config = dataclasses.replace(self.config, primary_url=primary_url)
+        self.client = ServiceClient(
+            primary_url,
+            timeout=self.config.http_timeout,
+            retry_policy=RetryPolicy(max_attempts=1),
+        )
+        if era is not None:
+            self.era = max(self.era, era)
 
     # -- the streaming loop -------------------------------------------------
 
@@ -229,6 +284,37 @@ class ReplicationFollower:
             max_records=self.config.max_records,
             wait=self.config.poll_wait if wait is None else wait,
         )
+        stream_era = int(body.get("era", 0))
+        stream_era_lsn = int(body.get("era_lsn", 0))
+        if stream_era < self.era:
+            # A deposed primary's stream: refuse it wholesale.  Nothing
+            # from an older era may be applied — not even records that
+            # would happen to fit our LSN sequence, because they are the
+            # divergent suffix the cluster already disowned.
+            self.counters["stale_stream_rejected"] += 1
+            raise NotPrimary(
+                self.era,
+                message=(
+                    f"replication stream is from era {stream_era}, a stale"
+                    f" primary; this follower is at era {self.era}"
+                ),
+            )
+        boundaries = [(int(era), int(lsn)) for era, lsn in body.get("era_history", [])]
+        if not boundaries and stream_era:
+            boundaries = [(stream_era, stream_era_lsn)]
+        db_era = getattr(db, "era", 0)
+        if any(lsn and lsn <= db.wal_lsn and era > db_era for era, lsn in boundaries):
+            # Rejoin-with-truncation: some reign's era record sits at an
+            # LSN our log already reached, yet we never applied it — our
+            # suffix past that point came from the old timeline (writes
+            # the deposed primary acknowledged but never replicated).
+            # Checking the full history (not just the newest era) covers
+            # a node that slept through several failovers.  Truncate by
+            # re-bootstrapping through the snapshot path.
+            self.counters["truncations"] += 1
+            self.counters["resyncs"] += 1
+            self._resync()
+            return 0
         self.primary_lsn = max(self.primary_lsn, int(body.get("last_lsn", 0)))
         if body.get("snapshot_required"):
             # A primary checkpoint truncated the records we still need
@@ -245,6 +331,10 @@ class ReplicationFollower:
             # the clean prefix still applies; the rest is refetched.
             self.counters["torn_batches"] += 1
         if not records:
+            return 0
+        if self._closed:
+            # Closed between fetch and apply (promotion in flight): the
+            # batch must not land on what is about to be a new timeline.
             return 0
         self.counters["batches"] += 1
         injector = injector_from_env()
@@ -292,6 +382,19 @@ class ReplicationFollower:
             db.create_index(data["name"], data["table"], data["column"], data["kind"])
         elif kind == "drop_index":
             db.drop_index(data["name"])
+        elif kind == "era":
+            # A reign boundary arriving in-stream: install it through
+            # bump_era so it logs exactly one local record (keeping the
+            # LSN alignment) and updates era/era_lsn/history.  A replay
+            # of an era we already hold logs verbatim instead — the LSN
+            # must advance either way.
+            new_era = int(data["era"])
+            with db._commit_lock:
+                if new_era > db.era:
+                    db.bump_era(new_era)
+                else:
+                    db._log_durable(kind, data)
+            self.era = max(self.era, new_era)
         else:
             with db._commit_lock:
                 db._log_durable(kind, data)
@@ -305,22 +408,50 @@ class ReplicationFollower:
         with self._cond:
             self._cond.notify_all()
 
+    def _backoff_delay(self, backoff: float) -> float:
+        """One jittered sleep for the current backoff step.
+
+        The exponential *schedule* (0.05, 0.1, 0.2, …) stays exactly
+        deterministic; only each sleep is smeared by ±``retry_jitter``
+        so a fleet of replicas does not hammer a restarting primary in
+        lockstep.  Seedable via the constructor's ``rng`` for tests.
+        """
+        jitter = self.config.retry_jitter
+        if jitter <= 0:
+            return backoff
+        return backoff * (1.0 + self._rng.uniform(-jitter, jitter))
+
     def run(self, stop_event: threading.Event | None = None) -> None:
         """Stream until stopped.  Fetch errors back off and refetch
-        (refetching from ``applied_lsn`` is always correct); apply drift
-        propagates after marking the follower broken."""
+        (refetching from ``applied_lsn`` is always correct); a stale
+        stream (``NOT_PRIMARY``) backs off too — the coordinator will
+        repoint us at the new leader; apply drift propagates after
+        marking the follower broken."""
         backoff = self.config.retry_backoff
         while not self._closed and not (stop_event is not None and stop_event.is_set()):
             try:
                 self.step()
+            except NotPrimary:
+                # The node we are tailing is a deposed primary; nothing
+                # was applied.  Wait for a repoint rather than dying —
+                # NotPrimary must be handled before its ReplicationError
+                # base class, which is fatal here.
+                delay = self._backoff_delay(backoff)
+                if stop_event is not None:
+                    stop_event.wait(delay)
+                else:
+                    time.sleep(delay)
+                backoff = min(backoff * 2, self.config.retry_backoff_max)
+                continue
             except ReplicationError:
                 raise
             except ReproError:
                 self.counters["fetch_errors"] += 1
+                delay = self._backoff_delay(backoff)
                 if stop_event is not None:
-                    stop_event.wait(backoff)
+                    stop_event.wait(delay)
                 else:
-                    time.sleep(backoff)
+                    time.sleep(delay)
                 backoff = min(backoff * 2, self.config.retry_backoff_max)
                 continue
             backoff = self.config.retry_backoff
@@ -345,6 +476,7 @@ class ReplicationFollower:
             "applied_lsn": applied,
             "primary_lsn": primary,
             "lag_records": primary - applied,
+            "era": self.era,
             "broken": self.broken,
         }
         info.update(self.counters)
@@ -357,17 +489,25 @@ class ReplicationFollower:
             self._cond.notify_all()
 
 
-#: Statement prefixes a replica refuses (everything that mutates:
-#: DML plus table/view/index DDL — the same split Database.execute makes).
-_WRITE_PREFIXES = ("insert", "delete", "update", "create", "drop")
-
-
 class ReplicaService(QueryService):
-    """A read-only :class:`QueryService` gated on replication progress."""
+    """A read-only :class:`QueryService` gated on replication progress.
+
+    Until promoted it refuses writes (``READ_ONLY_REPLICA``) and gates
+    reads on the follower's applied LSN.  ``POST /replication/promote``
+    flips it to a full primary: the follower is halted, the fencing era
+    is bumped durably, and from then on every inherited primary code
+    path (write gate, causality gate, stream serving) applies as-is.
+    """
 
     def __init__(self, database, config: ServerConfig | None, follower: ReplicationFollower):
         super().__init__(database, config)
         self.follower = follower
+        #: Flips exactly once, on a successful /replication/promote.
+        self.promoted = False
+        #: Callable invoked *before* the era bump to halt the follower
+        #: thread (wired by :class:`ReplicaServer`); must return True
+        #: once the thread is provably stopped.
+        self.on_promote = None
 
     def _read_gate(self, payload: dict) -> None:
         """Honor a ``min_lsn`` causality token: wait, then serve or 503."""
@@ -386,26 +526,126 @@ class ReplicaService(QueryService):
         if applied < min_lsn:
             raise ReplicaLagging(min_lsn, applied)
 
+    def _role(self) -> str:
+        return "primary" if self.promoted else "replica"
+
+    def _write_gate(self, payload: dict) -> None:
+        """Writes are refused outright until promotion; afterwards the
+        inherited fencing-era gate takes over (split-brain guard)."""
+        if not self.promoted:
+            raise ReadOnlyReplica(
+                "this server is a read-only replica; send writes to the primary"
+            )
+        super()._write_gate(payload)
+
+    def _causality_gate(self, payload: dict) -> None:
+        """A replica's ``min_lsn`` gate *waits* for replication before
+        giving up; the primary-side fail-fast gate applies once promoted."""
+        if self.promoted:
+            super()._causality_gate(payload)
+        else:
+            self._read_gate(payload)
+
     def _query(self, payload: dict) -> dict:
         sql = payload.get("sql")
-        if isinstance(sql, str) and sql.lstrip().lower().startswith(_WRITE_PREFIXES):
+        if (
+            not self.promoted
+            and isinstance(sql, str)
+            and sql.lstrip().lower().startswith(WRITE_PREFIXES)
+        ):
             raise ReadOnlyReplica("this server is a read-only replica; send writes to the primary")
-        self._read_gate(payload)
         return super()._query(payload)
 
-    def _execute(self, payload: dict) -> dict:
-        self._read_gate(payload)
-        return super()._execute(payload)
-
     def _annotate(self, body: dict) -> dict:
+        if self.promoted:
+            return super()._annotate(body)
         # A replica's causality stamp is how far it has applied, not a
         # commit it performed (it performs none).
         body["applied_lsn"] = self.follower.applied_lsn
+        era = max(getattr(self._db, "era", 0) if self._db is not None else 0, self.follower.era)
+        if era:
+            body["era"] = era
         return body
+
+    def _topology(self) -> dict:
+        if self.promoted:
+            return super()._topology()
+        follower = self.follower
+        database = self._db
+        applied = follower.applied_lsn
+        return {
+            "role": self._role(),
+            "fenced": False,
+            "fenced_era": 0,
+            "era": max(getattr(database, "era", 0) if database is not None else 0, follower.era),
+            "era_lsn": getattr(database, "era_lsn", 0) if database is not None else 0,
+            "wal_lsn": applied,
+            "applied_lsn": applied,
+            "leader_url": follower.config.primary_url,
+            "broken": follower.broken,
+        }
+
+    def _promote(self, payload: dict) -> dict:
+        """Become the primary: halt the follower, bump the era durably.
+
+        The era bump is the commit point — a promotion that fails before
+        it leaves the node a plain replica.  The follower thread must be
+        provably stopped first so no stale in-flight batch can land on
+        the new timeline; if it is still draining a long poll the
+        promotion fails retryably and the coordinator tries again.
+        """
+        if self.promoted:
+            return super()._promote(payload)
+        era = _era_of(payload)
+        follower = self.follower
+        if follower.broken is not None:
+            raise ReplicationError(
+                f"cannot promote a broken follower: {follower.broken}"
+            )
+        current = max(getattr(self.db, "era", 0), follower.era)
+        if era <= current:
+            raise ReplicationError(
+                f"stale promotion: era {era} is not newer than this node's era {current}"
+            )
+        if self.on_promote is not None and not self.on_promote():
+            raise ServiceUnavailable(
+                "follower thread is still draining its last poll; retry promotion"
+            )
+        follower.close()
+        follower.era = max(follower.era, era)
+        database = self.db
+        database.bump_era(era)
+        self.promoted = True
+        with self._cluster_lock:
+            self._fenced = False
+            self._fenced_era = 0
+            self._leader_url = self.config.advertise_url
+        return {
+            "promoted": True,
+            "role": self._role(),
+            "era": database.era,
+            "era_lsn": database.era_lsn,
+            "applied_lsn": database.wal_lsn,
+        }
+
+    def _repoint(self, payload: dict) -> dict:
+        """Follow a different primary (the coordinator heals topology)."""
+        if self.promoted:
+            return super()._repoint(payload)
+        leader_url = _required_str(payload, "leader_url")
+        era = _era_of(payload)
+        follower = self.follower
+        if era < follower.era:
+            raise ReplicationError(
+                f"stale repoint: era {era} is behind this follower's era {follower.era}"
+            )
+        follower.repoint(leader_url, era)
+        return {"repointed": True, "leader_url": leader_url, "era": follower.era}
 
     def _metrics_body(self) -> dict:
         body = super()._metrics_body()
-        body["replication"] = self.follower.info()
+        if not self.promoted:
+            body["replication"] = self.follower.info()
         return body
 
 
@@ -431,7 +671,9 @@ class ReplicaServer:
         self._thread: threading.Thread | None = None
 
     def _make_service(self, database, config: ServerConfig) -> ReplicaService:
-        return ReplicaService(database, config, self.follower)
+        service = ReplicaService(database, config, self.follower)
+        service.on_promote = self._halt_follower
+        return service
 
     def _startup(self) -> Database:
         return self.follower.bootstrap()
@@ -453,12 +695,36 @@ class ReplicaServer:
         self._thread.start()
         return self
 
+    def _halt_follower(self) -> bool:
+        """Stop the streaming loop for good; True once provably stopped.
+
+        The promotion prerequisite: the follower thread may be mid-way
+        through a long poll against the (dead) old primary, and a batch
+        it fetched before the era bump must never land on the new
+        timeline.  ``close()`` makes the loop exit after its current
+        step; the join bounds how long a promotion request waits for it.
+        """
+        self._stop.set()
+        self.follower.close()
+        thread = self._thread
+        if thread is None or thread is threading.current_thread():
+            return True
+        thread.join(timeout=10.0)
+        return not thread.is_alive()
+
     def _follow(self) -> None:
         service = self.server.service
-        while not service.ready.is_set():
-            if service.startup_error is not None or self._stop.is_set():
-                return
-            time.sleep(0.02)
+        # Event-driven hand-off: park on startup_finished (set on
+        # success, failure, and stop()) instead of polling ``ready`` at
+        # 50 Hz — a parked replica burns no CPU while the primary-side
+        # bootstrap or local recovery runs.
+        service.startup_finished.wait()
+        if (
+            self._stop.is_set()
+            or service.startup_error is not None
+            or not service.ready.is_set()
+        ):
+            return
         try:
             self.follower.run(self._stop)
         except ReplicationError:
@@ -475,6 +741,9 @@ class ReplicaServer:
     def stop(self) -> None:
         self._stop.set()
         self.follower.close()
+        # Wake a _follow thread still parked on the startup hand-off
+        # (stop before bootstrap finished, e.g. an unreachable primary).
+        self.server.service.startup_finished.set()
         if self._thread is not None and self._thread is not threading.current_thread():
             self._thread.join(timeout=5)
         self.server.stop()

@@ -4,7 +4,7 @@
 :class:`~repro.service.client.ServiceClient` per endpoint, each with its
 own circuit breaker — into a topology-aware client:
 
-* **writes** always go to the primary; its response's ``commit_lsn`` is
+* **writes** go to the current primary; its response's ``commit_lsn`` is
   remembered as the session's causality token;
 * **reads** prefer replicas, rotating among the ones believed fresh
   enough (lag-aware: each response's ``applied_lsn`` updates a local
@@ -14,6 +14,18 @@ own circuit breaker — into a topology-aware client:
   its breaker, or shedding load is skipped for the next candidate, and
   the **primary is the final fallback** — a read never fails because
   replicas do when the primary could have answered it.
+
+**Write failover** (the failover protocol's client side): every write
+carries the newest fencing ``era`` this client has seen.  A write that
+answers ``NOT_PRIMARY`` — or cannot reach the primary at all — triggers
+leader re-discovery: adopt the leader the error names, or poll
+``/replication/topology`` on every known endpoint and adopt the unfenced
+primary with the newest ``(era, wal_lsn)``.  The write then retries
+against the new leader, bounded by the endpoint count.  On a leader
+change the causality token is clamped to the new leader's ``wal_lsn``:
+writes the deposed primary acknowledged but never replicated are lost by
+design (they were never durable on the surviving timeline), and a token
+demanding them would make every future read fail.
 
 Per-endpoint retry policies are ``max_attempts=1`` on purpose: this
 layer *is* the retry policy, and failing over to a different endpoint
@@ -28,7 +40,9 @@ import time
 from repro.errors import (
     AdmissionRejected,
     CircuitOpen,
+    NotPrimary,
     ReplicaLagging,
+    ReproError,
     ServiceUnavailable,
 )
 from repro.service.client import QueryResult, ServiceClient
@@ -50,12 +64,14 @@ class ReplicaSetClient:
         read_your_writes: bool = True,
         sleep=time.sleep,
     ):
-        policy = RetryPolicy(max_attempts=1)
-        self.primary = ServiceClient(primary_url, timeout=timeout, retry_policy=policy, sleep=sleep)
-        self.replicas = [
-            ServiceClient(url, timeout=timeout, retry_policy=policy, sleep=sleep)
-            for url in replica_urls
-        ]
+        self._timeout = timeout
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        #: Every endpoint ever known, keyed by normalized URL.  Clients
+        #: are cached so breaker state survives role changes.
+        self._endpoints: dict[str, ServiceClient] = {}
+        self.primary = self._client(primary_url)
+        self.replicas = [self._client(url) for url in replica_urls]
         #: Per-replica freshness estimate (applied LSN from responses).
         self._applied = {client.base_url: 0 for client in self.replicas}
         self.lsn_wait = lsn_wait
@@ -63,15 +79,34 @@ class ReplicaSetClient:
         #: The causality token: the commit LSN of this client's newest
         #: acknowledged write (0 = never wrote).
         self.last_commit_lsn = 0
+        #: Newest fencing era observed in any response or error; rides
+        #: on every write so a deposed primary self-fences on contact.
+        self.era = 0
         self._rr = 0
-        self._lock = threading.Lock()
         self.counters = {
             "primary_reads": 0,
             "replica_reads": 0,
             "writes": 0,
             "failovers": 0,
             "lagging_redirects": 0,
+            "write_failovers": 0,
+            "leader_changes": 0,
+            "topology_refreshes": 0,
         }
+
+    def _client(self, url: str) -> ServiceClient:
+        url = url.rstrip("/")
+        with self._lock:
+            client = self._endpoints.get(url)
+            if client is None:
+                client = ServiceClient(
+                    url,
+                    timeout=self._timeout,
+                    retry_policy=RetryPolicy(max_attempts=1),
+                    sleep=self._sleep,
+                )
+                self._endpoints[url] = client
+            return client
 
     # -- writes -------------------------------------------------------------
 
@@ -83,15 +118,123 @@ class ReplicaSetClient:
         timeout: float | None = None,
         engine: str = "row",
     ) -> QueryResult:
-        """Run a write (or any statement) on the primary; remember its LSN."""
-        result = self.primary.query(
-            sql, params=params, strategy=strategy, timeout=timeout, engine=engine
-        )
+        """Run a write on the current primary; fail over if it is deposed.
+
+        Bounded at ``len(endpoints) + 1`` attempts: enough to walk the
+        whole cluster once after a re-discovery, never an infinite loop.
+        Raises the last error when every attempt fails — with all nodes
+        down that is a clean retryable ``SERVICE_UNAVAILABLE``.
+        """
+        last_error = None
+        attempts = len(self._endpoints) + 1
+        for _ in range(attempts):
+            client = self.primary
+            try:
+                result = client.query(
+                    sql,
+                    params=params,
+                    strategy=strategy,
+                    timeout=timeout,
+                    engine=engine,
+                    era=self.era or None,
+                )
+            except NotPrimary as error:
+                last_error = error
+                with self._lock:
+                    self.counters["write_failovers"] += 1
+                    self.era = max(self.era, error.era)
+                if error.leader_url and error.leader_url.rstrip("/") != client.base_url:
+                    self._adopt_leader(error.leader_url)
+                else:
+                    self._rediscover()
+                continue
+            except _FAILOVER_ERRORS as error:
+                last_error = error
+                with self._lock:
+                    self.counters["write_failovers"] += 1
+                self._rediscover()
+                continue
+            with self._lock:
+                self.counters["writes"] += 1
+                if result.era:
+                    self.era = max(self.era, result.era)
+                if result.commit_lsn:
+                    self.last_commit_lsn = max(self.last_commit_lsn, result.commit_lsn)
+            return result
+        if last_error is not None:
+            raise last_error
+        raise ServiceUnavailable("replica set has no endpoints configured")
+
+    # -- leader discovery ---------------------------------------------------
+
+    def _adopt_leader(self, url: str) -> None:
+        """Route writes at ``url`` from now on; drop it from read rotation."""
+        client = self._client(url)
         with self._lock:
-            self.counters["writes"] += 1
-            if result.commit_lsn:
-                self.last_commit_lsn = max(self.last_commit_lsn, result.commit_lsn)
-        return result
+            if client is self.primary:
+                return
+            self.counters["leader_changes"] += 1
+            old = self.primary
+            self.primary = client
+            self.replicas = [c for c in self.replicas if c is not client]
+            self._applied.pop(client.base_url, None)
+            # The deposed primary is *not* added to the read rotation:
+            # until the coordinator repoints it, its state is suspect
+            # (it may hold a divergent suffix).  Reads re-learn it once
+            # a re-discovery sees it serving as a replica.
+            self.replicas = [c for c in self.replicas if c is not old]
+            self._applied.pop(old.base_url, None)
+
+    def _rediscover(self) -> bool:
+        """Poll every known endpoint's topology; adopt the current leader.
+
+        The leader is the unfenced ``role == "primary"`` node with the
+        newest ``(era, wal_lsn)``.  On a leader *change* the causality
+        token is clamped to the new leader's ``wal_lsn`` — see the
+        module docstring for why acked-but-unreplicated writes are lost.
+        Returns True when a leader was found.
+        """
+        with self._lock:
+            self.counters["topology_refreshes"] += 1
+            clients = list(self._endpoints.values())
+        views: dict[str, dict] = {}
+        best = None
+        for client in clients:
+            try:
+                body = client.replication_topology()
+            except ReproError:
+                continue
+            views[client.base_url] = body
+            if body.get("fenced") or body.get("role") != "primary":
+                continue
+            key = (int(body.get("era", 0)), int(body.get("wal_lsn", 0)))
+            if best is None or key > best[0]:
+                best = (key, client.base_url)
+        if best is None:
+            return False
+        (era, wal_lsn), url = best
+        changed = url != self.primary.base_url
+        self._adopt_leader(url)
+        with self._lock:
+            self.era = max(self.era, era)
+            if changed and self.last_commit_lsn > wal_lsn:
+                self.last_commit_lsn = wal_lsn
+            replicas = []
+            applied = {}
+            for client in clients:
+                view = views.get(client.base_url)
+                if view is None or client.base_url == url:
+                    continue
+                if view.get("role") == "replica" and not view.get("broken"):
+                    replicas.append(client)
+                    applied[client.base_url] = max(
+                        self._applied.get(client.base_url, 0),
+                        int(view.get("applied_lsn", 0)),
+                    )
+            if replicas or changed:
+                self.replicas = replicas
+                self._applied = applied
+        return True
 
     # -- reads --------------------------------------------------------------
 
@@ -109,25 +252,18 @@ class ReplicaSetClient:
         ``min_lsn`` defaults to this client's own last write (when
         ``read_your_writes`` is on), which is exactly the
         read-your-writes guarantee; pass an explicit token to read
-        no-staler-than someone else's write instead.
+        no-staler-than someone else's write instead.  The token is sent
+        to the primary fallback too: during a failover window a deposed
+        primary must fail the read (retryably) rather than serve an
+        answer staler than the client's own write on the new timeline.
         """
         if min_lsn is None:
             min_lsn = self.last_commit_lsn if self.read_your_writes else 0
         last_error = None
-        for client in self._read_order(min_lsn):
-            is_primary = client is self.primary
-            try:
-                if is_primary:
-                    # The primary *is* the source of truth: every commit
-                    # is already visible, so no gate is needed.
-                    result = client.query(
-                        sql,
-                        params=params,
-                        strategy=strategy,
-                        timeout=timeout,
-                        engine=engine,
-                    )
-                else:
+        for round_no in range(2):
+            for client in self._read_order(min_lsn):
+                is_primary = client is self.primary
+                try:
                     result = client.query(
                         sql,
                         params=params,
@@ -135,27 +271,40 @@ class ReplicaSetClient:
                         timeout=timeout,
                         engine=engine,
                         min_lsn=min_lsn or None,
-                        lsn_wait=self.lsn_wait,
+                        lsn_wait=None if is_primary else self.lsn_wait,
                     )
-            except ReplicaLagging as error:
+                except ReplicaLagging as error:
+                    with self._lock:
+                        self.counters["lagging_redirects"] += 1
+                        if not is_primary:
+                            self._applied[client.base_url] = error.applied_lsn
+                    last_error = error
+                    continue
+                except _FAILOVER_ERRORS as error:
+                    with self._lock:
+                        self.counters["failovers"] += 1
+                    last_error = error
+                    continue
                 with self._lock:
-                    self.counters["lagging_redirects"] += 1
-                    self._applied[client.base_url] = error.applied_lsn
-                last_error = error
+                    key = "primary_reads" if is_primary else "replica_reads"
+                    self.counters[key] += 1
+                    if result.era:
+                        self.era = max(self.era, result.era)
+                    if result.applied_lsn is not None and not is_primary:
+                        self._applied[client.base_url] = max(
+                            self._applied.get(client.base_url, 0), result.applied_lsn
+                        )
+                return result
+            # Exhausted every endpoint.  When the failure smells like a
+            # topology change (unreachable primary, every replica behind
+            # the token), one re-discovery buys one more round.
+            if (
+                round_no == 0
+                and isinstance(last_error, (*_FAILOVER_ERRORS, ReplicaLagging, NotPrimary))
+                and self._rediscover()
+            ):
                 continue
-            except _FAILOVER_ERRORS as error:
-                with self._lock:
-                    self.counters["failovers"] += 1
-                last_error = error
-                continue
-            with self._lock:
-                key = "primary_reads" if is_primary else "replica_reads"
-                self.counters[key] += 1
-                if result.applied_lsn is not None and not is_primary:
-                    self._applied[client.base_url] = max(
-                        self._applied[client.base_url], result.applied_lsn
-                    )
-            return result
+            break
         if last_error is not None:
             raise last_error
         raise ServiceUnavailable("replica set has no endpoints configured")
@@ -164,17 +313,19 @@ class ReplicaSetClient:
         """Fresh replicas round-robin, then stale ones freshest-first,
         then the primary as the fallback of last resort."""
         with self._lock:
-            fresh = [c for c in self.replicas if self._applied[c.base_url] >= min_lsn]
+            replicas = [c for c in self.replicas if c is not self.primary]
+            fresh = [c for c in replicas if self._applied.get(c.base_url, 0) >= min_lsn]
             stale = sorted(
-                (c for c in self.replicas if self._applied[c.base_url] < min_lsn),
-                key=lambda c: self._applied[c.base_url],
+                (c for c in replicas if self._applied.get(c.base_url, 0) < min_lsn),
+                key=lambda c: self._applied.get(c.base_url, 0),
                 reverse=True,
             )
             if fresh:
                 pivot = self._rr % len(fresh)
                 self._rr += 1
                 fresh = fresh[pivot:] + fresh[:pivot]
-        return [*fresh, *stale, self.primary]
+            primary = self.primary
+        return [*fresh, *stale, primary]
 
     # -- introspection ------------------------------------------------------
 
@@ -182,5 +333,7 @@ class ReplicaSetClient:
         with self._lock:
             info = dict(self.counters)
             info["last_commit_lsn"] = self.last_commit_lsn
+            info["era"] = self.era
+            info["primary_url"] = self.primary.base_url
             info["replica_applied"] = dict(self._applied)
         return info

@@ -18,6 +18,14 @@ Fault sites on the streaming path (see :mod:`repro.faults`):
 ``replication.stream.apply``    follower side, before applying one record
                                 (a stalled follower: delay, then proceed)
 ==============================  ==========================================
+
+The failover coordinator (:mod:`repro.replication.failover`) adds three
+more sites on the control path: ``replication.failover.health`` (a
+topology probe fails), ``replication.failover.promote`` (the promotion
+RPC fails), and ``replication.failover.demote`` (a demote/repoint
+policing RPC fails).  Tail responses also carry the primary's fencing
+``era``/``era_lsn`` and full ``era_history`` so followers can reject a
+stale stream and a rejoiner can detect a divergent suffix.
 """
 
 from __future__ import annotations

@@ -31,6 +31,7 @@ from repro.errors import (
     AdmissionRejected,
     BadRequestError,
     BudgetExceeded,
+    NotPrimary,
     ParameterError,
     QueryCancelled,
     ReadOnlyReplica,
@@ -68,6 +69,15 @@ def _raise_for(error: dict) -> None:
             int(error.get("applied_lsn", 0)),
             message=message,
         )
+    if code == "NOT_PRIMARY":
+        # Reconstruct with the era and leader hint so the replica-set
+        # client can fail the write over without a topology probe.
+        leader_url = error.get("leader_url")
+        raise NotPrimary(
+            int(error.get("era", 0)),
+            leader_url if isinstance(leader_url, str) else None,
+            message=message,
+        )
     exc_class = _EXCEPTION_BY_CODE.get(code)
     if exc_class is not None:
         raise exc_class(message)
@@ -93,6 +103,8 @@ class QueryResult:
     elapsed: float
     commit_lsn: int | None = None
     applied_lsn: int | None = None
+    #: The answering node's fencing era (None before any failover).
+    era: int | None = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -208,11 +220,15 @@ class ServiceClient:
         engine: str = "row",
         min_lsn: int | None = None,
         lsn_wait: float | None = None,
+        era: int | None = None,
     ) -> QueryResult:
         """Run one statement.  Against a replica, ``min_lsn`` demands the
         answer reflect at least that commit LSN (waiting up to
         ``lsn_wait`` seconds for replication) — pass the ``commit_lsn``
-        of your own write for read-your-writes."""
+        of your own write for read-your-writes.  ``era`` stamps a write
+        with the fencing era the caller believes in: a node holding an
+        older era fences itself and refuses with ``NOT_PRIMARY`` instead
+        of acknowledging a write the cluster would not honor."""
         payload = {"sql": sql, "strategy": strategy, "engine": engine}
         if params is not None:
             payload["params"] = params
@@ -222,6 +238,8 @@ class ServiceClient:
             payload["min_lsn"] = min_lsn
         if lsn_wait is not None:
             payload["lsn_wait"] = lsn_wait
+        if era is not None:
+            payload["era"] = era
         return _result(self._request("POST", "/query", payload))
 
     # -- sessions and prepared statements -----------------------------------
@@ -263,6 +281,29 @@ class ServiceClient:
         if wait is not None:
             payload["wait"] = wait
         return self._request("POST", "/replication/wal", payload)
+
+    # -- cluster control (used by the failover coordinator) ------------------
+
+    def replication_topology(self) -> dict:
+        """The node's own view of its role, era, and log position."""
+        return self._request("POST", "/replication/topology", {})
+
+    def replication_promote(self, era: int) -> dict:
+        """Promote the node to primary of ``era`` (durable era record)."""
+        return self._request("POST", "/replication/promote", {"era": era})
+
+    def replication_demote(self, era: int, leader_url: str | None = None) -> dict:
+        """Fence the node: a newer ``era`` reigns (optionally: where)."""
+        payload: dict = {"era": era}
+        if leader_url is not None:
+            payload["leader_url"] = leader_url
+        return self._request("POST", "/replication/demote", payload)
+
+    def replication_repoint(self, leader_url: str, era: int) -> dict:
+        """Point a replica's follower at a (newly promoted) primary."""
+        return self._request(
+            "POST", "/replication/repoint", {"leader_url": leader_url, "era": era}
+        )
 
 
 class ClientSession:
@@ -355,4 +396,5 @@ def _result(body: dict) -> QueryResult:
         elapsed=body["elapsed"],
         commit_lsn=body.get("commit_lsn"),
         applied_lsn=body.get("applied_lsn"),
+        era=body.get("era"),
     )

@@ -34,12 +34,29 @@ Wire protocol (see ``docs/service.md`` for the full reference)::
                                           -> {"statement": id, "params": ...}
     POST /execute        {session, statement, params?, timeout?, engine?}
     POST /query          {sql, params?, strategy?, timeout?, engine?}
-    POST /replication/snapshot {}         -> {"lsn", "state", "commit_lsn"}
+    POST /replication/snapshot {}         -> {"lsn", "state", "commit_lsn",
+                                              "era", "era_lsn"}
     POST /replication/wal {from_lsn, max_records?, wait?}
                                           -> {"base_lsn", "last_lsn",
                                               "records", "frames",
-                                              "snapshot_required", ...}
+                                              "snapshot_required",
+                                              "era", "era_lsn", ...}
+    POST /replication/topology {}         -> {"role", "era", "era_lsn",
+                                              "fenced", "wal_lsn",
+                                              "leader_url", ...}
+    POST /replication/promote  {era}      -> {"promoted": true, "era", ...}
+    POST /replication/demote   {era, leader_url?}
+                                          -> {"fenced": true, "era", ...}
+    POST /replication/repoint  {leader_url, era}  (replicas only)
     POST /shutdown       {}               -> {"shutting_down": true}
+
+Failover (see ``docs/replication.md``): every node carries a **fencing
+era** — a monotonic term persisted as a WAL control record.  A fenced
+node (demoted by the coordinator, started with ``fenced=True``, or one
+that learns from a request's ``era`` field that a newer era exists)
+refuses writes with a structured ``NOT_PRIMARY`` (HTTP 409) carrying the
+newest era and the leader's address, so a stale ex-primary can never
+acknowledge a write after the cluster has moved on.
 
 Write responses (``/query`` and ``/execute`` against a durable primary)
 carry ``commit_lsn`` — the WAL LSN after the statement — as a causality
@@ -66,7 +83,10 @@ from repro.errors import (
     BadRequestError,
     BudgetExceeded,
     InjectedFault,
+    NotPrimary,
     QueryCancelled,
+    ReplicaLagging,
+    ReplicationError,
     ReproError,
     ServiceUnavailable,
     SessionError,
@@ -88,11 +108,17 @@ _STATUS_BY_CODE = {
     "CATALOG_ERROR": 404,
     "REPLICA_LAGGING": 503,
     "READ_ONLY_REPLICA": 403,
+    "NOT_PRIMARY": 409,
     "INTERNAL_ERROR": 500,
 }
 
 #: Refuse request bodies beyond this (a query text, not a bulk loader).
 MAX_BODY_BYTES = 1 << 20
+
+#: Statement prefixes that mutate (DML plus table/view/index DDL — the
+#: same split Database.execute makes).  Used by the primary's fencing
+#: write gate and by replicas to refuse writes outright.
+WRITE_PREFIXES = ("insert", "delete", "update", "create", "drop")
 
 
 @dataclass(frozen=True)
@@ -119,6 +145,13 @@ class ServerConfig:
     #: ``wait`` of /replication/wal and the ``lsn_wait`` of a min_lsn
     #: read): a client cannot park a handler thread longer than this.
     max_wait_seconds: float = 30.0
+    #: The URL other nodes should use to reach this one; reported by
+    #: /replication/topology and handed out in NOT_PRIMARY redirects.
+    advertise_url: str | None = None
+    #: Start fenced: refuse writes with NOT_PRIMARY until a coordinator
+    #: confirms this node's reign (/replication/promote).  The safe way
+    #: to revive an ex-primary whose cluster may have moved on.
+    fenced: bool = False
 
 
 class _Session:
@@ -201,8 +234,14 @@ class QueryService:
         #: Set once the database is attached (immediately for a ready
         #: database, after recovery for a deferred factory).
         self.ready = threading.Event()
+        #: Set once the startup phase is *over*, successfully or not —
+        #: the event companions of ``ready``/``startup_error`` for
+        #: waiters that must not spin-poll (the replica's follower
+        #: thread parks on this instead of sleeping in a loop).
+        self.startup_finished = threading.Event()
         if self._db is not None:
             self.ready.set()
+            self.startup_finished.set()
         self.startup_error: str | None = None
         #: Set while the server drains: new queries are refused with
         #: SERVICE_UNAVAILABLE (503) but in-flight ones run to completion
@@ -223,6 +262,15 @@ class QueryService:
             "torn_frames_injected": 0,
         }
         self._shutdown_callback = None
+        # Cluster-role state (fencing-era failover).  ``_fenced`` starts
+        # from config; ``_fenced_era`` remembers the era that fenced us
+        # (0 when fenced at startup before hearing one); ``_leader_url``
+        # is the best-known leader to redirect writers to.
+        self._cluster_lock = threading.Lock()
+        self._fenced = self.config.fenced
+        self._fenced_era = 0
+        self._leader_url: str | None = None
+        self._not_primary_rejections = 0
 
     @property
     def db(self):
@@ -237,16 +285,24 @@ class QueryService:
         return database
 
     def startup(self) -> None:
-        """Resolve a deferred database factory (the recovery phase)."""
+        """Resolve a deferred database factory (the recovery phase).
+
+        ``startup_finished`` is set on every exit path — success or
+        failure — so event-driven waiters wake exactly once instead of
+        polling ``ready``/``startup_error``.
+        """
         if self._db_factory is None or self._db is not None:
             self.ready.set()
+            self.startup_finished.set()
             return
         try:
             self._db = self._db_factory()
         except Exception as error:  # surfaced via /health, never swallowed silently
             self.startup_error = f"{type(error).__name__}: {error}"
+            self.startup_finished.set()
             return
         self.ready.set()
+        self.startup_finished.set()
 
     # -- dispatch -----------------------------------------------------------
 
@@ -279,6 +335,14 @@ class QueryService:
                 return 200, self._replication_snapshot(payload)
             if method == "POST" and path == "/replication/wal":
                 return 200, self._replication_wal(payload)
+            if method in ("GET", "POST") and path == "/replication/topology":
+                return 200, self._topology()
+            if method == "POST" and path == "/replication/promote":
+                return 200, self._promote(payload)
+            if method == "POST" and path == "/replication/demote":
+                return 200, self._demote(payload)
+            if method == "POST" and path == "/replication/repoint":
+                return 200, self._repoint(payload)
             if method == "POST" and path == "/shutdown":
                 return 200, self._shutdown()
             raise BadRequestError(f"no such endpoint: {method} {path}")
@@ -349,8 +413,14 @@ class QueryService:
             body["parallel"] = parallel()
         with self._repl_lock:
             replication = dict(self._repl_counters)
-        replication["role"] = "primary"
+        replication["role"] = self._role()
         replication["commit_lsn"] = getattr(database, "wal_lsn", 0)
+        replication["era"] = getattr(database, "era", 0)
+        replication["era_lsn"] = getattr(database, "era_lsn", 0)
+        with self._cluster_lock:
+            replication["fenced"] = self._fenced
+            replication["leader_url"] = self._leader_url
+            replication["not_primary_rejections"] = self._not_primary_rejections
         body["replication"] = replication
         return body
 
@@ -455,6 +525,11 @@ class QueryService:
             statement = session.statements.get(statement_id)
         if statement is None:
             raise BadRequestError(f"unknown statement {statement_id!r} in session")
+        template = getattr(statement, "sql", "")
+        if template.lstrip().lower().startswith(WRITE_PREFIXES):
+            self._write_gate(payload)
+        else:
+            self._causality_gate(payload)
         params = _params_of(payload)
         at_lsn = self._session_lsn(session)
         return self._annotate(
@@ -466,6 +541,10 @@ class QueryService:
 
     def _query(self, payload: dict) -> dict:
         sql = _required_str(payload, "sql")
+        if sql.lstrip().lower().startswith(WRITE_PREFIXES):
+            self._write_gate(payload)
+        else:
+            self._causality_gate(payload)
         strategy = _optional_str(payload, "strategy", "auto")
         params = _params_of(payload)
         # An optional pinned session makes ad-hoc queries read the
@@ -494,6 +573,9 @@ class QueryService:
             lsn = getattr(database, "wal_lsn", 0)
             if lsn:
                 body["commit_lsn"] = lsn
+            era = getattr(database, "era", 0)
+            if era:
+                body["era"] = era
         return body
 
     # -- replication stream (primary side) ----------------------------------
@@ -508,13 +590,17 @@ class QueryService:
         injector = injector_from_env()
         if injector is not None:
             injector.maybe_fail(SITE_STREAM_SERVE)
-        snapshot = self.db.replication_snapshot()
+        database = self.db
+        snapshot = database.replication_snapshot()
         with self._repl_lock:
             self._repl_counters["snapshots_served"] += 1
         return {
             "lsn": snapshot["lsn"],
             "state": snapshot["state"],
             "commit_lsn": snapshot["lsn"],
+            "era": getattr(database, "era", 0),
+            "era_lsn": getattr(database, "era_lsn", 0),
+            "era_history": [list(entry) for entry in getattr(database, "era_history", ())],
         }
 
     def _replication_wal(self, payload: dict) -> dict:
@@ -542,7 +628,8 @@ class QueryService:
         injector = injector_from_env()
         if injector is not None:
             injector.maybe_fail(SITE_STREAM_SERVE)
-        tail = self.db.replication_wal_tail(from_lsn, max_records=max_records, wait=wait)
+        database = self.db
+        tail = database.replication_wal_tail(from_lsn, max_records=max_records, wait=wait)
         frames = tail.frames
         if injector is not None and frames:
             try:
@@ -563,7 +650,145 @@ class QueryService:
             "snapshot_required": tail.snapshot_required,
             "frames": base64.b64encode(frames).decode("ascii"),
             "commit_lsn": tail.last_lsn,
+            # The era this stream speaks for: a follower on a newer era
+            # rejects the batch; one whose log already reaches a reign
+            # boundary it never applied knows it diverged.  The full
+            # (era, era_lsn) history rides along so even a node that
+            # slept through several failovers can spot the first reign
+            # record its own log missed.
+            "era": getattr(database, "era", 0),
+            "era_lsn": getattr(database, "era_lsn", 0),
+            "era_history": [list(entry) for entry in getattr(database, "era_history", ())],
         }
+
+    # -- cluster role (fencing-era failover) ---------------------------------
+
+    def _role(self) -> str:
+        return "primary"
+
+    def _write_gate(self, payload: dict) -> None:
+        """Refuse writes once this node's reign is over (split-brain guard).
+
+        Two triggers: the node is *fenced* (demoted by the coordinator,
+        or started fenced after a crash), or the request itself carries
+        an ``era`` newer than ours — proof the cluster promoted someone
+        else while we were isolated; we fence in place and answer this
+        and every later write with ``NOT_PRIMARY``.
+        """
+        era = payload.get("era")
+        if era is not None and (
+            isinstance(era, bool) or not isinstance(era, int) or era < 0
+        ):
+            raise BadRequestError("'era' must be a non-negative integer")
+        database = self.db
+        own_era = getattr(database, "era", 0)
+        with self._cluster_lock:
+            if self._fenced:
+                self._not_primary_rejections += 1
+                raise NotPrimary(max(self._fenced_era, own_era), self._leader_url)
+            if era is not None and era > own_era:
+                self._fenced = True
+                self._fenced_era = era
+                self._not_primary_rejections += 1
+                raise NotPrimary(era, self._leader_url)
+
+    def _causality_gate(self, payload: dict) -> None:
+        """Honor ``min_lsn`` on the primary: serve only at-or-past it.
+
+        On a healthy primary every commit is already visible, so this
+        never fires for tokens the node itself issued.  It exists for
+        the failover window: a client holding a token from the *new*
+        primary must not read a stale answer from a deposed one, so a
+        token past our log fails retryably (``REPLICA_LAGGING``) and
+        routing moves on to a node that can honor it.
+        """
+        min_lsn = payload.get("min_lsn")
+        if min_lsn is None:
+            return
+        if isinstance(min_lsn, bool) or not isinstance(min_lsn, int) or min_lsn < 0:
+            raise BadRequestError("'min_lsn' must be a non-negative integer")
+        applied = getattr(self.db, "wal_lsn", 0)
+        if applied < min_lsn:
+            raise ReplicaLagging(min_lsn, applied)
+
+    def _topology(self) -> dict:
+        """The node's own view of the cluster: role, era, log position."""
+        database = self.db
+        with self._cluster_lock:
+            fenced = self._fenced
+            fenced_era = self._fenced_era
+            leader = self._leader_url
+        if not fenced and leader is None:
+            leader = self.config.advertise_url
+        wal_lsn = getattr(database, "wal_lsn", 0)
+        return {
+            "role": self._role(),
+            "fenced": fenced,
+            "fenced_era": fenced_era,
+            "era": getattr(database, "era", 0),
+            "era_lsn": getattr(database, "era_lsn", 0),
+            "wal_lsn": wal_lsn,
+            "applied_lsn": wal_lsn,
+            "leader_url": leader,
+        }
+
+    def _promote(self, payload: dict) -> dict:
+        """Install (or confirm) a reign: bump the era durably, unfence.
+
+        ``era`` equal to ours confirms an existing reign (unfencing a
+        ``fenced=True`` startup); a newer one is written as an ``era``
+        WAL control record — the first record of the new reign, whose
+        LSN is what rejoining nodes use to detect divergent suffixes.
+        """
+        era = _era_of(payload)
+        database = self.db
+        own_era = getattr(database, "era", 0)
+        if era < own_era:
+            raise ReplicationError(
+                f"stale promotion: era {era} is behind this node's era {own_era}"
+            )
+        if era > own_era:
+            database.bump_era(era)
+        with self._cluster_lock:
+            self._fenced = False
+            self._fenced_era = 0
+            self._leader_url = self.config.advertise_url
+        return {
+            "promoted": True,
+            "role": self._role(),
+            "era": getattr(database, "era", 0),
+            "era_lsn": getattr(database, "era_lsn", 0),
+            "applied_lsn": getattr(database, "wal_lsn", 0),
+        }
+
+    def _demote(self, payload: dict) -> dict:
+        """Fence this node: a newer era reigns elsewhere.
+
+        Deliberately does NOT write an era record — the new era's WAL
+        record belongs to the new primary's timeline, and logging it
+        here would defeat the divergence detection a rejoin relies on.
+        The fence is in-memory; a restarted ex-primary must come back
+        ``fenced=True`` (the CLI's ``--fenced``) or will fence itself on
+        the first era-carrying write it sees.
+        """
+        era = _era_of(payload)
+        leader = payload.get("leader_url")
+        if leader is not None and not isinstance(leader, str):
+            raise BadRequestError("'leader_url' must be a string")
+        own_era = getattr(self.db, "era", 0)
+        with self._cluster_lock:
+            if era <= own_era and not (era == own_era and self._fenced):
+                raise ReplicationError(
+                    f"demotion era {era} is not newer than this node's era {own_era}"
+                )
+            self._fenced = True
+            self._fenced_era = max(self._fenced_era, era)
+            if leader:
+                self._leader_url = leader
+            return {"fenced": True, "era": self._fenced_era, "leader_url": self._leader_url}
+
+    def _repoint(self, payload: dict) -> dict:
+        raise ReplicationError("only replicas can be repointed at a new primary")
 
     def _shutdown(self) -> dict:
         self.cancel_event.set()
@@ -656,6 +881,13 @@ class QueryService:
     # wiring used by QueryServer
     def set_shutdown_callback(self, callback) -> None:
         self._shutdown_callback = callback
+
+
+def _era_of(payload: dict) -> int:
+    era = payload.get("era")
+    if isinstance(era, bool) or not isinstance(era, int) or era < 1:
+        raise BadRequestError("'era' must be a positive integer")
+    return era
 
 
 def _required_str(payload: dict, key: str) -> str:
