@@ -61,6 +61,7 @@ from repro.storage.wal import (
     DurabilityManager,
     LogRecord,
     WalTail,
+    list_snapshots,
     read_wal_tail,
 )
 
@@ -431,6 +432,40 @@ class Database:
         reign record its own log never applied (see docs/replication.md).
         """
         return tuple(self._era_history)
+
+    def pruned_era_history(self) -> tuple[tuple[int, int], ...]:
+        """:attr:`era_history` with unreachable reign boundaries pruned
+        — what replication responses ship, so a long-lived cluster does
+        not grow an unbounded list.
+
+        A boundary is shippable-in-full only while a follower could
+        still stream across it.  Streaming always starts at or past the
+        WAL's base, and the base never precedes the *oldest retained*
+        snapshot: any follower whose log ends before that snapshot's LSN
+        gets ``snapshot_required`` and resyncs from scratch, never
+        consulting old boundaries at all.  So boundaries at or past the
+        oldest retained snapshot are kept verbatim, and everything older
+        collapses into one sentinel — the *newest* boundary before the
+        snapshot.  The sentinel cannot be dropped: a divergent follower
+        whose log reaches past the snapshot LSN while still believing an
+        era older than the sentinel's (it slept through that failover,
+        then kept applying a deposed primary's suffix) is detected
+        exactly by that entry — its LSN is ≤ the follower's log length
+        and its era is newer than the follower's belief.
+        """
+        history = tuple(self._era_history)
+        manager = self._durability
+        if manager is None or len(history) <= 1:
+            return history
+        snapshots = list_snapshots(manager.config.data_dir)
+        if not snapshots:
+            return history
+        oldest_retained = snapshots[0][0]
+        kept = [entry for entry in history if entry[1] >= oldest_retained]
+        pruned = [entry for entry in history if entry[1] < oldest_retained]
+        if pruned:
+            kept.insert(0, pruned[-1])
+        return tuple(kept)
 
     def bump_era(self, era: int) -> int:
         """Install a newer fencing era, durably (an ``era`` WAL record).

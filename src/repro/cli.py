@@ -283,6 +283,51 @@ def build_parser() -> argparse.ArgumentParser:
              "directory another process is writing, modulo a torn tail)",
     )
 
+    sim = sub.add_parser(
+        "sim",
+        help="deterministic cluster simulation: virtual time, injected "
+             "network faults, and a history checker over the replica set",
+    )
+    sim.add_argument(
+        "--seeds", type=int, default=1, metavar="N",
+        help="sweep seeds [--start, --start + N) (default: 1)",
+    )
+    sim.add_argument(
+        "--start", type=int, default=0, metavar="S",
+        help="first seed of the sweep (default: 0)",
+    )
+    sim.add_argument(
+        "--seed", type=int, metavar="S",
+        help="replay exactly one seed (overrides --seeds/--start)",
+    )
+    sim.add_argument(
+        "--nodes", type=int, default=3, help="cluster size (default: 3)",
+    )
+    sim.add_argument(
+        "--clients", type=int, default=3, help="workload clients (default: 3)",
+    )
+    sim.add_argument(
+        "--duration", type=float, default=8.0,
+        help="virtual seconds of faulted workload per seed (default: 8)",
+    )
+    sim.add_argument(
+        "--break-rule", choices=("ignore-fencing",),
+        help="deliberately disable a protocol rule (checker self-test: "
+             "the run must FAIL, proving the checker can see the bug)",
+    )
+    sim.add_argument(
+        "--check-determinism", action="store_true",
+        help="run every seed twice and fail on any trace/history drift",
+    )
+    sim.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip shrinking a failing seed's fault schedule",
+    )
+    sim.add_argument(
+        "--trace", action="store_true",
+        help="print the full network/coordinator trace of failing seeds",
+    )
+
     return parser
 
 
@@ -838,6 +883,77 @@ def cmd_scrub(args, out) -> int:
     return 0
 
 
+def cmd_sim(args, out) -> int:
+    """Deterministic cluster simulation over a seed (or a seed sweep).
+
+    Each seed runs the whole replica set — primary, replicas, the
+    failover coordinator, and workload clients — in one process on a
+    virtual clock, with a seeded nemesis injecting partitions, crashes,
+    pauses, and clock skew.  The history checker then asserts the
+    protocol's contract (no lost acked writes, era monotonicity,
+    read-your-writes, monotonic reads, convergence) and a storage scrub
+    walks every surviving data directory.  A failing seed prints its
+    violations, the exact replay command, and (unless ``--no-shrink``)
+    a minimized fault schedule that still reproduces the failure.
+    """
+    from repro.sim.runner import check_determinism, run_sim, shrink_schedule
+
+    seeds = [args.seed] if args.seed is not None else range(args.start, args.start + args.seeds)
+    kwargs = {
+        "nodes": args.nodes,
+        "clients": args.clients,
+        "duration": args.duration,
+        "break_rule": args.break_rule,
+    }
+    failed = 0
+    for seed in seeds:
+        problems: list[str] = []
+        if args.check_determinism:
+            result, problems = check_determinism(seed, **kwargs)
+        else:
+            result = run_sim(seed, **kwargs)
+        ok = result.ok and not problems
+        if ok:
+            out.write(
+                f"seed {seed}: ok ({result.ops} ops, {result.acked_writes} acked writes,"
+                f" {len(result.schedule)} faults)\n"
+            )
+            continue
+        failed += 1
+        out.write(f"seed {seed}: FAIL ({len(result.violations)} violations)\n")
+        for violation in result.violations:
+            out.write(f"  {violation}\n")
+        for problem in problems:
+            out.write(f"  determinism: {problem}\n")
+        out.write(f"  schedule ({len(result.schedule)} events):\n")
+        for event in result.schedule:
+            out.write(f"    {event.describe()}\n")
+        replay = f"repro sim --seed {seed}"
+        if args.nodes != 3:
+            replay += f" --nodes {args.nodes}"
+        if args.clients != 3:
+            replay += f" --clients {args.clients}"
+        if args.duration != 8.0:
+            replay += f" --duration {args.duration}"
+        if args.break_rule:
+            replay += f" --break-rule {args.break_rule}"
+        out.write(f"  replay: {replay}\n")
+        if result.violations and not args.no_shrink:
+            shrunk = shrink_schedule(result, **kwargs)
+            out.write(f"  shrunk schedule ({len(shrunk)} events):\n")
+            for event in shrunk:
+                out.write(f"    {event.describe()}\n")
+        if args.trace:
+            out.write("  trace:\n")
+            for line in result.trace:
+                out.write(f"    {line}\n")
+    if failed:
+        out.write(f"sim: FAILED ({failed}/{len(list(seeds))} seeds)\n")
+        return 1
+    out.write(f"sim: ok ({len(list(seeds))} seeds clean)\n")
+    return 0
+
+
 def cmd_recover(args, out) -> int:
     """Open a durable directory, report the recovery, optionally checkpoint.
 
@@ -1052,6 +1168,7 @@ COMMANDS = {
     "coordinator": cmd_coordinator,
     "promote": cmd_promote,
     "scrub": cmd_scrub,
+    "sim": cmd_sim,
     "recover": cmd_recover,
     "bench-report": cmd_bench_report,
 }

@@ -49,7 +49,9 @@ from dataclasses import dataclass, field
 from repro.errors import InjectedFault, ReproError
 from repro.faults import injector_from_env
 from repro.service.client import ServiceClient
-from repro.service.resilience import RetryPolicy
+from repro.service.resilience import CircuitBreaker, RetryPolicy
+from repro.sim.clock import SYSTEM_CLOCK, Clock
+from repro.sim.transport import Transport
 
 #: Fault site: a topology probe fails (the node appears down this round).
 SITE_FAILOVER_HEALTH = "replication.failover.health"
@@ -120,16 +122,32 @@ class ClusterCoordinator:
     — the CLI prints these; tests assert on :attr:`events` directly.
     """
 
-    def __init__(self, config: CoordinatorConfig, on_event=None):
+    def __init__(
+        self,
+        config: CoordinatorConfig,
+        on_event=None,
+        clock: Clock | None = None,
+        transport: Transport | None = None,
+    ):
         self.config = config
         self.on_event = on_event
+        self._clock = clock or SYSTEM_CLOCK
         # max_attempts=1: the coordinator's own round cadence is the
-        # retry loop; a probe that fails simply counts as a miss.
+        # retry loop; a probe that fails simply counts as a miss.  The
+        # breaker must not rest either: the miss counter is already the
+        # failure detector, and a resting breaker would keep reporting a
+        # healed node as down for its whole reset timeout — delaying
+        # both failover (probes of live candidates fail fast) and
+        # policing (a revived stale primary stays undemoted, still
+        # acking writes the new reign will disown).
         self._clients = {
             url.rstrip("/"): ServiceClient(
                 url,
                 timeout=config.http_timeout,
                 retry_policy=RetryPolicy(max_attempts=1),
+                breaker=CircuitBreaker(reset_timeout=0.0, clock=self._clock.monotonic),
+                clock=self._clock,
+                transport=transport,
             )
             for url in config.nodes
         }
@@ -255,10 +273,18 @@ class ClusterCoordinator:
                 injector.maybe_fail(SITE_FAILOVER_PROMOTE)
             body = self._clients[winner.url].replication_promote(new_era)
         except (InjectedFault, ReproError) as error:
-            # The next round re-probes: if the promote actually landed
-            # before the response was lost, _adopt sees the new era and
+            # The outcome is indeterminate: the promote may have landed
+            # just before the response was lost.  The era is spent
+            # either way — if the winner took it and then died before
+            # the next probe round, re-promoting a *different* node at
+            # the same number would put two divergent timelines on one
+            # era (both acking the same (era, lsn) positions, and the
+            # boundary math that dooms a deposed suffix can no longer
+            # tell them apart).  Burn it; era numbers are cheap.  The
+            # next round re-probes: if the promote landed, _adopt sees
             # the new leader; if not, the miss count is still past the
-            # threshold and we try again.
+            # threshold and we try again at era + 1.
+            self.era = max(self.era, new_era)
             self.counters["failed_promotions"] += 1
             self._event(f"promotion of {winner.url} failed: {error}")
             return
@@ -276,6 +302,14 @@ class ClusterCoordinator:
         starts answering ``NOT_PRIMARY``), and a replica still tailing
         the old leader — or unarmed with the current era — is repointed
         so its stale-stream rejection arms immediately.
+
+        The primary check is ``era <= self.era``, not ``<``: two nodes
+        promoted to the *same* era (a concurrent-promotion race between
+        two coordinators, or an operator's ``repro promote`` racing this
+        one) must converge too.  The leader rule in :meth:`_adopt` is
+        deterministic — lowest URL among unfenced primaries at the
+        newest era — so every coordinator demotes the same loser, and
+        the server accepts a same-era demotion as the race's tie-break.
         """
         leader = self.leader_url
         if leader is None or self.era == 0:
@@ -285,12 +319,12 @@ class ClusterCoordinator:
             if view is None or view.url == leader:
                 continue
             try:
-                if view.role == "primary" and not view.fenced and view.era < self.era:
+                if view.role == "primary" and not view.fenced and view.era <= self.era:
                     if injector is not None:
                         injector.maybe_fail(SITE_FAILOVER_DEMOTE)
                     self._clients[view.url].replication_demote(self.era, leader_url=leader)
                     self.counters["demotions"] += 1
-                    self._event(f"demoted stale primary {view.url} (era {view.era} < {self.era})")
+                    self._event(f"demoted stale primary {view.url} (era {view.era} <= {self.era})")
                 elif view.role == "replica" and (
                     self._normalize(view.leader_url) != leader or view.era < self.era
                 ):
@@ -314,7 +348,7 @@ class ClusterCoordinator:
         stop = stop_event or threading.Event()
         while not stop.is_set():
             self.step()
-            stop.wait(self.config.health_interval)
+            self._clock.wait(stop, self.config.health_interval)
 
     def info(self) -> dict:
         """Counters plus current belief, for tests and the CLI."""

@@ -30,7 +30,6 @@ import dataclasses
 import os
 import random
 import threading
-import time
 from dataclasses import dataclass
 
 from repro import Database
@@ -47,12 +46,14 @@ from repro.errors import (
 from repro.faults import injector_from_env
 from repro.replication.stream import SITE_STREAM_APPLY, decode_frames, frames_from_wire
 from repro.service.client import ServiceClient
-from repro.service.resilience import RetryPolicy
+from repro.service.resilience import CircuitBreaker, RetryPolicy
+from repro.sim.clock import SYSTEM_CLOCK
 from repro.service.server import (
     WRITE_PREFIXES,
     QueryServer,
     QueryService,
     ServerConfig,
+    _budget_of,
     _era_of,
     _required_str,
 )
@@ -115,15 +116,28 @@ class ReplicationFollower:
         client: ServiceClient | None = None,
         on_install=None,
         rng: random.Random | None = None,
+        clock=None,
+        transport=None,
     ):
         self.config = config
+        self._clock = clock or SYSTEM_CLOCK
+        self._transport = transport
         # max_attempts=1: the follower loop is its own retry policy —
         # a fetch that fails backs off and refetches from applied_lsn,
-        # which is always correct, so inner retries only hide lag.
+        # which is always correct, so inner retries only hide lag.  The
+        # same goes for the circuit breaker: a resting breaker would
+        # keep the replication pipeline dark for its full reset timeout
+        # after a partition heals, and every LSN the primary acks in
+        # that dark window is one more acked write a failover can lose.
+        # reset_timeout=0 keeps the fail-fast bookkeeping but always
+        # admits the next (already rate-limited) poll.
         self.client = client or ServiceClient(
             config.primary_url,
             timeout=config.http_timeout,
             retry_policy=RetryPolicy(max_attempts=1),
+            breaker=CircuitBreaker(reset_timeout=0.0, clock=self._clock.monotonic),
+            clock=self._clock,
+            transport=transport,
         )
         self.on_install = on_install
         self._db: Database | None = None
@@ -263,6 +277,9 @@ class ReplicationFollower:
             primary_url,
             timeout=self.config.http_timeout,
             retry_policy=RetryPolicy(max_attempts=1),
+            breaker=CircuitBreaker(reset_timeout=0.0, clock=self._clock.monotonic),
+            clock=self._clock,
+            transport=self._transport,
         )
         if era is not None:
             self.era = max(self.era, era)
@@ -360,7 +377,7 @@ class ReplicationFollower:
                 # A stalled follower, not a dead one: lag grows, the
                 # min_lsn read gates feel it, and then we proceed.
                 self.counters["apply_stalls"] += 1
-                time.sleep(self.config.stall_seconds)
+                self._clock.sleep(self.config.stall_seconds)
         kind, data = record.kind, record.data
         if kind == "dml":
             db.execute(data["sql"])
@@ -438,9 +455,9 @@ class ReplicationFollower:
                 # base class, which is fatal here.
                 delay = self._backoff_delay(backoff)
                 if stop_event is not None:
-                    stop_event.wait(delay)
+                    self._clock.wait(stop_event, delay)
                 else:
-                    time.sleep(delay)
+                    self._clock.sleep(delay)
                 backoff = min(backoff * 2, self.config.retry_backoff_max)
                 continue
             except ReplicationError:
@@ -449,9 +466,9 @@ class ReplicationFollower:
                 self.counters["fetch_errors"] += 1
                 delay = self._backoff_delay(backoff)
                 if stop_event is not None:
-                    stop_event.wait(delay)
+                    self._clock.wait(stop_event, delay)
                 else:
-                    time.sleep(delay)
+                    self._clock.sleep(delay)
                 backoff = min(backoff * 2, self.config.retry_backoff_max)
                 continue
             backoff = self.config.retry_backoff
@@ -510,8 +527,48 @@ class ReplicaService(QueryService):
         self.on_promote = None
 
     def _read_gate(self, payload: dict) -> None:
-        """Honor a ``min_lsn`` causality token: wait, then serve or 503."""
+        """Honor ``min_lsn``/``era`` causal reads: wait, then serve or 503.
+
+        The era check guards the timeline, not the position: a replica
+        still tailing a deposed primary can hold *old-timeline* LSNs far
+        past a new-timeline token, so an LSN-only gate would serve it
+        stale-history data.  A read stamped with era N is refused
+        (retryably) until this replica has both heard of era N *and*
+        applied its boundary record — between a repoint (which arms
+        ``follower.era``) and the in-stream era record (which advances
+        ``db.era`` and truncates any divergent suffix first), the local
+        log is still unproven.
+        """
         min_lsn = payload.get("min_lsn")
+        era = payload.get("era")
+        if era is not None and (
+            isinstance(era, bool) or not isinstance(era, int) or era < 0
+        ):
+            raise BadRequestError("'era' must be a non-negative integer")
+        follower = self.follower
+        if era:
+            db_era = getattr(self._db, "era", 0) if self._db is not None else 0
+            if era > max(db_era, follower.era):
+                raise ReplicaLagging(
+                    min_lsn or 0,
+                    follower.applied_lsn,
+                    message=(
+                        f"read is stamped with era {era} but this replica only"
+                        f" reached era {max(db_era, follower.era)}; it may still"
+                        " be tailing a deposed primary"
+                    ),
+                )
+            if follower.era > db_era:
+                raise ReplicaLagging(
+                    min_lsn or 0,
+                    follower.applied_lsn,
+                    message=(
+                        f"replica is armed with era {follower.era} but has not"
+                        f" applied its boundary record yet (local era {db_era});"
+                        " the local log is unproven until the stream truncates"
+                        " or confirms it"
+                    ),
+                )
         if min_lsn is None:
             return
         if isinstance(min_lsn, bool) or not isinstance(min_lsn, int) or min_lsn < 0:
@@ -520,6 +577,12 @@ class ReplicaService(QueryService):
         if isinstance(wait, bool) or not isinstance(wait, (int, float)) or wait < 0:
             raise BadRequestError("'lsn_wait' must be a non-negative number of seconds")
         wait = min(float(wait), self.config.max_wait_seconds)
+        budget = _budget_of(payload)
+        if budget is not None:
+            # Deadline propagation: parking the gate longer than the
+            # caller's remaining budget only manufactures a timeout the
+            # client has already stopped waiting for.
+            wait = min(wait, budget)
         applied = self.follower.applied_lsn
         if applied < min_lsn:
             applied = self.follower.wait_for_lsn(min_lsn, wait)

@@ -35,10 +35,10 @@ beats hammering the same one.
 from __future__ import annotations
 
 import threading
-import time
 
 from repro.errors import (
     AdmissionRejected,
+    BudgetExceeded,
     CircuitOpen,
     NotPrimary,
     ReplicaLagging,
@@ -47,6 +47,8 @@ from repro.errors import (
 )
 from repro.service.client import QueryResult, ServiceClient
 from repro.service.resilience import RetryPolicy
+from repro.sim.clock import SYSTEM_CLOCK, Clock
+from repro.sim.transport import Transport
 
 #: Errors that mean "try the next endpoint", not "fail the read".
 _FAILOVER_ERRORS = (ServiceUnavailable, CircuitOpen, AdmissionRejected)
@@ -62,10 +64,19 @@ class ReplicaSetClient:
         timeout: float = 60.0,
         lsn_wait: float = 2.0,
         read_your_writes: bool = True,
-        sleep=time.sleep,
+        sleep=None,
+        clock: Clock | None = None,
+        transport: Transport | None = None,
+        budget: float | None = None,
     ):
         self._timeout = timeout
-        self._sleep = sleep
+        self._clock = clock or SYSTEM_CLOCK
+        self._transport = transport
+        self._sleep = sleep if sleep is not None else self._clock.sleep
+        #: Default per-operation time budget (seconds) covering *all*
+        #: failover attempts of one execute()/query() call; None keeps
+        #: the historical unbounded behavior.
+        self.budget = budget
         self._lock = threading.Lock()
         #: Every endpoint ever known, keyed by normalized URL.  Clients
         #: are cached so breaker state survives role changes.
@@ -104,9 +115,19 @@ class ReplicaSetClient:
                     timeout=self._timeout,
                     retry_policy=RetryPolicy(max_attempts=1),
                     sleep=self._sleep,
+                    clock=self._clock,
+                    transport=self._transport,
                 )
                 self._endpoints[url] = client
             return client
+
+    def _deadline(self, budget: float | None) -> float | None:
+        if budget is None:
+            budget = self.budget
+        return None if budget is None else self._clock.monotonic() + budget
+
+    def _remaining(self, deadline: float | None) -> float | None:
+        return None if deadline is None else deadline - self._clock.monotonic()
 
     # -- writes -------------------------------------------------------------
 
@@ -117,17 +138,26 @@ class ReplicaSetClient:
         strategy: str = "auto",
         timeout: float | None = None,
         engine: str = "row",
+        budget: float | None = None,
     ) -> QueryResult:
         """Run a write on the current primary; fail over if it is deposed.
 
         Bounded at ``len(endpoints) + 1`` attempts: enough to walk the
         whole cluster once after a re-discovery, never an infinite loop.
+        ``budget`` additionally bounds the *whole* call in seconds: the
+        remaining budget rides on each attempt (the server clamps its
+        query timeout to it) and attempts stop once it is spent, so the
+        routing retries and the per-endpoint retries cannot compound.
         Raises the last error when every attempt fails — with all nodes
         down that is a clean retryable ``SERVICE_UNAVAILABLE``.
         """
+        deadline = self._deadline(budget)
         last_error = None
         attempts = len(self._endpoints) + 1
         for _ in range(attempts):
+            remaining = self._remaining(deadline)
+            if remaining is not None and remaining <= 0:
+                break
             client = self.primary
             try:
                 result = client.query(
@@ -137,6 +167,7 @@ class ReplicaSetClient:
                     timeout=timeout,
                     engine=engine,
                     era=self.era or None,
+                    budget=remaining,
                 )
             except NotPrimary as error:
                 last_error = error
@@ -163,6 +194,8 @@ class ReplicaSetClient:
             return result
         if last_error is not None:
             raise last_error
+        if deadline is not None and self._remaining(deadline) <= 0:
+            raise BudgetExceeded(message="write budget exhausted before any attempt")
         raise ServiceUnavailable("replica set has no endpoints configured")
 
     # -- leader discovery ---------------------------------------------------
@@ -246,6 +279,7 @@ class ReplicaSetClient:
         timeout: float | None = None,
         engine: str = "row",
         min_lsn: int | None = None,
+        budget: float | None = None,
     ) -> QueryResult:
         """Run a read, preferring replicas; never staler than ``min_lsn``.
 
@@ -256,14 +290,27 @@ class ReplicaSetClient:
         to the primary fallback too: during a failover window a deposed
         primary must fail the read (retryably) rather than serve an
         answer staler than the client's own write on the new timeline.
+        ``budget`` bounds the whole call across every endpoint and both
+        rounds — without it, a set of lagging replicas each waiting out
+        ``lsn_wait`` turns one read into a retry storm.
         """
         if min_lsn is None:
             min_lsn = self.last_commit_lsn if self.read_your_writes else 0
+        deadline = self._deadline(budget)
         last_error = None
+        budget_spent = False
         for round_no in range(2):
             for client in self._read_order(min_lsn):
+                remaining = self._remaining(deadline)
+                if remaining is not None and remaining <= 0:
+                    budget_spent = True
+                    break
                 is_primary = client is self.primary
                 try:
+                    # era stamps the read with the newest reign this
+                    # client has seen: a node still on an older timeline
+                    # must refuse rather than satisfy the LSN gate with
+                    # divergent history (see the server's causality gate).
                     result = client.query(
                         sql,
                         params=params,
@@ -272,6 +319,8 @@ class ReplicaSetClient:
                         engine=engine,
                         min_lsn=min_lsn or None,
                         lsn_wait=None if is_primary else self.lsn_wait,
+                        era=self.era or None,
+                        budget=remaining,
                     )
                 except ReplicaLagging as error:
                     with self._lock:
@@ -300,6 +349,7 @@ class ReplicaSetClient:
             # the token), one re-discovery buys one more round.
             if (
                 round_no == 0
+                and not budget_spent
                 and isinstance(last_error, (*_FAILOVER_ERRORS, ReplicaLagging, NotPrimary))
                 and self._rediscover()
             ):
@@ -307,6 +357,8 @@ class ReplicaSetClient:
             break
         if last_error is not None:
             raise last_error
+        if budget_spent:
+            raise BudgetExceeded(message="read budget exhausted before any attempt")
         raise ServiceUnavailable("replica set has no endpoints configured")
 
     def _read_order(self, min_lsn: int) -> list[ServiceClient]:

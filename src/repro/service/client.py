@@ -19,12 +19,7 @@ code handles server-side failures exactly like embedded-library ones::
 
 from __future__ import annotations
 
-import http.client
-import json
 import random
-import time
-import urllib.error
-import urllib.request
 from dataclasses import dataclass
 
 from repro.errors import (
@@ -37,11 +32,12 @@ from repro.errors import (
     ReadOnlyReplica,
     ReplicaLagging,
     ReproError,
-    ServiceError,
     ServiceUnavailable,
     SessionError,
 )
 from repro.service.resilience import CircuitBreaker, RetryPolicy
+from repro.sim.clock import SYSTEM_CLOCK, Clock
+from repro.sim.transport import HTTP_TRANSPORT, Transport
 
 #: Error codes the client maps back to concrete exception classes;
 #: anything else becomes a plain :class:`ServiceError` with that code.
@@ -123,8 +119,8 @@ class ServiceClient:
     ``retry_policy=RetryPolicy(max_attempts=1)`` for callers that must
     see every failure (e.g. DML, where a blind retry is not idempotent).
 
-    ``sleep``/``rng`` exist for deterministic tests; leave them alone in
-    production code.
+    ``sleep``/``rng``/``clock``/``transport`` exist for deterministic
+    tests and the simulator; leave them alone in production code.
     """
 
     def __init__(
@@ -133,78 +129,97 @@ class ServiceClient:
         timeout: float = 60.0,
         retry_policy: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
-        sleep=time.sleep,
+        sleep=None,
         rng: random.Random | None = None,
+        clock: Clock | None = None,
+        transport: Transport | None = None,
     ):
         self.base_url = base_url.rstrip("/")
         self.http_timeout = timeout
         self.retry_policy = retry_policy or RetryPolicy()
-        self.breaker = breaker or CircuitBreaker()
-        self._sleep = sleep
+        self._clock = clock or SYSTEM_CLOCK
+        self.transport = transport or HTTP_TRANSPORT
+        self.breaker = breaker or CircuitBreaker(clock=self._clock.monotonic)
+        self._sleep = sleep if sleep is not None else self._clock.sleep
         self._rng = rng or random.Random()
 
     # -- transport ----------------------------------------------------------
 
-    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
-        """One logical request = up to ``max_attempts`` transport attempts."""
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        budget: float | None = None,
+    ) -> dict:
+        """One logical request = up to ``max_attempts`` transport attempts.
+
+        ``budget`` is the caller's remaining time budget in seconds.
+        Each attempt ships what is left as the ``budget`` request field
+        (the server clamps its per-query timeout and read-gate wait to
+        it), the transport timeout is clamped to it, and retries stop
+        the moment it runs out — so stacked retry loops (routing over
+        this client over the server) no longer compound.
+        """
+        deadline = None if budget is None else self._clock.monotonic() + budget
         attempt = 0
         while True:
             attempt += 1
+            request_payload = payload
+            timeout = self.http_timeout
+            if deadline is not None:
+                remaining = deadline - self._clock.monotonic()
+                if remaining <= 0:
+                    raise BudgetExceeded(message="request budget exhausted before attempt")
+                request_payload = dict(payload or {})
+                request_payload["budget"] = remaining
+                timeout = min(timeout, max(remaining, 0.001))
             self.breaker.allow()
             try:
-                body = self._request_once(method, path, payload)
+                body = self._request_once(method, path, request_payload, timeout)
             except ServiceUnavailable:
                 self.breaker.record_failure()
-                if not self.retry_policy.should_retry(attempt):
+                if not self._may_retry(attempt, deadline):
                     raise
-                self._sleep(self.retry_policy.delay(attempt, self._rng))
+                self._sleep(self._retry_delay(attempt, deadline))
                 continue
             except ReproError as error:
                 # The server answered — the transport works.
                 self.breaker.record_success()
                 if not getattr(error, "retryable", False):
                     raise
-                if not self.retry_policy.should_retry(attempt):
+                if not self._may_retry(attempt, deadline):
                     raise
-                self._sleep(self.retry_policy.delay(attempt, self._rng))
+                self._sleep(self._retry_delay(attempt, deadline))
                 continue
             self.breaker.record_success()
             return body
 
-    def _request_once(self, method: str, path: str, payload: dict | None) -> dict:
-        url = self.base_url + path
-        data = None
-        headers = {"Accept": "application/json"}
-        if method == "POST":
-            data = json.dumps(payload or {}).encode("utf-8")
-            headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers, method=method)
-        try:
-            with urllib.request.urlopen(request, timeout=self.http_timeout) as response:
-                body = json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as http_error:
-            # Must precede the OSError branch: HTTPError ⊂ URLError ⊂
-            # OSError, and an HTTP error response *is* a server answer.
-            try:
-                body = json.loads(http_error.read().decode("utf-8"))
-            except ValueError:
-                body = None
-            if isinstance(body, dict) and "error" in body:
-                _raise_for(body["error"])
-            if http_error.code == 503:
-                # No structured error but the status says it all: the
-                # server is up yet not serving (draining /health probe).
-                raise ServiceUnavailable(
-                    "server is not ready (HTTP 503)"
-                ) from None
-            raise ServiceError(f"server returned HTTP {http_error.code}") from None
-        except (OSError, http.client.HTTPException) as transport_error:
-            # Connection refused/reset, DNS failure, socket timeout,
-            # malformed response: the server is unreachable right now.
-            raise ServiceUnavailable(
-                f"server unreachable: {type(transport_error).__name__}: "
-                f"{transport_error}"
-            ) from transport_error
+    def _may_retry(self, attempt: int, deadline: float | None) -> bool:
+        if not self.retry_policy.should_retry(attempt):
+            return False
+        return deadline is None or self._clock.monotonic() < deadline
+
+    def _retry_delay(self, attempt: int, deadline: float | None) -> float:
+        delay = self.retry_policy.delay(attempt, self._rng)
+        if deadline is not None:
+            delay = min(delay, max(deadline - self._clock.monotonic(), 0.0))
+        return delay
+
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None,
+        timeout: float | None = None,
+    ) -> dict:
+        body = self.transport.request(
+            self.base_url,
+            method,
+            path,
+            payload,
+            self.http_timeout if timeout is None else timeout,
+        )
         if isinstance(body, dict) and "error" in body:
             _raise_for(body["error"])
         return body
@@ -221,6 +236,7 @@ class ServiceClient:
         min_lsn: int | None = None,
         lsn_wait: float | None = None,
         era: int | None = None,
+        budget: float | None = None,
     ) -> QueryResult:
         """Run one statement.  Against a replica, ``min_lsn`` demands the
         answer reflect at least that commit LSN (waiting up to
@@ -228,7 +244,9 @@ class ServiceClient:
         of your own write for read-your-writes.  ``era`` stamps a write
         with the fencing era the caller believes in: a node holding an
         older era fences itself and refuses with ``NOT_PRIMARY`` instead
-        of acknowledging a write the cluster would not honor."""
+        of acknowledging a write the cluster would not honor.
+        ``budget`` bounds the whole call — retries included — and is
+        forwarded so the server clamps its own timeout to it."""
         payload = {"sql": sql, "strategy": strategy, "engine": engine}
         if params is not None:
             payload["params"] = params
@@ -240,7 +258,7 @@ class ServiceClient:
             payload["lsn_wait"] = lsn_wait
         if era is not None:
             payload["era"] = era
-        return _result(self._request("POST", "/query", payload))
+        return _result(self._request("POST", "/query", payload, budget=budget))
 
     # -- sessions and prepared statements -----------------------------------
 

@@ -23,10 +23,10 @@ injectable RNG, the breaker an injectable clock, and
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 from repro.errors import CircuitOpen
+from repro.sim.clock import SYSTEM_CLOCK
 
 #: Circuit states (exposed via :attr:`CircuitBreaker.state`).
 CLOSED = "closed"
@@ -77,7 +77,7 @@ class CircuitBreaker:
         self,
         failure_threshold: int = 5,
         reset_timeout: float = 5.0,
-        clock=time.monotonic,
+        clock=SYSTEM_CLOCK.monotonic,
     ):
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")

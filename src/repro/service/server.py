@@ -94,6 +94,7 @@ from repro.errors import (
 from repro.faults import injector_from_env
 from repro.replication.stream import SITE_STREAM_SERVE, SITE_STREAM_TORN
 from repro.service.metrics import ServerMetrics
+from repro.sim.clock import SYSTEM_CLOCK
 
 #: repro.errors code -> HTTP status.  Anything not listed is a client
 #: error (400); unexpected exceptions map to INTERNAL_ERROR / 500.
@@ -152,13 +153,18 @@ class ServerConfig:
     #: confirms this node's reign (/replication/promote).  The safe way
     #: to revive an ex-primary whose cluster may have moved on.
     fenced: bool = False
+    #: Time source (see repro.sim.clock); None = the system clock.  The
+    #: simulator injects a VirtualClock so session GC and drain run on
+    #: virtual time.
+    clock: object = None
 
 
 class _Session:
-    def __init__(self, session_id: str):
+    def __init__(self, session_id: str, clock=SYSTEM_CLOCK):
         self.id = session_id
-        self.created = time.time()
-        self.last_used = time.monotonic()
+        self._clock = clock
+        self.created = clock.now()
+        self.last_used = clock.monotonic()
         self.statements: dict[str, object] = {}
         self.lock = threading.Lock()
         #: MVCC pin: while set, every query in this session reads the
@@ -167,7 +173,7 @@ class _Session:
         self.snapshot: object | None = None
 
     def touch(self) -> None:
-        self.last_used = time.monotonic()
+        self.last_used = self._clock.monotonic()
 
 
 class _Admission:
@@ -229,6 +235,7 @@ class QueryService:
             self._db = database
             self._db_factory = None
         self.config = config or ServerConfig()
+        self.clock = self.config.clock or SYSTEM_CLOCK
         self.metrics = ServerMetrics()
         self.cancel_event = threading.Event()
         #: Set once the database is attached (immediately for a ready
@@ -253,7 +260,7 @@ class QueryService:
         self._sessions: dict[str, _Session] = {}
         self._sessions_lock = threading.Lock()
         self._sessions_expired = 0
-        self._last_session_sweep = time.monotonic()
+        self._last_session_sweep = self.clock.monotonic()
         self._repl_lock = threading.Lock()
         self._repl_counters = {
             "snapshots_served": 0,
@@ -425,7 +432,7 @@ class QueryService:
         return body
 
     def _create_session(self, payload: dict) -> dict:
-        session = _Session(uuid.uuid4().hex)
+        session = _Session(uuid.uuid4().hex, self.clock)
         body = {"session": session.id}
         if payload.get("pin_snapshot"):
             session.snapshot = self.db.pin_snapshot()
@@ -491,7 +498,7 @@ class QueryService:
         ttl = self.config.session_ttl
         if not ttl:
             return
-        now = time.monotonic()
+        now = self.clock.monotonic()
         if now - self._last_session_sweep < min(max(ttl / 4.0, 0.01), 60.0):
             return
         self._last_session_sweep = now
@@ -600,7 +607,7 @@ class QueryService:
             "commit_lsn": snapshot["lsn"],
             "era": getattr(database, "era", 0),
             "era_lsn": getattr(database, "era_lsn", 0),
-            "era_history": [list(entry) for entry in getattr(database, "era_history", ())],
+            "era_history": _shippable_era_history(database),
         }
 
     def _replication_wal(self, payload: dict) -> dict:
@@ -658,7 +665,7 @@ class QueryService:
             # record its own log missed.
             "era": getattr(database, "era", 0),
             "era_lsn": getattr(database, "era_lsn", 0),
-            "era_history": [list(entry) for entry in getattr(database, "era_history", ())],
+            "era_history": _shippable_era_history(database),
         }
 
     # -- cluster role (fencing-era failover) ---------------------------------
@@ -693,22 +700,65 @@ class QueryService:
                 raise NotPrimary(era, self._leader_url)
 
     def _causality_gate(self, payload: dict) -> None:
-        """Honor ``min_lsn`` on the primary: serve only at-or-past it.
+        """Honor ``min_lsn`` and ``era`` on the primary's read path.
 
         On a healthy primary every commit is already visible, so this
         never fires for tokens the node itself issued.  It exists for
-        the failover window: a client holding a token from the *new*
-        primary must not read a stale answer from a deposed one, so a
-        token past our log fails retryably (``REPLICA_LAGGING``) and
-        routing moves on to a node that can honor it.
+        the failover window, and LSNs alone are not enough there: a
+        deposed primary's log keeps the divergent suffix it acknowledged
+        while isolated, so its ``wal_lsn`` can *pass* a token the new
+        timeline issued while the data behind it is a different history.
+        The era closes that hole — a read stamped with era N may only be
+        served by a node that has proven era N's timeline:
+
+        * a **fenced** node refuses every causal read (era- or
+          token-stamped): it froze with a possibly-divergent suffix and
+          cannot tell which of its records the cluster kept;
+        * an unfenced node seeing ``era`` newer than its own is deposed
+          and just found out — it fences in place (same as the write
+          gate) and refuses;
+        * otherwise the plain LSN gate applies.
+
+        All refusals are retryable ``REPLICA_LAGGING`` — the replica-set
+        client moves on to a node that can actually honor the read.
         """
         min_lsn = payload.get("min_lsn")
-        if min_lsn is None:
-            return
-        if isinstance(min_lsn, bool) or not isinstance(min_lsn, int) or min_lsn < 0:
+        if min_lsn is not None and (
+            isinstance(min_lsn, bool) or not isinstance(min_lsn, int) or min_lsn < 0
+        ):
             raise BadRequestError("'min_lsn' must be a non-negative integer")
+        era = payload.get("era")
+        if era is not None and (
+            isinstance(era, bool) or not isinstance(era, int) or era < 0
+        ):
+            raise BadRequestError("'era' must be a non-negative integer")
+        if min_lsn is None and not era:
+            return
         applied = getattr(self.db, "wal_lsn", 0)
-        if applied < min_lsn:
+        own_era = getattr(self.db, "era", 0)
+        with self._cluster_lock:
+            if self._fenced:
+                raise ReplicaLagging(
+                    min_lsn or 0,
+                    applied,
+                    message=(
+                        f"this node is fenced (era {max(self._fenced_era, own_era)});"
+                        " its log may diverge from the surviving timeline —"
+                        " retry on the current primary or a repointed replica"
+                    ),
+                )
+            if era and era > own_era:
+                self._fenced = True
+                self._fenced_era = era
+                raise ReplicaLagging(
+                    min_lsn or 0,
+                    applied,
+                    message=(
+                        f"read is stamped with era {era} but this node only"
+                        f" reached era {own_era}; it is deposed and now fenced"
+                    ),
+                )
+        if min_lsn is not None and applied < min_lsn:
             raise ReplicaLagging(min_lsn, applied)
 
     def _topology(self) -> dict:
@@ -762,7 +812,16 @@ class QueryService:
         }
 
     def _demote(self, payload: dict) -> dict:
-        """Fence this node: a newer era reigns elsewhere.
+        """Fence this node: a newer era reigns elsewhere — or the *same*
+        era does, on a different node.
+
+        Same-era demotion is how a concurrent-promotion race converges:
+        when two coordinators (or an operator's ``repro promote`` racing
+        the coordinator) install the same era on two nodes, exactly one
+        of them — the lowest-URL primary at the newest era, the same
+        deterministic rule every coordinator applies — keeps the reign,
+        and the loser is fenced *at* that era.  Only an era strictly
+        older than ours is refused.
 
         Deliberately does NOT write an era record — the new era's WAL
         record belongs to the new primary's timeline, and logging it
@@ -777,9 +836,9 @@ class QueryService:
             raise BadRequestError("'leader_url' must be a string")
         own_era = getattr(self.db, "era", 0)
         with self._cluster_lock:
-            if era <= own_era and not (era == own_era and self._fenced):
+            if era < own_era:
                 raise ReplicationError(
-                    f"demotion era {era} is not newer than this node's era {own_era}"
+                    f"demotion era {era} is behind this node's era {own_era}"
                 )
             self._fenced = True
             self._fenced_era = max(self._fenced_era, era)
@@ -818,6 +877,13 @@ class QueryService:
         timeout = payload.get("timeout", self.config.default_timeout)
         if timeout is not None and not isinstance(timeout, (int, float)):
             raise BadRequestError("'timeout' must be a number (seconds) or null")
+        budget = _budget_of(payload)
+        if budget is not None:
+            # Deadline propagation: the client sent how much of *its*
+            # time budget is left; running the query longer than that is
+            # pure waste (the caller has already given up on us), so the
+            # per-query timeout is clamped to it.
+            timeout = budget if timeout is None else min(timeout, budget)
         engine = _optional_str(payload, "engine", "row")
         if engine not in ("row", "vectorized"):
             raise BadRequestError(f"unknown engine {engine!r} (row | vectorized)")
@@ -868,11 +934,11 @@ class QueryService:
         if grace is None:
             grace = self.config.drain_grace
         self.draining.set()
-        deadline = time.monotonic() + grace
-        while time.monotonic() < deadline:
+        deadline = self.clock.monotonic() + grace
+        while self.clock.monotonic() < deadline:
             if self.metrics.snapshot()["in_flight"] == 0:
                 return True
-            time.sleep(0.02)
+            self.clock.sleep(0.02)
         clean = self.metrics.snapshot()["in_flight"] == 0
         if not clean:
             self.cancel_event.set()
@@ -881,6 +947,25 @@ class QueryService:
     # wiring used by QueryServer
     def set_shutdown_callback(self, callback) -> None:
         self._shutdown_callback = callback
+
+
+def _budget_of(payload: dict) -> float | None:
+    """The caller's remaining time budget in seconds (None = unbounded)."""
+    budget = payload.get("budget")
+    if budget is None:
+        return None
+    if isinstance(budget, bool) or not isinstance(budget, (int, float)) or budget < 0:
+        raise BadRequestError("'budget' must be a non-negative number of seconds")
+    return float(budget)
+
+
+def _shippable_era_history(database) -> list:
+    """The era history a replication response should carry — pruned when
+    the database can prove old reign boundaries are unreachable (see
+    Database.pruned_era_history)."""
+    pruner = getattr(database, "pruned_era_history", None)
+    history = pruner() if callable(pruner) else getattr(database, "era_history", ())
+    return [list(entry) for entry in history]
 
 
 def _era_of(payload: dict) -> int:

@@ -1,0 +1,295 @@
+"""Client-visible history: recording and invariant checking.
+
+The recorder logs every operation a workload client performs against the
+simulated replica set — ``invoke``, then ``ok`` (with the era and
+causality LSNs the response carried) or ``fail`` (with the error code) —
+plus periodic cluster *status* samples and the nemesis *fault*
+intervals.  The checker replays that history against the cluster's
+final state and asserts the replication protocol's contract:
+
+1. **No lost acked writes.**  An acknowledged write ``(era E, commit_lsn
+   L)`` survives on the final timeline unless a later reign's boundary
+   cut it off: with ``B`` the ``era_lsn`` of the first era newer than
+   ``E`` in the final history, the write is *doomed-by-boundary* iff
+   ``L >= B`` (its log position belongs to a deposed primary's divergent
+   suffix).  A must-survive write missing from the final state is a
+   violation; a doomed write is only *allowed* to be lost if it was
+   acknowledged inside an unsettled window (a nemesis fault was active,
+   or the cluster had not yet re-converged) — the protocol's documented
+   lost-by-design case.  A doomed write acked while the cluster was
+   settled is a violation: a settled primary must fence before acking
+   writes a newer reign will disown.
+2. **Era monotonicity.**  Per client, the eras stamped on its write
+   acks never decrease (a client that saw era N can never get a write
+   acknowledged by an older reign — the era it ships would fence that
+   node).  Per node, the effective era ``max(era, fenced_era)`` never
+   decreases between consecutive status samples without a restart.
+3. **Read-your-writes.**  Every read reflects all of the client's own
+   previously acknowledged writes except doomed ones (whose loss rule 1
+   already polices).
+4. **Monotonic reads.**  Per client, the surviving writes seen by one
+   read are a subset of what the next read sees.
+
+The checker is deliberately end-state-based (observable behavior, not
+implementation traces): it never inspects node internals beyond the
+topology fields the nodes themselves publish.
+"""
+
+from __future__ import annotations
+
+#: How far *before* a fault's start an acknowledged write may still be
+#: lost to it.  Replication is asynchronous: a write acked an instant
+#: before the primary is cut off has not replicated yet, and no fencing
+#: protocol can retroactively protect it.  The bound is the replication
+#: pipeline's worst case in the simulator (follower poll interval plus
+#: two network hops), with headroom.
+REPLICATION_LAG_GRACE = 0.25
+
+
+class HistoryRecorder:
+    """Append-only log of operations, status samples, fault intervals."""
+
+    def __init__(self):
+        self.ops: list[dict] = []
+        self.statuses: list[dict] = []
+        self.faults: list[dict] = []
+        self._next_id = 0
+
+    def invoke(self, client: str, kind: str, time: float, **fields) -> dict:
+        op = {"id": self._next_id, "client": client, "kind": kind, "invoked": round(time, 4)}
+        op.update(fields)
+        self._next_id += 1
+        self.ops.append(op)
+        return op
+
+    def ok(self, op: dict, time: float, **fields) -> None:
+        op["status"] = "ok"
+        op["done"] = round(time, 4)
+        op.update(fields)
+
+    def fail(self, op: dict, time: float, code: str) -> None:
+        op["status"] = "fail"
+        op["done"] = round(time, 4)
+        op["error"] = code
+
+    def status(self, time: float, nodes: dict) -> None:
+        self.statuses.append({"time": round(time, 4), "nodes": nodes})
+
+    def fault(self, kind: str, start: float, end: float, target: str = "") -> None:
+        self.faults.append(
+            {"kind": kind, "target": target, "start": round(start, 4), "end": round(end, 4)}
+        )
+
+
+def converged(nodes: dict) -> bool:
+    """One unfenced primary, everyone alive at the newest era, nothing broken.
+
+    A *fenced* node counts as converged at its fencing era: the fence is
+    the protocol's way of parking a deposed primary, and demanding its
+    durable era catch up would call a correctly-fenced corpse divergent.
+    """
+    alive = {name: node for name, node in nodes.items() if node.get("alive")}
+    if not alive:
+        return False
+    primaries = [
+        node
+        for node in alive.values()
+        if node.get("role") == "primary" and not node.get("fenced")
+    ]
+    if len(primaries) != 1:
+        return False
+    max_era = max(_effective_era(node) for node in alive.values())
+    if _effective_era(primaries[0]) != max_era:
+        return False
+    for node in alive.values():
+        if node.get("broken"):
+            return False
+        if not node.get("fenced") and _effective_era(node) != max_era:
+            return False
+    return True
+
+
+def _effective_era(node: dict) -> int:
+    return max(int(node.get("era", 0)), int(node.get("fenced_era", 0)))
+
+
+class HistoryChecker:
+    """Checks one run's history against the final cluster state."""
+
+    def __init__(
+        self,
+        recorder: HistoryRecorder,
+        final_state: set,
+        final_era_history: tuple,
+        run_end: float,
+    ):
+        self.recorder = recorder
+        #: ``(client_id, seq)`` pairs present on the final primary.
+        self.final_state = final_state
+        self.final_era_history = tuple(tuple(entry) for entry in final_era_history)
+        self.run_end = run_end
+        self.violations: list[str] = []
+        self._windows = self._unsettled_windows()
+
+    # -- the unsettled windows ----------------------------------------------
+
+    def _unsettled_windows(self) -> list[tuple[float, float]]:
+        """Merged intervals in which acked-write loss is tolerated.
+
+        Each window opens :data:`REPLICATION_LAG_GRACE` before a nemesis
+        fault starts (asynchronously-replicated acks from just before
+        the cut are legitimately at risk) and closes at the first status
+        sample *after the fault ended* that shows the cluster converged
+        (or at the end of the run if it never does).
+        """
+        windows = []
+        for fault in self.recorder.faults:
+            close = self.run_end
+            for status in self.recorder.statuses:
+                if status["time"] > fault["end"] and converged(status["nodes"]):
+                    close = status["time"]
+                    break
+            windows.append((fault["start"] - REPLICATION_LAG_GRACE, close))
+        windows.sort()
+        merged: list[tuple[float, float]] = []
+        for start, end in windows:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        return merged
+
+    def _in_window(self, time: float) -> bool:
+        return any(start <= time <= end for start, end in self._windows)
+
+    # -- doomed-by-boundary classification -----------------------------------
+
+    def _next_boundary(self, era: int) -> int | None:
+        boundaries = [lsn for e, lsn in self.final_era_history if e > era]
+        return min(boundaries) if boundaries else None
+
+    def _must_survive(self, op: dict) -> bool:
+        boundary = self._next_boundary(int(op.get("era") or 0))
+        lsn = op.get("commit_lsn")
+        if lsn is None:
+            return True  # rule 1 flags the missing stamp separately
+        return boundary is None or lsn < boundary
+
+    # -- the checks ----------------------------------------------------------
+
+    def check(self) -> list[str]:
+        self._check_writes()
+        self._check_client_era_monotonic()
+        self._check_node_era_monotonic()
+        self._check_reads()
+        self._check_final_convergence()
+        return self.violations
+
+    def _acked_writes(self, client: str | None = None) -> list[dict]:
+        return [
+            op
+            for op in self.recorder.ops
+            if op["kind"] == "write"
+            and op.get("status") == "ok"
+            and (client is None or op["client"] == client)
+        ]
+
+    def _check_writes(self) -> None:
+        for op in self._acked_writes():
+            key = (op["cid"], op["seq"])
+            if op.get("commit_lsn") is None:
+                self.violations.append(
+                    f"write op {op['id']} ({op['client']} seq {op['seq']}) was acked"
+                    f" without a commit_lsn"
+                )
+                continue
+            present = key in self.final_state
+            if present:
+                continue
+            if self._must_survive(op):
+                self.violations.append(
+                    f"lost acked write: {op['client']} seq {op['seq']}"
+                    f" (era {op.get('era') or 0}, commit_lsn {op['commit_lsn']})"
+                    f" is on the surviving timeline but absent from the final state"
+                )
+            elif not self._in_window(op["done"]):
+                self.violations.append(
+                    f"unsafe ack: {op['client']} seq {op['seq']} was acknowledged at"
+                    f" t={op['done']} with the cluster settled, yet a newer reign's"
+                    f" boundary disowned it (era {op.get('era') or 0},"
+                    f" commit_lsn {op['commit_lsn']})"
+                )
+
+    def _check_client_era_monotonic(self) -> None:
+        clients = {op["client"] for op in self.recorder.ops}
+        for client in sorted(clients):
+            high = 0
+            for op in self._acked_writes(client):
+                era = int(op.get("era") or 0)
+                if era < high:
+                    self.violations.append(
+                        f"era regression for {client}: write seq {op['seq']} acked"
+                        f" at era {era} after an ack at era {high}"
+                    )
+                high = max(high, era)
+
+    def _check_node_era_monotonic(self) -> None:
+        previous: dict[str, dict] = {}
+        for status in self.recorder.statuses:
+            for name, node in status["nodes"].items():
+                if not node.get("alive"):
+                    previous.pop(name, None)  # a restart may legally reset
+                    continue
+                before = previous.get(name)
+                if (
+                    before is not None
+                    and not node.get("restarted")
+                    and _effective_era(node) < _effective_era(before)
+                ):
+                    self.violations.append(
+                        f"era regression on {name}: {_effective_era(before)} ->"
+                        f" {_effective_era(node)} at t={status['time']}"
+                    )
+                previous[name] = node
+
+    def _check_reads(self) -> None:
+        clients = {op["client"] for op in self.recorder.ops}
+        for client in sorted(clients):
+            acked: dict[int, dict] = {}
+            last_seen: set[int] = set()
+            for op in [o for o in self.recorder.ops if o["client"] == client]:
+                if op["kind"] == "write":
+                    if op.get("status") == "ok":
+                        acked[op["seq"]] = op
+                    continue
+                if op.get("status") != "ok":
+                    continue
+                values = set(op.get("values", ()))
+                expected = {
+                    seq for seq, write in acked.items() if self._must_survive(write)
+                }
+                missing = expected - values
+                if missing:
+                    self.violations.append(
+                        f"read-your-writes violation for {client}: read op {op['id']}"
+                        f" at t={op['done']} is missing own surviving writes"
+                        f" {sorted(missing)}"
+                    )
+                regressed = (last_seen & expected) - values
+                if regressed:
+                    self.violations.append(
+                        f"monotonic-reads violation for {client}: read op {op['id']}"
+                        f" lost previously seen writes {sorted(regressed)}"
+                    )
+                last_seen = values
+        return
+
+    def _check_final_convergence(self) -> None:
+        if not self.recorder.statuses:
+            self.violations.append("no status samples recorded; cannot assess convergence")
+            return
+        final = self.recorder.statuses[-1]
+        if not converged(final["nodes"]):
+            self.violations.append(
+                f"cluster failed to converge by t={final['time']}: {final['nodes']}"
+            )

@@ -1,0 +1,174 @@
+"""The nemesis: seeded fault schedules, and schedule shrinking.
+
+A schedule is a list of :class:`NemesisEvent` — ``(kind, target, start,
+end, param)`` — generated from one seed, so a failing run is reproduced
+by its seed alone.  The kinds map onto the cluster's fault levers:
+
+* ``isolate_primary`` — cut the reigning leader's links to the
+  coordinator and every peer **but keep the client links**: the leader
+  keeps acknowledging writes it can no longer replicate while the
+  coordinator elects a successor — the split-brain generator;
+* ``isolate_node`` — cut every link touching one node;
+* ``partition_link`` — cut one specific pair;
+* ``crash_restart`` — ``Database.close()`` at ``start``, reopen at
+  ``end`` (rejoin as a follower of whoever leads by then);
+* ``pause_coordinator`` — the failure detector itself goes quiet;
+* ``clock_skew`` — shift one node's :class:`~repro.sim.clock.SkewedClock`
+  by ``param`` seconds, heal at ``end``.
+
+:func:`shrink` is a ddmin-style minimizer: given a seed that produced
+checker violations, it bisects the event list — dropping halves, then
+single events — re-running the simulation each time, and returns the
+smallest schedule that still fails.  The shrunk schedule is what a
+human debugs; the seed is what the machine replays.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+KINDS = (
+    "isolate_primary",
+    "isolate_node",
+    "partition_link",
+    "crash_restart",
+    "pause_coordinator",
+    "clock_skew",
+)
+
+
+@dataclass(frozen=True)
+class NemesisEvent:
+    kind: str
+    target: str
+    start: float
+    end: float
+    param: float = 0.0
+
+    def describe(self) -> str:
+        extra = f" param={self.param:+.3f}" if self.kind == "clock_skew" else ""
+        return f"{self.kind} target={self.target} [{self.start:.3f}, {self.end:.3f}]{extra}"
+
+
+def generate_schedule(
+    rng: random.Random, node_names: list, duration: float
+) -> list[NemesisEvent]:
+    """3-6 faults drawn from one RNG, sorted by start time.
+
+    Starts leave the first half-second alone (the cluster finishes its
+    bootstrap handshakes) and every fault *ends* at least a second
+    before the workload does, so the settle phase measures convergence,
+    not fault overhang.
+    """
+    events = []
+    count = 3 + rng.randrange(4)
+    for _ in range(count):
+        kind = KINDS[rng.randrange(len(KINDS))]
+        start = 0.5 + rng.random() * max(duration - 3.0, 1.0)
+        length = 0.4 + rng.random() * 1.6
+        end = min(start + length, duration - 1.0)
+        if end <= start:
+            end = start + 0.2
+        target = node_names[rng.randrange(len(node_names))]
+        param = 0.0
+        if kind == "clock_skew":
+            param = (rng.random() * 4.5 + 0.5) * (1 if rng.random() < 0.5 else -1)
+        if kind == "partition_link":
+            other = node_names[rng.randrange(len(node_names))]
+            if other == target:
+                other = node_names[(node_names.index(target) + 1) % len(node_names)]
+            target = f"{target}:{other}"
+        events.append(
+            NemesisEvent(kind, target, round(start, 3), round(end, 3), round(param, 3))
+        )
+    events.sort(key=lambda event: (event.start, event.end, event.kind, event.target))
+    return events
+
+
+def install_schedule(cluster, events: list[NemesisEvent]) -> None:
+    """Schedule every event's apply/revert on the cluster's clock and
+    record the fault intervals in the history."""
+    # Revert state for dynamic targets (the leader resolved at fire
+    # time), scoped to this run so replays never see a stale entry.
+    links: dict[int, list] = {}
+    for index, event in enumerate(events):
+        cluster.recorder.fault(event.kind, event.start, event.end, event.target)
+        cluster.clock.call_at(
+            event.start,
+            lambda event=event, index=index: _apply(cluster, event, links, index),
+            f"fault+{event.kind}",
+        )
+        cluster.clock.call_at(
+            event.end,
+            lambda event=event, index=index: _revert(cluster, event, links, index),
+            f"fault-{event.kind}",
+        )
+
+
+def _apply(cluster, event: NemesisEvent, links: dict, index: int) -> None:
+    cluster.trace.append(f"{cluster.clock.now():.4f} nemesis + {event.describe()}")
+    if event.kind == "isolate_primary":
+        _, pairs = cluster.leader_links()
+        links[index] = pairs
+        for a, b in pairs:
+            cluster.net.partition(a, b)
+    elif event.kind == "isolate_node":
+        cluster.net.isolate(cluster.nodes[event.target].url)
+    elif event.kind == "partition_link":
+        a, b = event.target.split(":")
+        cluster.net.partition(cluster.nodes[a].url, cluster.nodes[b].url)
+    elif event.kind == "crash_restart":
+        cluster.crash(event.target)
+    elif event.kind == "pause_coordinator":
+        cluster.pause_coordinator(True)
+    elif event.kind == "clock_skew":
+        cluster.skew(event.target, event.param)
+
+
+def _revert(cluster, event: NemesisEvent, links: dict, index: int) -> None:
+    cluster.trace.append(f"{cluster.clock.now():.4f} nemesis - {event.describe()}")
+    if event.kind == "isolate_primary":
+        for a, b in links.pop(index, ()):
+            cluster.net.heal(a, b)
+    elif event.kind == "isolate_node":
+        cluster.net.unisolate(cluster.nodes[event.target].url)
+    elif event.kind == "partition_link":
+        a, b = event.target.split(":")
+        cluster.net.heal(cluster.nodes[a].url, cluster.nodes[b].url)
+    elif event.kind == "crash_restart":
+        cluster.restart(event.target)
+    elif event.kind == "pause_coordinator":
+        cluster.pause_coordinator(False)
+    elif event.kind == "clock_skew":
+        cluster.skew(event.target, 0.0)
+
+
+def shrink(events: list[NemesisEvent], still_fails) -> list[NemesisEvent]:
+    """ddmin-lite: the smallest event subset for which ``still_fails``
+    (a callable taking an event list) remains true.
+
+    Tries dropping progressively smaller chunks — halves first, then
+    quarters, down to single events — restarting from halves after any
+    successful removal.  Each probe is one full simulation run, so the
+    candidate count matters more than asymptotic elegance.
+    """
+    current = list(events)
+    chunk = max(len(current) // 2, 1)
+    while chunk >= 1 and len(current) > 1:
+        removed_any = False
+        index = 0
+        while index < len(current):
+            candidate = current[:index] + current[index + chunk :]
+            if candidate and still_fails(candidate):
+                current = candidate
+                removed_any = True
+            else:
+                index += chunk
+        if removed_any:
+            chunk = max(len(current) // 2, 1)
+            if chunk == len(current):
+                chunk //= 2
+        else:
+            chunk //= 2
+    return current

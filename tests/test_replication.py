@@ -39,6 +39,7 @@ from repro.replication.routing import ReplicaSetClient
 from repro.replication.stream import decode_frames, frames_from_wire
 from repro.service.client import ServiceClient
 from repro.service.server import QueryServer, QueryService, ServerConfig
+from repro.storage.wal import DurabilityConfig, list_snapshots
 
 #: The query used as a state digest when comparing primary and replica.
 CHECKSUM_SQL = "SELECT COUNT(*), SUM(A1), SUM(A4) FROM r"
@@ -345,6 +346,89 @@ def cluster(tmp_path):
     replica.stop()
     server.stop()
     db.close()
+
+
+class TestEraHistoryPruning:
+    """Replication responses ship a *pruned* era history: reign
+    boundaries no follower could ever stream across (they predate the
+    oldest retained snapshot, so any log that short resyncs from
+    scratch) collapse into one sentinel, keeping a long-lived cluster's
+    shipped history bounded."""
+
+    @staticmethod
+    def make_aged_primary(tmp_path, eras: int = 4) -> Database:
+        data_dir = str(tmp_path / "primary")
+        db = Database.open(
+            data_dir,
+            durability=DurabilityConfig(
+                data_dir=data_dir, sync="none", snapshots_kept=1
+            ),
+        )
+        db.create_table(
+            "r",
+            ["A1", "A2", "A3", "A4"],
+            [(i, i % 5, i % 3, i * 100) for i in range(8)],
+        )
+        # Each cycle: a failover boundary, a reign's worth of writes,
+        # then a checkpoint that moves the oldest retained snapshot
+        # past the boundary — making it prunable.
+        for era in range(1, eras + 1):
+            db.bump_era(era)
+            db.execute(f"INSERT INTO r VALUES ({100 + era}, 1, 1, 1)")
+            db.checkpoint()
+        return db
+
+    def test_old_boundaries_collapse_into_a_sentinel(self, tmp_path):
+        db = self.make_aged_primary(tmp_path)
+        full = db.era_history
+        pruned = db.pruned_era_history()
+        assert len(pruned) < len(full)
+        oldest_retained = list_snapshots(db._durability.config.data_dir)[0][0]
+        # Everything at or past the oldest retained snapshot survives
+        # verbatim; the sentinel is the newest boundary before it.
+        kept = tuple(entry for entry in full if entry[1] >= oldest_retained)
+        dropped = tuple(entry for entry in full if entry[1] < oldest_retained)
+        assert dropped, "test must actually age some boundaries out"
+        assert pruned == (dropped[-1],) + kept
+        # The newest reign is always shippable — it is what fencing
+        # decisions key on.
+        assert pruned[-1] == full[-1]
+        db.close()
+
+    def test_replication_responses_ship_the_pruned_list(self, tmp_path):
+        db = self.make_aged_primary(tmp_path)
+        service = QueryService(db, ServerConfig(port=0))
+        expected = [list(entry) for entry in db.pruned_era_history()]
+        assert len(expected) < len(db.era_history)
+        status, body = service.handle("POST", "/replication/snapshot", {})
+        assert status == 200
+        assert body["era_history"] == expected
+        status, body = service.handle("POST", "/replication/wal", {"from_lsn": 0})
+        assert status == 200
+        assert body["era_history"] == expected
+        db.close()
+
+    def test_follower_bootstraps_against_pruned_history(self, tmp_path):
+        db = self.make_aged_primary(tmp_path)
+        server = QueryServer(db, ServerConfig(port=0)).start()
+        try:
+            follower = make_follower(server.url, tmp_path)
+            replica_db = follower.bootstrap()
+            try:
+                drain(follower)
+                assert replica_db.era == db.era
+                assert replica_db.execute(CHECKSUM_SQL).rows == db.execute(CHECKSUM_SQL).rows
+                # And the stream keeps working across the next boundary.
+                db.bump_era(db.era + 1)
+                db.execute("INSERT INTO r VALUES (900, 1, 1, 1)")
+                drain(follower)
+                assert replica_db.era == db.era
+                assert replica_db.execute(CHECKSUM_SQL).rows == db.execute(CHECKSUM_SQL).rows
+            finally:
+                follower.close()
+        finally:
+            server.stop()
+            db.close()
 
 
 class TestReplicaServer:

@@ -13,7 +13,7 @@ import time
 import pytest
 
 from repro import Database
-from repro.errors import CircuitOpen, ServiceUnavailable
+from repro.errors import BudgetExceeded, CircuitOpen, ServiceUnavailable
 from repro.service import CircuitBreaker, QueryServer, RetryPolicy, ServerConfig
 from repro.service.client import ServiceClient
 from repro.service.resilience import CLOSED, HALF_OPEN, OPEN
@@ -107,6 +107,91 @@ class TestCircuitBreaker:
         breaker.record_success()
         breaker.record_failure()
         assert breaker.state == CLOSED
+
+
+class _FakeClock:
+    """A hand-advanced clock whose ``sleep`` just moves time forward."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def monotonic(self) -> float:
+        return self.t
+
+    def sleep(self, seconds: float) -> None:
+        self.t += seconds
+
+
+class _RecordingTransport:
+    """A transport stub: records every payload, fails until told not to."""
+
+    def __init__(self, fail: int = 10**9, body: dict | None = None):
+        self.fail = fail
+        self.body = body or {}
+        self.payloads: list = []
+
+    def request(self, base_url, method, path, payload, timeout):
+        self.payloads.append(dict(payload or {}))
+        if len(self.payloads) <= self.fail:
+            raise ServiceUnavailable("stub: connection refused")
+        return self.body
+
+
+class TestBudgetPropagation:
+    """Deadline propagation on the client: ``budget`` bounds the whole
+    logical request — retries and backoff included — and every attempt
+    ships the *remaining* budget so the server can clamp its own work."""
+
+    def make_client(self, transport, clock, max_attempts=10):
+        return ServiceClient(
+            "http://stub",
+            timeout=60.0,
+            retry_policy=RetryPolicy(
+                max_attempts=max_attempts, base_delay=1.0, jitter=0.0
+            ),
+            breaker=CircuitBreaker(failure_threshold=1000, clock=clock.monotonic),
+            clock=clock,
+            transport=transport,
+        )
+
+    def test_budget_stops_retries_before_the_attempt_cap(self):
+        clock = _FakeClock()
+        transport = _RecordingTransport()
+        client = self.make_client(transport, clock)
+        with pytest.raises(BudgetExceeded):
+            client._request("POST", "/query", {"sql": "SELECT 1"}, budget=2.5)
+        # Far fewer than max_attempts: the budget, not the cap, stopped us.
+        assert len(transport.payloads) < 10
+        assert clock.t <= 2.5 + 1e-9
+
+    def test_each_attempt_ships_the_shrinking_remainder(self):
+        clock = _FakeClock()
+        transport = _RecordingTransport()
+        client = self.make_client(transport, clock)
+        with pytest.raises(BudgetExceeded):
+            client._request("POST", "/query", {"sql": "SELECT 1"}, budget=2.5)
+        budgets = [p["budget"] for p in transport.payloads]
+        assert budgets[0] == pytest.approx(2.5)
+        assert budgets == sorted(budgets, reverse=True)
+        assert all(b > 0 for b in budgets)
+
+    def test_no_budget_means_no_field_and_the_cap_rules(self):
+        clock = _FakeClock()
+        transport = _RecordingTransport()
+        client = self.make_client(transport, clock, max_attempts=3)
+        with pytest.raises(ServiceUnavailable):
+            client._request("POST", "/query", {"sql": "SELECT 1"})
+        assert len(transport.payloads) == 3
+        assert all("budget" not in p for p in transport.payloads)
+
+    def test_success_within_budget_passes_through(self):
+        clock = _FakeClock()
+        transport = _RecordingTransport(fail=1, body={"ok": True})
+        client = self.make_client(transport, clock)
+        body = client._request("POST", "/query", {"sql": "SELECT 1"}, budget=5.0)
+        assert body == {"ok": True}
+        assert len(transport.payloads) == 2
+        assert transport.payloads[1]["budget"] < transport.payloads[0]["budget"]
 
 
 class TestClientRetryIntegration:

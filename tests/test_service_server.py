@@ -251,6 +251,43 @@ class TestTimeoutsAndAdmission:
         assert result.rows == [(20,)]
 
 
+class TestDeadlinePropagation:
+    """The ``budget`` request field: the caller ships how much of its
+    own wall-clock budget is left, and the server clamps its per-query
+    timeout to it — running past the caller's deadline is pure waste."""
+
+    @pytest.mark.parametrize("budget", [-1, -0.5, "soon", True, [1]])
+    def test_malformed_budget_is_rejected(self, budget):
+        service = QueryService(make_db())
+        status, body = service.handle(
+            "POST", "/query", {"sql": "SELECT COUNT(*) FROM r", "budget": budget}
+        )
+        assert status == 400
+        assert body["error"]["code"] == "BAD_REQUEST"
+
+    def test_budget_clamps_the_default_timeout(self):
+        service = QueryService(make_db())
+        status, body = service.handle("POST", "/query", {"sql": SLOW_SQL, "budget": 0.05})
+        assert status != 200
+        assert body["error"]["code"] == "QUERY_TIMEOUT"
+
+    def test_budget_clamps_an_explicit_longer_timeout(self):
+        service = QueryService(make_db())
+        status, body = service.handle(
+            "POST", "/query", {"sql": SLOW_SQL, "budget": 0.05, "timeout": 30.0}
+        )
+        assert status != 200
+        assert body["error"]["code"] == "QUERY_TIMEOUT"
+
+    def test_generous_budget_does_not_get_in_the_way(self):
+        service = QueryService(make_db())
+        status, body = service.handle(
+            "POST", "/query", {"sql": "SELECT COUNT(*) FROM r", "budget": 30.0}
+        )
+        assert status == 200
+        assert body["rows"] == [[20]]
+
+
 class TestConcurrentClients:
     def test_eight_concurrent_clients_get_bag_equal_results(self, server):
         sql = """SELECT DISTINCT * FROM r
